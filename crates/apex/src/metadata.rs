@@ -1,0 +1,132 @@
+//! PoX configuration metadata: the ER/OR region bounds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Region bounds for one attested operation.
+///
+/// All addresses are inclusive. `er_exit` is the address of the designated
+/// last instruction of ER (its `ret`); APEX accepts an execution as complete
+/// only if control leaves ER from there.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PoxConfig {
+    /// First address of the Executable Range.
+    pub er_min: u16,
+    /// Last address of the Executable Range (inclusive).
+    pub er_max: u16,
+    /// Address of the legal exit instruction.
+    pub er_exit: u16,
+    /// First address of the Output Range.
+    pub or_min: u16,
+    /// Last address of the Output Range (inclusive, word-aligned).
+    pub or_max: u16,
+}
+
+/// Invalid [`PoxConfig`] parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConfigError(&'static str);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PoX config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl PoxConfig {
+    /// Validates and builds a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or overlapping regions, odd alignment, and an exit
+    /// address outside ER.
+    pub fn new(
+        er_min: u16,
+        er_max: u16,
+        er_exit: u16,
+        or_min: u16,
+        or_max: u16,
+    ) -> Result<Self, ConfigError> {
+        if er_min >= er_max {
+            return Err(ConfigError("ER empty"));
+        }
+        if or_min >= or_max {
+            return Err(ConfigError("OR empty"));
+        }
+        if er_min & 1 != 0 || or_min & 1 != 0 {
+            return Err(ConfigError("region start must be even"));
+        }
+        if er_exit < er_min || er_exit > er_max {
+            return Err(ConfigError("exit address outside ER"));
+        }
+        if er_exit & 1 != 0 {
+            return Err(ConfigError("exit address must be even"));
+        }
+        let overlap = er_min <= or_max && or_min <= er_max;
+        if overlap {
+            return Err(ConfigError("ER and OR overlap"));
+        }
+        Ok(Self { er_min, er_max, er_exit, or_min, or_max })
+    }
+
+    /// Is `addr` inside ER?
+    #[must_use]
+    pub fn in_er(&self, addr: u16) -> bool {
+        addr >= self.er_min && addr <= self.er_max
+    }
+
+    /// Is `addr` inside OR?
+    #[must_use]
+    pub fn in_or(&self, addr: u16) -> bool {
+        addr >= self.or_min && addr <= self.or_max
+    }
+
+    /// OR capacity in bytes.
+    #[must_use]
+    pub fn or_len(&self) -> usize {
+        usize::from(self.or_max - self.or_min) + 1
+    }
+
+    /// Serialises the bounds for inclusion in the attested byte string.
+    #[must_use]
+    pub fn to_metadata_bytes(&self) -> [u8; 10] {
+        let mut out = [0u8; 10];
+        out[0..2].copy_from_slice(&self.er_min.to_le_bytes());
+        out[2..4].copy_from_slice(&self.er_max.to_le_bytes());
+        out[4..6].copy_from_slice(&self.er_exit.to_le_bytes());
+        out[6..8].copy_from_slice(&self.or_min.to_le_bytes());
+        out[8..10].copy_from_slice(&self.or_max.to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FE).unwrap();
+        assert!(c.in_er(0xE000) && c.in_er(0xE0FF) && !c.in_er(0xE100));
+        assert!(c.in_or(0x0600) && c.in_or(0x06FE) && !c.in_or(0x0700));
+        assert_eq!(c.or_len(), 0xFF);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(PoxConfig::new(0xE100, 0xE000, 0xE000, 0x600, 0x6FE).is_err(), "ER empty");
+        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x6FE, 0x600).is_err(), "OR empty");
+        assert!(PoxConfig::new(0xE001, 0xE0FF, 0xE0FE, 0x600, 0x6FE).is_err(), "odd ER");
+        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xF000, 0x600, 0x6FE).is_err(), "exit outside");
+        assert!(PoxConfig::new(0x0500, 0x07FF, 0x0700, 0x600, 0x6FE).is_err(), "overlap");
+    }
+
+    #[test]
+    fn metadata_bytes_round_trip_fields() {
+        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FE).unwrap();
+        let b = c.to_metadata_bytes();
+        assert_eq!(u16::from_le_bytes([b[0], b[1]]), 0xE000);
+        assert_eq!(u16::from_le_bytes([b[8], b[9]]), 0x06FE);
+    }
+}

@@ -1,0 +1,411 @@
+//! The APEX hardware monitor, ported as a per-instruction FSM.
+//!
+//! The FSM has three phases and one output bit (`EXEC`):
+//!
+//! ```text
+//!            step at er_min                 exit from er_exit
+//!   Idle ───────────────────▶ Running ───────────────────────▶ Done
+//!    ▲                          │                               │
+//!    └───────── any violation ──┴────── OR/ER tampering ────────┘
+//!                      (EXEC := 0)
+//! ```
+//!
+//! `EXEC` is set on legal entry and survives into `Done`; every violation
+//! clears it and returns the FSM to `Idle`. The attestation quote binds the
+//! flag, so a cleared flag is visible to the verifier.
+
+use crate::metadata::PoxConfig;
+use crate::violation::Violation;
+use msp430::cpu::Step;
+use msp430::mem::Access;
+
+/// Monitor phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// No attested execution in progress.
+    Idle,
+    /// Executing inside ER with EXEC tentatively set.
+    Running,
+    /// Execution completed legally; EXEC latched (until tampering).
+    Done,
+}
+
+/// The APEX monitor.
+#[derive(Clone, Debug)]
+pub struct ApexMonitor {
+    cfg: PoxConfig,
+    phase: Phase,
+    exec: bool,
+    violation: Option<Violation>,
+}
+
+impl ApexMonitor {
+    /// A monitor armed with `cfg`, in `Idle` with EXEC clear.
+    #[must_use]
+    pub fn new(cfg: PoxConfig) -> Self {
+        Self { cfg, phase: Phase::Idle, exec: false, violation: None }
+    }
+
+    /// The configured regions.
+    #[must_use]
+    pub fn config(&self) -> &PoxConfig {
+        &self.cfg
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The EXEC flag as the attestation quote would report it now.
+    ///
+    /// While the monitor is still in `Running` the operation has not
+    /// completed — a quote taken then (only possible if the op hung, e.g.
+    /// in an instrumentation abort spin) must not claim a finished
+    /// execution, so this reports `false` until the legal exit.
+    #[must_use]
+    pub fn exec(&self) -> bool {
+        self.exec && self.phase != Phase::Running
+    }
+
+    /// First violation since the last reset, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<Violation> {
+        self.violation
+    }
+
+    /// Clears state for a fresh run (like rebooting the monitor).
+    pub fn reset(&mut self) {
+        self.phase = Phase::Idle;
+        self.exec = false;
+        self.violation = None;
+    }
+
+    fn violate(&mut self, v: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(v);
+        }
+        self.exec = false;
+        self.phase = Phase::Idle;
+    }
+
+    /// Feeds one executed CPU step (instruction or interrupt entry).
+    pub fn observe_step(&mut self, step: &Step) {
+        // Interrupt entries execute no ER instruction; they only matter as a
+        // violation during Running, plus their stack pushes hit the bus.
+        if let Some(vector) = step.irq {
+            if self.phase == Phase::Running {
+                self.violate(Violation::IrqDuringExec { vector });
+            }
+            self.check_writes(step, false);
+            return;
+        }
+
+        // Phase entry transitions keyed on the executed instruction address.
+        let pc_in_er = self.cfg.in_er(step.pc);
+        match self.phase {
+            Phase::Idle | Phase::Done => {
+                if pc_in_er {
+                    if step.pc == self.cfg.er_min {
+                        self.phase = Phase::Running;
+                        self.exec = true;
+                        self.violation = None;
+                    } else {
+                        self.violate(Violation::EntryNotAtStart { at: step.pc });
+                    }
+                }
+            }
+            Phase::Running => {
+                if !pc_in_er {
+                    // Defensive: callers normally cannot reach this (the
+                    // exit transition below fires first).
+                    self.violate(Violation::ExitNotAtEnd { from: step.pc, to: step.pc });
+                }
+            }
+        }
+
+        let attested_writer = self.phase == Phase::Running && self.cfg.in_er(step.pc);
+        self.check_writes(step, attested_writer);
+
+        // Exit transition.
+        if self.phase == Phase::Running && !self.cfg.in_er(step.next_pc) {
+            if step.pc == self.cfg.er_exit {
+                self.phase = Phase::Done;
+            } else {
+                self.violate(Violation::ExitNotAtEnd { from: step.pc, to: step.next_pc });
+            }
+        }
+    }
+
+    /// Feeds DMA bus events (DMA is an independent bus master).
+    pub fn observe_dma(&mut self, events: &[Access]) {
+        if events.is_empty() {
+            return;
+        }
+        if self.phase == Phase::Running {
+            self.violate(Violation::DmaDuringExec { addr: events[0].addr });
+            return;
+        }
+        for a in events {
+            if self.touches_er(a) {
+                self.violate(Violation::WriteToEr { addr: a.addr });
+            } else if self.touches_or(a) {
+                self.violate(Violation::OrWriteOutsideExec { addr: a.addr, pc: None });
+            }
+        }
+    }
+
+    /// Reports a CPU fault at `at` (invalid opcode); inside ER this aborts
+    /// the attested execution.
+    pub fn observe_fault(&mut self, at: u16) {
+        if self.phase == Phase::Running {
+            self.violate(Violation::FaultInEr { at });
+        }
+    }
+
+    fn touches_er(&self, a: &Access) -> bool {
+        self.cfg.in_er(a.addr) || (a.word && self.cfg.in_er(a.addr.wrapping_add(1)))
+    }
+
+    fn touches_or(&self, a: &Access) -> bool {
+        self.cfg.in_or(a.addr) || (a.word && self.cfg.in_or(a.addr.wrapping_add(1)))
+    }
+
+    fn check_writes(&mut self, step: &Step, attested_writer: bool) {
+        let writes: Vec<Access> = step.writes().copied().collect();
+        for w in writes {
+            if self.touches_er(&w) {
+                self.violate(Violation::WriteToEr { addr: w.addr });
+            } else if self.touches_or(&w) && !attested_writer {
+                self.violate(Violation::OrWriteOutsideExec { addr: w.addr, pc: Some(step.pc) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430::cpu::Cpu;
+    use msp430::mem::Bus;
+    use msp430::platform::Platform;
+    use msp430_asm::assemble;
+
+    const ER_MIN: u16 = 0xE000;
+    const OR_MIN: u16 = 0x0600;
+    const OR_MAX: u16 = 0x06FE;
+
+    /// Assembles an operation whose last instruction is `ret`, places a
+    /// caller at 0xF000 and runs it under the monitor.
+    fn run_op(body: &str, caller_tamper: Option<&str>) -> (ApexMonitor, Cpu, Platform) {
+        let src = format!(
+            ".org 0xE000\nop_start:\n{body}\nop_end: ret\n"
+        );
+        let img = assemble(&src).unwrap();
+        let (_, er_max_addr) = img.extent().unwrap();
+        let er_exit = img.symbol("op_end").unwrap();
+        let cfg = PoxConfig::new(ER_MIN, er_max_addr, er_exit, OR_MIN, OR_MAX).unwrap();
+
+        let mut platform = Platform::new();
+        img.load_into_platform(&mut platform);
+        // Caller stub: call #op ; (optional tamper code) ; jmp $
+        let caller = format!(
+            ".org 0xF000\n call #0xE000\n{}\nhalt: jmp halt\n",
+            caller_tamper.unwrap_or("")
+        );
+        let cimg = assemble(&caller).unwrap();
+        cimg.load_into_platform(&mut platform);
+
+        let mut cpu = Cpu::new();
+        cpu.set_reg(msp430::Reg::SP, 0x09FE);
+        cpu.set_pc(0xF000);
+        let mut mon = ApexMonitor::new(cfg);
+        let halt = cimg.symbol("halt").unwrap();
+        for _ in 0..10_000 {
+            if cpu.pc() == halt {
+                break;
+            }
+            match cpu.step(&mut platform) {
+                Ok(step) => mon.observe_step(&step),
+                Err(msp430::CpuFault::Decode { at, .. }) => {
+                    mon.observe_fault(at);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        (mon, cpu, platform)
+    }
+
+    #[test]
+    fn honest_run_sets_exec() {
+        let (mon, _, platform) = run_op(
+            " mov #0x1234, r5\n mov r5, &0x0600\n",
+            None,
+        );
+        assert_eq!(mon.violation(), None);
+        assert!(mon.exec());
+        assert_eq!(mon.phase(), Phase::Done);
+        let mut p = platform;
+        assert_eq!(p.read_word(0x0600), 0x1234);
+    }
+
+    #[test]
+    fn entry_into_middle_clears_exec() {
+        // Caller jumps past the first instruction of ER.
+        let src = ".org 0xE000\nop: nop\n nop\nop_end: ret\n";
+        let img = assemble(src).unwrap();
+        let (_, er_max) = img.extent().unwrap();
+        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
+            .unwrap();
+        let mut platform = Platform::new();
+        img.load_into_platform(&mut platform);
+        let cimg = assemble(".org 0xF000\n call #0xE002\nhalt: jmp halt\n").unwrap();
+        cimg.load_into_platform(&mut platform);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(msp430::Reg::SP, 0x09FE);
+        cpu.set_pc(0xF000);
+        let mut mon = ApexMonitor::new(cfg);
+        for _ in 0..100 {
+            if cpu.pc() == 0xF004 {
+                break;
+            }
+            let s = cpu.step(&mut platform).unwrap();
+            mon.observe_step(&s);
+        }
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::EntryNotAtStart { at: 0xE002 })));
+    }
+
+    #[test]
+    fn early_exit_clears_exec() {
+        // Op jumps straight out of ER before its legal exit.
+        let (mon, _, _) = run_op(" br #0xF004\n nop\n", None);
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::ExitNotAtEnd { .. })));
+    }
+
+    #[test]
+    fn or_write_after_done_clears_exec() {
+        let (mon, _, _) = run_op(
+            " mov #7, &0x0600\n",
+            Some(" mov #0xBAD, &0x0600\n"),
+        );
+        assert!(!mon.exec(), "post-hoc OR tamper must clear EXEC");
+        assert!(matches!(
+            mon.violation(),
+            Some(Violation::OrWriteOutsideExec { addr: 0x0600, pc: Some(_) })
+        ));
+    }
+
+    #[test]
+    fn or_write_before_entry_is_not_fatal_to_later_run() {
+        // Tamper first, then a clean full run: EXEC reflects the clean run.
+        let src = ".org 0xF000\n mov #0xBAD, &0x0600\n call #0xE000\nhalt: jmp halt\n";
+        let img_op = assemble(".org 0xE000\nop: mov #7, &0x0600\nop_end: ret\n").unwrap();
+        let (_, er_max) = img_op.extent().unwrap();
+        let cfg =
+            PoxConfig::new(ER_MIN, er_max, img_op.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
+                .unwrap();
+        let mut platform = Platform::new();
+        img_op.load_into_platform(&mut platform);
+        let cimg = assemble(src).unwrap();
+        cimg.load_into_platform(&mut platform);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(msp430::Reg::SP, 0x09FE);
+        cpu.set_pc(0xF000);
+        let mut mon = ApexMonitor::new(cfg);
+        let halt = cimg.symbol("halt").unwrap();
+        for _ in 0..100 {
+            if cpu.pc() == halt {
+                break;
+            }
+            let s = cpu.step(&mut platform).unwrap();
+            mon.observe_step(&s);
+        }
+        assert!(mon.exec(), "a full clean run after tampering re-sets EXEC");
+    }
+
+    #[test]
+    fn irq_during_exec_clears_exec() {
+        let src = ".org 0xE000\nop: eint\n nop\n nop\nop_end: ret\n";
+        let img = assemble(src).unwrap();
+        let (_, er_max) = img.extent().unwrap();
+        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
+            .unwrap();
+        let mut platform = Platform::new();
+        img.load_into_platform(&mut platform);
+        platform.load_words(0xFFE0 + 2 * 9, &[0xF800]);
+        platform.load_words(0xF800, &[0x1300]); // reti
+        let mut cpu = Cpu::new();
+        cpu.set_reg(msp430::Reg::SP, 0x09FE);
+        cpu.set_pc(0xE000);
+        let mut mon = ApexMonitor::new(cfg);
+        mon.observe_step(&cpu.step(&mut platform).unwrap()); // eint (entry)
+        cpu.raise_irq(9);
+        mon.observe_step(&cpu.step(&mut platform).unwrap()); // irq entry
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::IrqDuringExec { vector: 9 })));
+    }
+
+    #[test]
+    fn dma_during_exec_clears_exec() {
+        let src = ".org 0xE000\nop: nop\n nop\nop_end: ret\n";
+        let img = assemble(src).unwrap();
+        let (_, er_max) = img.extent().unwrap();
+        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
+            .unwrap();
+        let mut platform = Platform::new();
+        img.load_into_platform(&mut platform);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(msp430::Reg::SP, 0x09FE);
+        cpu.set_pc(0xE000);
+        let mut mon = ApexMonitor::new(cfg);
+        mon.observe_step(&cpu.step(&mut platform).unwrap());
+        // Mid-run DMA anywhere (even to innocuous memory) is a violation.
+        let ev = platform.dma_transfer(&msp430::periph::Dma { dst: 0x0300, data: vec![1] });
+        mon.observe_dma(&ev);
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::DmaDuringExec { addr: 0x0300 })));
+    }
+
+    #[test]
+    fn dma_into_or_when_idle_poisons_exec() {
+        let cfg = PoxConfig::new(0xE000, 0xE00F, 0xE00E, OR_MIN, OR_MAX).unwrap();
+        let mut platform = Platform::new();
+        let mut mon = ApexMonitor::new(cfg);
+        let ev = platform.dma_transfer(&msp430::periph::Dma { dst: OR_MIN, data: vec![9] });
+        mon.observe_dma(&ev);
+        assert!(!mon.exec());
+        assert!(matches!(
+            mon.violation(),
+            Some(Violation::OrWriteOutsideExec { pc: None, .. })
+        ));
+    }
+
+    #[test]
+    fn self_modifying_code_clears_exec() {
+        let (mon, _, _) = run_op(" mov #0x4303, &0xE000\n", None);
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::WriteToEr { addr: 0xE000 })));
+    }
+
+    #[test]
+    fn fault_inside_er_clears_exec() {
+        // 0x0000 is an invalid opcode; place it mid-op via .word.
+        let (mon, _, _) = run_op(" nop\n .word 0x0000\n", None);
+        assert!(!mon.exec());
+        assert!(matches!(mon.violation(), Some(Violation::FaultInEr { .. })));
+    }
+
+    #[test]
+    fn reset_rearms_monitor() {
+        let (mut mon, _, _) = run_op(" br #0xF004\n", None);
+        assert!(mon.violation().is_some());
+        mon.reset();
+        assert_eq!(mon.phase(), Phase::Idle);
+        assert_eq!(mon.violation(), None);
+        assert!(!mon.exec());
+    }
+}

@@ -1,0 +1,312 @@
+//! The proof-of-execution protocol: device-side runner/quoter and the
+//! verifier-side check.
+
+use crate::metadata::PoxConfig;
+use crate::monitor::ApexMonitor;
+use crate::violation::Violation;
+use hacl::Digest;
+use msp430::cpu::{Cpu, CpuFault};
+use msp430::platform::Platform;
+use msp430::trace::Trace;
+use vrased::{Challenge, KeyStore, RaVerifier, SwAtt};
+
+/// A proof of execution as shipped to the verifier.
+#[derive(Clone, Debug)]
+pub struct PoxProof {
+    /// Region metadata the proof speaks about.
+    pub cfg: PoxConfig,
+    /// The EXEC flag at quote time.
+    pub exec: bool,
+    /// Claimed OR contents (the attested output, e.g. CF-Log + I-Log).
+    pub or_data: Vec<u8>,
+    /// HMAC over challenge ‖ ER ‖ OR ‖ metadata ‖ EXEC.
+    pub tag: Digest,
+}
+
+/// Outcome of running one attested operation on the device.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Execution trace (instructions, cycles, bus events).
+    pub trace: Trace,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// Why [`PoxProver::run_to`] returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// PC reached the requested stop address.
+    ReachedStop,
+    /// The step budget ran out (e.g. an instrumentation abort spin-loop).
+    StepBudgetExhausted,
+    /// The CPU faulted.
+    Fault(CpuFault),
+}
+
+/// Device-side bundle: MCU + APEX monitor + SW-Att.
+#[derive(Debug)]
+pub struct PoxProver {
+    /// The simulated device.
+    pub platform: Platform,
+    /// The CPU core.
+    pub cpu: Cpu,
+    /// The APEX monitor.
+    pub monitor: ApexMonitor,
+    swatt: SwAtt,
+}
+
+impl PoxProver {
+    /// Builds a device around an existing platform state.
+    #[must_use]
+    pub fn new(platform: Platform, cfg: PoxConfig, keystore: KeyStore) -> Self {
+        Self {
+            platform,
+            cpu: Cpu::new(),
+            monitor: ApexMonitor::new(cfg),
+            swatt: SwAtt::new(keystore),
+        }
+    }
+
+    /// Runs until `stop_pc`, feeding every step (and fault) to the monitor
+    /// and advancing time-based peripherals.
+    pub fn run_to(&mut self, stop_pc: u16, max_steps: usize) -> RunOutcome {
+        let mut trace = Trace::new();
+        for _ in 0..max_steps {
+            if self.cpu.pc() == stop_pc {
+                return RunOutcome { trace, stop: StopReason::ReachedStop };
+            }
+            match self.cpu.step(&mut self.platform) {
+                Ok(step) => {
+                    self.monitor.observe_step(&step);
+                    self.platform.advance(step.cycles);
+                    trace.push(step);
+                }
+                Err(fault) => {
+                    if let CpuFault::Decode { at, .. } = fault {
+                        self.monitor.observe_fault(at);
+                    }
+                    return RunOutcome { trace, stop: StopReason::Fault(fault) };
+                }
+            }
+        }
+        RunOutcome { trace, stop: StopReason::StepBudgetExhausted }
+    }
+
+    /// Performs a DMA transfer as an external master (attack scenarios),
+    /// keeping the monitor in the loop.
+    pub fn dma(&mut self, dma: &msp430::periph::Dma) {
+        let events = self.platform.dma_transfer(dma);
+        self.monitor.observe_dma(&events);
+    }
+
+    /// Delivers the current EXEC flag and OR snapshot under the device key —
+    /// the `XAtt` step of APEX.
+    #[must_use]
+    pub fn prove(&self, challenge: &Challenge) -> PoxProof {
+        let cfg = *self.monitor.config();
+        let exec = self.monitor.exec();
+        let mut extra = Vec::with_capacity(11);
+        extra.extend_from_slice(&cfg.to_metadata_bytes());
+        extra.push(u8::from(exec));
+        let tag = self.swatt.attest_with_extra(
+            &self.platform,
+            challenge,
+            &[(cfg.er_min, cfg.er_max), (cfg.or_min, cfg.or_max)],
+            &extra,
+        );
+        let or_data = self.platform.mem_range(cfg.or_min, cfg.or_max).to_vec();
+        PoxProof { cfg, exec, or_data, tag }
+    }
+
+    /// The monitor's first violation, if any (diagnostics).
+    #[must_use]
+    pub fn violation(&self) -> Option<Violation> {
+        self.monitor.violation()
+    }
+}
+
+/// Verifier-side PoX check.
+#[derive(Clone, Debug)]
+pub struct PoxVerifier {
+    ra: RaVerifier,
+    expected_er: Vec<u8>,
+    cfg: PoxConfig,
+}
+
+impl PoxVerifier {
+    /// A verifier expecting `expected_er` (the instrumented executable's
+    /// bytes, `er_min..=er_max`) in the configured region.
+    #[must_use]
+    pub fn new(keystore: KeyStore, cfg: PoxConfig, expected_er: Vec<u8>) -> Self {
+        Self { ra: RaVerifier::new(keystore), expected_er, cfg }
+    }
+
+    /// Checks a proof: correct code, correct regions, EXEC set, and an
+    /// authentic OR. Returns the verified OR bytes on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on failure.
+    pub fn verify(
+        &self,
+        proof: &PoxProof,
+        challenge: &Challenge,
+    ) -> Result<Vec<u8>, &'static str> {
+        if proof.cfg != self.cfg {
+            return Err("region metadata mismatch");
+        }
+        if !proof.exec {
+            return Err("EXEC flag clear: no valid proof of execution");
+        }
+        let er_len = usize::from(self.cfg.er_max - self.cfg.er_min) + 1;
+        if self.expected_er.len() != er_len {
+            return Err("expected ER image length mismatch");
+        }
+        if proof.or_data.len() != self.cfg.or_len() {
+            return Err("OR snapshot length mismatch");
+        }
+        // Rebuild the memory the tag must have covered.
+        let mut expected = Platform::new();
+        expected.load_bytes(self.cfg.er_min, &self.expected_er);
+        expected.load_bytes(self.cfg.or_min, &proof.or_data);
+        let mut extra = Vec::with_capacity(11);
+        extra.extend_from_slice(&self.cfg.to_metadata_bytes());
+        extra.push(1u8);
+        let ok = self.ra.check_with_extra(
+            &expected,
+            challenge,
+            &[(self.cfg.er_min, self.cfg.er_max), (self.cfg.or_min, self.cfg.or_max)],
+            &extra,
+            &proof.tag,
+        );
+        if ok {
+            Ok(proof.or_data.clone())
+        } else {
+            Err("MAC verification failed (code or output tampered)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430::regs::Reg;
+    use msp430_asm::assemble;
+
+    fn build(src_op: &str) -> (PoxProver, PoxVerifier, u16) {
+        let img = assemble(src_op).unwrap();
+        let (er_min, er_max) = img.extent().unwrap();
+        let cfg = PoxConfig::new(
+            er_min,
+            er_max,
+            img.symbol("op_end").unwrap(),
+            0x0600,
+            0x06FE,
+        )
+        .unwrap();
+        let mut platform = Platform::new();
+        img.load_into_platform(&mut platform);
+        let caller = assemble(".org 0xF000\n call #0xE000\nhalt: jmp halt\n").unwrap();
+        caller.load_into_platform(&mut platform);
+        let ks = KeyStore::from_seed(42);
+
+        let mut er_bytes = vec![0u8; usize::from(er_max - er_min) + 1];
+        for (a, b) in img.iter() {
+            if a >= er_min && a <= er_max {
+                er_bytes[usize::from(a - er_min)] = b;
+            }
+        }
+        let prover = {
+            let mut p = PoxProver::new(platform, cfg, ks.clone());
+            p.cpu.set_reg(Reg::SP, 0x09FE);
+            p.cpu.set_pc(0xF000);
+            p
+        };
+        let verifier = PoxVerifier::new(ks, cfg, er_bytes);
+        (prover, verifier, caller.symbol("halt").unwrap())
+    }
+
+    const OP: &str = ".org 0xE000\nop: mov #0xBEEF, &0x0600\nop_end: ret\n";
+
+    #[test]
+    fn honest_run_verifies_and_or_is_returned() {
+        let (mut prover, verifier, halt) = build(OP);
+        let out = prover.run_to(halt, 1000);
+        assert_eq!(out.stop, StopReason::ReachedStop);
+        let chal = Challenge::derive(b"pox", 0);
+        let proof = prover.prove(&chal);
+        let or = verifier.verify(&proof, &chal).expect("valid proof");
+        assert_eq!(u16::from_le_bytes([or[0], or[1]]), 0xBEEF);
+    }
+
+    #[test]
+    fn without_execution_no_proof() {
+        let (prover, verifier, _) = build(OP);
+        let chal = Challenge::derive(b"pox", 1);
+        let proof = prover.prove(&chal);
+        assert_eq!(verifier.verify(&proof, &chal), Err("EXEC flag clear: no valid proof of execution"));
+    }
+
+    #[test]
+    fn forged_or_rejected() {
+        let (mut prover, verifier, halt) = build(OP);
+        prover.run_to(halt, 1000);
+        let chal = Challenge::derive(b"pox", 2);
+        let mut proof = prover.prove(&chal);
+        proof.or_data[0] ^= 1;
+        assert!(verifier.verify(&proof, &chal).is_err());
+    }
+
+    #[test]
+    fn forged_exec_flag_rejected() {
+        // Run illegally (jump into middle), then claim exec=1.
+        let (mut prover, verifier, halt) = build(OP);
+        prover.cpu.set_pc(0xE002); // skip first instruction → EntryNotAtStart
+        prover.run_to(halt, 1000);
+        let chal = Challenge::derive(b"pox", 3);
+        let mut proof = prover.prove(&chal);
+        assert!(!proof.exec);
+        proof.exec = true; // forging the flag without the key
+        assert!(verifier.verify(&proof, &chal).is_err(), "flag is MAC-bound");
+    }
+
+    #[test]
+    fn modified_code_rejected() {
+        let (mut prover, verifier, halt) = build(OP);
+        // Malware patches the op before execution (writes to ER also clear
+        // EXEC, but even a run that somehow kept EXEC would fail the MAC).
+        prover.platform.load_words(0xE002, &[0xBEEF ^ 0x1111]);
+        prover.run_to(halt, 1000);
+        let chal = Challenge::derive(b"pox", 4);
+        let proof = prover.prove(&chal);
+        assert!(verifier.verify(&proof, &chal).is_err());
+    }
+
+    #[test]
+    fn dma_attack_during_run_rejected() {
+        let (mut prover, verifier, halt) = build(OP);
+        // Enter the op (one caller step + one op step), then DMA mid-run.
+        prover.run_to(0xE000, 10);
+        let out = prover.run_to(0xE006, 1); // one op instruction
+        assert_eq!(out.stop, StopReason::StepBudgetExhausted);
+        prover.dma(&msp430::periph::Dma { dst: 0x0604, data: vec![0xFF] });
+        prover.run_to(halt, 1000);
+        let chal = Challenge::derive(b"pox", 5);
+        let proof = prover.prove(&chal);
+        assert_eq!(
+            verifier.verify(&proof, &chal),
+            Err("EXEC flag clear: no valid proof of execution")
+        );
+        assert!(matches!(prover.violation(), Some(Violation::DmaDuringExec { .. })));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut prover, verifier, halt) = build(OP);
+        prover.run_to(halt, 1000);
+        let chal0 = Challenge::derive(b"pox", 6);
+        let proof = prover.prove(&chal0);
+        let chal1 = Challenge::derive(b"pox", 7);
+        assert!(verifier.verify(&proof, &chal1).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! EXEC-invalidating events.
+
+use std::fmt;
+
+/// Why the APEX monitor cleared (or never set) the EXEC flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// Control entered ER at an address other than `er_min`.
+    EntryNotAtStart {
+        /// Where control actually entered.
+        at: u16,
+    },
+    /// Control left ER from an instruction other than the designated exit.
+    ExitNotAtEnd {
+        /// Address of the instruction that left ER.
+        from: u16,
+        /// Where control went.
+        to: u16,
+    },
+    /// An interrupt was serviced while executing inside ER.
+    IrqDuringExec {
+        /// Vector number.
+        vector: u8,
+    },
+    /// DMA activity while executing inside ER.
+    DmaDuringExec {
+        /// First DMA-touched address.
+        addr: u16,
+    },
+    /// A write landed inside ER (self-modification or external).
+    WriteToEr {
+        /// Target address.
+        addr: u16,
+    },
+    /// OR was written by code outside ER, or outside the execution window.
+    OrWriteOutsideExec {
+        /// Target address.
+        addr: u16,
+        /// PC of the writer (`None` for DMA).
+        pc: Option<u16>,
+    },
+    /// The CPU faulted (invalid opcode) inside ER.
+    FaultInEr {
+        /// Fault address.
+        at: u16,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::EntryNotAtStart { at } => write!(f, "entry into ER at {at:#06x} ≠ er_min"),
+            Violation::ExitNotAtEnd { from, to } => {
+                write!(f, "exit from ER at {from:#06x} → {to:#06x} before completion")
+            }
+            Violation::IrqDuringExec { vector } => {
+                write!(f, "interrupt {vector} serviced during attested execution")
+            }
+            Violation::DmaDuringExec { addr } => {
+                write!(f, "dma touched {addr:#06x} during attested execution")
+            }
+            Violation::WriteToEr { addr } => write!(f, "write into ER at {addr:#06x}"),
+            Violation::OrWriteOutsideExec { addr, pc } => match pc {
+                Some(pc) => write!(f, "OR write at {addr:#06x} from pc {pc:#06x} outside ER"),
+                None => write!(f, "OR write at {addr:#06x} by DMA"),
+            },
+            Violation::FaultInEr { at } => write!(f, "cpu fault inside ER at {at:#06x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let v = Violation::ExitNotAtEnd { from: 0xE010, to: 0xF000 };
+        assert!(v.to_string().contains("0xe010"));
+        let v = Violation::OrWriteOutsideExec { addr: 0x600, pc: None };
+        assert!(v.to_string().contains("DMA"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Evaluation workloads: the three real-world embedded operations the
+//! DIALED paper measures (Section V-B), ported to our MSP430 assembly.
+//!
+//! | App | Origin | Character |
+//! |---|---|---|
+//! | [`syringe_pump`] | OpenSyringePump | command parsing + safety check + actuation delay loops (control-flow heavy) |
+//! | [`fire_sensor`] | Grove temp/humi sensor sketch | ADC sampling + fixed-point scaling + alarm (data-input heavy, small) |
+//! | [`ultrasonic_ranger`] | Grove ultrasonic ranger sketch | trigger + echo poll loop + division (input *and* control-flow heavy) |
+//!
+//! Each module provides the safe operation source, attack-vulnerable
+//! variants where the paper defines them (Fig. 1 control-flow bug, Fig. 2
+//! data-only bug for the syringe pump), nominal peripheral stimuli, the
+//! app's verifier policies, and a [`Scenario`] descriptor the figure
+//! harnesses iterate over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fire_sensor;
+pub mod syringe_pump;
+pub mod ultrasonic_ranger;
+
+use dialed::pipeline::{BuildOptions, InstrumentMode, InstrumentedOp};
+use dialed::policy::Policy;
+use msp430::platform::Platform;
+
+/// OR region shared by all three applications (2 KiB, like the paper's
+/// largest logs).
+pub const OR_MIN: u16 = 0x0400;
+/// Last OR byte.
+pub const OR_MAX: u16 = 0x0BFF;
+/// Stack top the canonical caller establishes.
+pub const STACK_TOP: u16 = 0x11FC;
+/// Globals base address used by the apps.
+pub const GLOBALS: u16 = 0x0300;
+
+/// Standard build options for the evaluation apps.
+#[must_use]
+pub fn app_build_options(mode: InstrumentMode) -> BuildOptions {
+    BuildOptions {
+        or_min: OR_MIN,
+        or_max: OR_MAX,
+        mode,
+        stack_top: STACK_TOP,
+        ..BuildOptions::default()
+    }
+}
+
+/// A self-describing evaluation scenario: everything the figure harnesses
+/// need to build, stimulate, run and verify one application.
+pub struct Scenario {
+    /// Short name ("SyringePump", …) as used in the paper's figures.
+    pub name: &'static str,
+    /// Operation source (safe variant).
+    pub source: &'static str,
+    /// Entry label.
+    pub op_label: &'static str,
+    /// Arguments passed in `r8..r15`.
+    pub args: [u16; 8],
+    /// Applies nominal peripheral stimuli.
+    pub feed: fn(&mut Platform),
+    /// Verifier policies for this app.
+    pub policies: fn() -> Vec<Box<dyn Policy>>,
+}
+
+impl Scenario {
+    /// Builds the op in the requested instrumentation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app source fails to build (a bug in this crate).
+    #[must_use]
+    pub fn build(&self, mode: InstrumentMode) -> InstrumentedOp {
+        InstrumentedOp::build(self.source, self.op_label, &app_build_options(mode))
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", self.name))
+    }
+}
+
+/// The three paper scenarios in figure order.
+#[must_use]
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        syringe_pump::scenario(),
+        fire_sensor::scenario(),
+        ultrasonic_ranger::scenario(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_in_all_modes() {
+        for s in scenarios() {
+            for mode in [InstrumentMode::Original, InstrumentMode::CfaOnly, InstrumentMode::Full] {
+                let op = s.build(mode);
+                assert!(op.code_size() > 0, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instrumentation_grows_monotonically() {
+        for s in scenarios() {
+            let orig = s.build(InstrumentMode::Original).code_size();
+            let cfa = s.build(InstrumentMode::CfaOnly).code_size();
+            let full = s.build(InstrumentMode::Full).code_size();
+            assert!(orig < cfa && cfa < full, "{}: {orig} {cfa} {full}", s.name);
+        }
+    }
+}

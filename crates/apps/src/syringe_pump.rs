@@ -1,0 +1,399 @@
+//! The syringe-pump application (OpenSyringePump port) — the paper's
+//! running example.
+//!
+//! The operation receives a `[index, new_setting]` command from the
+//! network (UART), updates the dosage settings table, computes the dose,
+//! and — after the safety check `dose < 10` — actuates port 1 of `P3OUT`
+//! for a time proportional to the dose.
+//!
+//! Three variants:
+//!
+//! * [`SOURCE`] — safe: bounds-checks `index` (no known bugs);
+//! * [`SOURCE_VULN_DF`] — the paper's **Fig. 2** data-only bug: the
+//!   `index` bounds check is missing, so `settings[8]` overwrites the
+//!   adjacent `set` global (actuation mask) without touching control flow;
+//! * [`SOURCE_VULN_CF`] — the paper's **Fig. 1** control-flow bug:
+//!   `parse_commands` copies a length-prefixed packet into a fixed 10-byte
+//!   stack buffer, so an oversized packet overwrites the return address
+//!   and can jump straight to the actuation code, skipping the dose check.
+
+use crate::{Scenario, GLOBALS};
+use dialed::policy::{ActuationPulse, GlobalWriteBounds, Policy};
+use msp430::platform::Platform;
+
+/// Address of the 8-word `settings` table.
+pub const SETTINGS_ADDR: u16 = GLOBALS;
+/// Address of the `set` actuation-mask global (adjacent to `settings` —
+/// that adjacency is what Fig. 2 exploits).
+pub const SET_ADDR: u16 = GLOBALS + 16;
+/// `P3OUT` actuation port.
+pub const P3OUT: u16 = 0x0019;
+/// Iterations of the inner delay loop per dose unit.
+pub const DELAY_UNIT: u16 = 50;
+/// Actuation-pulse bound for the verifier: legal doses (≤ 9) pulse for at
+/// most ~7.4k cycles on the fully instrumented build (measured: dose 5 ≈
+/// 4.1k, dose 9 ≈ 7.4k, the Fig. 1 attack's dose 14 ≈ 11.4k).
+pub const MAX_PULSE_CYCLES: u64 = 8_200;
+
+/// Safe operation source.
+pub const SOURCE: &str = r#"
+        .equ P3OUT,      0x0019
+        .equ UART_RX,    0x0066
+        .equ UART_TX,    0x0067
+        .equ SETTINGS,   0x0300
+        .equ SET_G,      0x0310
+        .equ DELAY_UNIT, 50
+
+        ; default settings produce dose = 5; set = 0x1 actuates port 1
+        .org 0x0300
+settings_data:
+        .word 5, 5, 5, 5, 5, 5, 5, 5
+set_data:
+        .word 1
+
+        .org 0xE000
+syringe_op:
+        ; receive [index, new_setting] from the network
+        mov.b &UART_RX, r10
+        mov.b #0, &UART_RX          ; ack
+        mov.b &UART_RX, r11
+        mov.b #0, &UART_RX          ; ack
+        ; safety: index must address settings[0..7]
+        cmp #8, r10
+        jhs sp_done
+        rla r10
+        mov #SETTINGS, r15
+        add r10, r15
+        mov r11, 0(r15)             ; settings[index] = new_setting
+        call #define_dosage         ; r12 = dose
+        cmp #10, r12                ; safety check preventing overdose
+        jhs sp_done
+sp_inject:
+        mov &SET_G, r13
+        mov.b r13, &P3OUT           ; actuate
+        mov r12, r14
+sp_outer:
+        mov #DELAY_UNIT, r13
+sp_inner:
+        dec r13
+        jnz sp_inner
+        dec r14
+        jnz sp_outer
+        mov.b #0, &P3OUT
+sp_done:
+        mov.b r12, &UART_TX         ; report administered dose
+        jmp sp_exit
+
+define_dosage:
+        mov #SETTINGS, r15
+        clr r12
+        mov #8, r13
+dd_loop:
+        add @r15+, r12
+        dec r13
+        jnz dd_loop
+        rra r12
+        rra r12
+        rra r12
+        ret
+
+sp_exit:
+        ret                         ; single toplevel exit (er_exit)
+"#;
+
+/// Fig. 2 variant: identical, minus the `index` bounds check.
+pub const SOURCE_VULN_DF: &str = r#"
+        .equ P3OUT,      0x0019
+        .equ UART_RX,    0x0066
+        .equ UART_TX,    0x0067
+        .equ SETTINGS,   0x0300
+        .equ SET_G,      0x0310
+        .equ DELAY_UNIT, 50
+
+        .org 0x0300
+settings_data:
+        .word 5, 5, 5, 5, 5, 5, 5, 5
+set_data:
+        .word 1
+
+        .org 0xE000
+syringe_op:
+        mov.b &UART_RX, r10
+        mov.b #0, &UART_RX
+        mov.b &UART_RX, r11
+        mov.b #0, &UART_RX
+        ; (the index bounds check is missing — Fig. 2's bug)
+        rla r10
+        mov #SETTINGS, r15
+        add r10, r15
+        mov r11, 0(r15)             ; settings[index] = new_setting
+        call #define_dosage
+        cmp #10, r12
+        jhs sp_done
+sp_inject:
+        mov &SET_G, r13
+        mov.b r13, &P3OUT
+        mov r12, r14
+sp_outer:
+        mov #DELAY_UNIT, r13
+sp_inner:
+        dec r13
+        jnz sp_inner
+        dec r14
+        jnz sp_outer
+        mov.b #0, &P3OUT
+sp_done:
+        mov.b r12, &UART_TX
+        jmp sp_exit
+
+define_dosage:
+        mov #SETTINGS, r15
+        clr r12
+        mov #8, r13
+dd_loop:
+        add @r15+, r12
+        dec r13
+        jnz dd_loop
+        rra r12
+        rra r12
+        rra r12
+        ret
+
+sp_exit:
+        ret                         ; single toplevel exit (er_exit)
+"#;
+
+/// Fig. 1 variant: `parse_commands` copies a length-prefixed packet into a
+/// 10-byte stack buffer with no bounds check.
+pub const SOURCE_VULN_CF: &str = r#"
+        .equ P3OUT,      0x0019
+        .equ UART_RX,    0x0066
+        .equ UART_TX,    0x0067
+        .equ SET_G,      0x0310
+        .equ DELAY_UNIT, 50
+
+        .org 0x0310
+set_data:
+        .word 1
+
+        .org 0xE000
+syringe_op:
+        call #parse_commands        ; r12 = requested dose
+        cmp #10, r12                ; safety check preventing overdose
+        jhs spc_done
+spc_inject:
+        mov &SET_G, r13
+        mov.b r13, &P3OUT
+        mov r12, r14
+spc_outer:
+        mov #DELAY_UNIT, r13
+spc_inner:
+        dec r13
+        jnz spc_inner
+        dec r14
+        jnz spc_outer
+        mov.b #0, &P3OUT
+spc_done:
+        mov.b r12, &UART_TX
+        jmp spc_exit
+
+parse_commands:
+        sub #10, r1                 ; int copy_of_commands[5]
+        mov.b &UART_RX, r10         ; packet length (bytes)
+        mov.b #0, &UART_RX
+        mov r1, r15
+pc_copy:
+        tst r10
+        jz pc_parsed
+        mov.b &UART_RX, r11
+        mov.b #0, &UART_RX
+        mov.b r11, 0(r15)           ; memcpy with no bounds check (Fig. 1)
+        inc r15
+        dec r10
+        jmp pc_copy
+pc_parsed:
+        mov.b 0(r1), r12            ; dose = commands[0]
+        add #10, r1
+        ret
+
+spc_exit:
+        ret                         ; single toplevel exit (er_exit)
+"#;
+
+/// Nominal stimulus: set `settings[2] = 5` (keeps dose at 5).
+pub fn feed_nominal(platform: &mut Platform) {
+    platform.uart.feed(&[2, 5]);
+}
+
+/// Fig. 2 attack packet: `index = 8` reaches `set`; `new_setting = 0`
+/// silently disables actuation.
+pub fn feed_attack_df(platform: &mut Platform) {
+    platform.uart.feed(&[8, 0]);
+}
+
+/// Nominal packet for the Fig. 1 variant: 1-byte payload, dose 5.
+pub fn feed_nominal_cf(platform: &mut Platform) {
+    platform.uart.feed(&[1, 5]);
+}
+
+/// Fig. 1 attack packet for the `parse_commands` overflow: 12 bytes, the
+/// last word overwriting the return address with `target` (the address of
+/// the post-check actuation code), byte 0 carrying the overdose.
+#[must_use]
+pub fn attack_packet_cf(target: u16) -> Vec<u8> {
+    let mut pkt = vec![12u8];
+    pkt.push(14); // dose = 14: overdose
+    pkt.extend_from_slice(&[0; 9]); // filler through the buffer
+    pkt.push((target & 0xFF) as u8); // overwrite saved return address
+    pkt.push((target >> 8) as u8);
+    pkt
+}
+
+/// Verifier policies for this app.
+#[must_use]
+pub fn policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(GlobalWriteBounds::new(vec![
+            (SETTINGS_ADDR, SETTINGS_ADDR + 15), // the settings table
+            (P3OUT, P3OUT),                      // actuation port
+            (0x0066, 0x0067),                    // UART ack + TX
+        ])),
+        Box::new(ActuationPulse::new(P3OUT, MAX_PULSE_CYCLES)),
+    ]
+}
+
+/// The figure-harness scenario (safe variant).
+#[must_use]
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "SyringePump",
+        source: SOURCE,
+        op_label: "syringe_op",
+        args: [0; 8],
+        feed: feed_nominal,
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_build_options;
+    use apex::pox::StopReason;
+    use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+    use dialed::prelude::*;
+
+    fn full() -> InstrumentedOp {
+        InstrumentedOp::build(SOURCE, "syringe_op", &app_build_options(InstrumentMode::Full))
+            .unwrap()
+    }
+
+    fn verify_run(
+        op: InstrumentedOp,
+        feed: impl FnOnce(&mut Platform),
+    ) -> (Report, DialedDevice) {
+        let ks = KeyStore::from_seed(21);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        feed(dev.platform_mut());
+        let info = dev.invoke(&[0; 8]);
+        assert_eq!(info.stop, StopReason::ReachedStop, "{:?}", dev.violation());
+        let chal = Challenge::derive(b"sp", 0);
+        let proof = dev.prove(&chal);
+        let mut verifier = DialedVerifier::new(op, ks);
+        for p in policies() {
+            verifier = verifier.with_policy(p);
+        }
+        (verifier.verify(&proof, &chal), dev)
+    }
+
+    #[test]
+    fn nominal_run_is_clean_and_actuates() {
+        let (report, dev) = verify_run(full(), feed_nominal);
+        assert!(report.is_clean(), "{report}");
+        // Dose 5 was reported over UART.
+        assert_eq!(dev.platform().uart.tx, vec![5]);
+    }
+
+    #[test]
+    fn fig2_data_only_attack_detected_without_annotations() {
+        let op = InstrumentedOp::build(
+            SOURCE_VULN_DF,
+            "syringe_op",
+            &app_build_options(InstrumentMode::Full),
+        )
+        .unwrap();
+        let (report, dev) = verify_run(op, feed_attack_df);
+        // The attack changes no control flow and the proof itself is valid…
+        assert_eq!(report.verdict, Verdict::Attack, "{report}");
+        // …but the reconstruction exposes the out-of-bounds settings write.
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                Finding::OutOfBoundsWrite { addr, .. } if *addr == SET_ADDR
+            )),
+            "{report}"
+        );
+        // And indeed no medicine was injected on the device (set == 0).
+        assert_eq!(dev.platform().gpio.p3.output, 0);
+    }
+
+    #[test]
+    fn fig2_vulnerable_op_with_benign_input_is_clean() {
+        let op = InstrumentedOp::build(
+            SOURCE_VULN_DF,
+            "syringe_op",
+            &app_build_options(InstrumentMode::Full),
+        )
+        .unwrap();
+        let (report, _) = verify_run(op, feed_nominal);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn fig1_control_flow_attack_detected() {
+        let op = InstrumentedOp::build(
+            SOURCE_VULN_CF,
+            "syringe_op",
+            &app_build_options(InstrumentMode::Full),
+        )
+        .unwrap();
+        let inject = op.image.symbol("spc_inject").unwrap();
+        let (report, _) = verify_run(op, |p| p.uart.feed(&attack_packet_cf(inject)));
+        assert_eq!(report.verdict, Verdict::Attack, "{report}");
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f,
+                Finding::ReturnHijack { actual, .. } if *actual == inject
+            )),
+            "shadow stack must catch the hijack: {report}"
+        );
+        assert!(
+            report.findings.iter().any(|f| matches!(f, Finding::ActuationViolation { .. })),
+            "the overdose itself must also be flagged: {report}"
+        );
+    }
+
+    #[test]
+    fn fig1_vulnerable_op_with_benign_packet_is_clean() {
+        let op = InstrumentedOp::build(
+            SOURCE_VULN_CF,
+            "syringe_op",
+            &app_build_options(InstrumentMode::Full),
+        )
+        .unwrap();
+        let (report, dev) = verify_run(op, feed_nominal_cf);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(dev.platform().uart.tx, vec![5]);
+    }
+
+    #[test]
+    fn log_fits_or_with_headroom() {
+        let op = full();
+        let ks = KeyStore::from_seed(1);
+        let mut dev = DialedDevice::new(op, ks);
+        feed_nominal(dev.platform_mut());
+        let info = dev.invoke(&[0; 8]);
+        assert!(info.log_bytes_used > 400, "{}", info.log_bytes_used);
+        assert!(info.log_bytes_used < 1600, "{}", info.log_bytes_used);
+    }
+}

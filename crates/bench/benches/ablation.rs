@@ -1,0 +1,111 @@
+//! Ablations for the design choices recorded in DESIGN.md:
+//!
+//! 1. CF-Log coverage: log-all-transfers (paper) vs indirect-only;
+//! 2. F4 read checks: all reads (paper) vs statically skipping `x(sp)`
+//!    stack locals;
+//! 3. the cost of the always-log-8-argument-registers entry block.
+
+use apps::app_build_options;
+use apex::pox::StopReason;
+use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+use dialed::prelude::*;
+use dialed::ReadCheckPolicy;
+use tinycfa::LogPolicy;
+
+fn run(op: InstrumentedOp, s: &apps::Scenario) -> (usize, u64, usize) {
+    let code = op.code_size();
+    let ks = KeyStore::from_seed(7);
+    let mut dev = DialedDevice::new(op, ks);
+    (s.feed)(dev.platform_mut());
+    let info = dev.invoke(&s.args);
+    assert_eq!(info.stop, StopReason::ReachedStop, "{}", s.name);
+    (code, info.cycles, info.log_bytes_used)
+}
+
+fn main() {
+    println!("\nAblation 1 — CF-Log coverage policy (full DIALED builds)\n");
+    println!(
+        "{:<18} {:>22} {:>22}",
+        "Application", "all-transfers (c/cyc/log)", "indirect-only (c/cyc/log)"
+    );
+    println!("{}", "-".repeat(66));
+    for s in apps::scenarios() {
+        let mut all = app_build_options(InstrumentMode::Full);
+        all.cfa_policy = LogPolicy::AllTransfers;
+        let mut ind = all.clone();
+        ind.cfa_policy = LogPolicy::IndirectOnly;
+        let a = run(InstrumentedOp::build(s.source, s.op_label, &all).unwrap(), &s);
+        let b = run(InstrumentedOp::build(s.source, s.op_label, &ind).unwrap(), &s);
+        println!(
+            "{:<18} {:>7}/{:>6}/{:>5} {:>9}/{:>6}/{:>5}",
+            s.name, a.0, a.1, a.2, b.0, b.1, b.2
+        );
+    }
+    println!(
+        "\n  Indirect-only logging shrinks code, cycles and log substantially but\n\
+           makes the verifier reconstruct conditionals from data — only sound\n\
+           when composed with DIALED's I-Log (LiteHAX-style optimisation).\n"
+    );
+
+    println!("Ablation 2 — F4 read-check policy (full DIALED builds)\n");
+    println!(
+        "{:<22} {:>22} {:>22}",
+        "Application", "all-reads (c/cyc/log)", "skip-stack-locals (c/cyc/log)"
+    );
+    println!("{}", "-".repeat(70));
+    // Include the Fig. 1 pump variant: its parse_commands buffer is read
+    // through `0(sp)`, the exact pattern this ablation targets.
+    let mut rows: Vec<(&str, &str, &str, fn(&mut msp430::platform::Platform))> = Vec::new();
+    for s in apps::scenarios() {
+        rows.push((s.name, s.source, s.op_label, s.feed));
+    }
+    rows.push((
+        "SyringePump(Fig1)",
+        apps::syringe_pump::SOURCE_VULN_CF,
+        "syringe_op",
+        apps::syringe_pump::feed_nominal_cf,
+    ));
+    for (name, source, label, feed) in rows {
+        let scenario = apps::Scenario {
+            name: "row",
+            source,
+            op_label: label,
+            args: [0; 8],
+            feed,
+            policies: Vec::new,
+        };
+        let all = app_build_options(InstrumentMode::Full);
+        let mut skip = all.clone();
+        skip.read_policy = ReadCheckPolicy::SkipStackLocals;
+        let a = run(InstrumentedOp::build(source, label, &all).unwrap(), &scenario);
+        let b = run(InstrumentedOp::build(source, label, &skip).unwrap(), &scenario);
+        println!(
+            "{:<22} {:>7}/{:>6}/{:>5} {:>9}/{:>6}/{:>5}",
+            name, a.0, a.1, a.2, b.0, b.1, b.2
+        );
+    }
+    println!(
+        "\n  Skipping statically in-stack `x(sp)` reads saves code and cycles where\n\
+           operations spill to locals (the Fig. 1 pump variant); the evaluation\n\
+           apps themselves keep everything in registers, so they are unchanged.\n"
+    );
+
+    println!("Ablation 3 — F3 entry block (SP + 8 argument registers)\n");
+    for s in apps::scenarios() {
+        let op = s.build(InstrumentMode::Full);
+        // 9 log blocks of 5 instructions each; measure their share.
+        let entry_bytes = 9 * (4 + 2 + 4 + 2); // mov/decd/cmp/jn per slot
+        println!(
+            "  {:<18} entry block ≈ {} B of {} B total code ({:.1}%), 18 B of log",
+            s.name,
+            entry_bytes,
+            op.code_size(),
+            100.0 * f64::from(entry_bytes) / op.code_size() as f64
+        );
+    }
+    println!(
+        "\n  The paper logs all of r8-r15 because arity is unknown at the binary\n\
+           level; the fixed 18-byte log cost is the price of needing no\n\
+           programmer annotation (vs OAT).\n"
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 6(b): runtime in CPU cycles per application for
+//! Original / Tiny-CFA / DIALED builds.
+
+use dialed::pipeline::InstrumentMode;
+use dialed_bench::{measure, pct};
+
+fn main() {
+    println!("\nFig. 6(b) — runtime (CPU cycles)\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>14} {:>16}",
+        "Application", "Original", "Tiny-CFA", "DIALED", "DIALED/CFA", "DIALED vs CFA"
+    );
+    println!("{}", "-".repeat(84));
+    for s in apps::scenarios() {
+        let orig = measure(&s, InstrumentMode::Original).cycles;
+        let cfa = measure(&s, InstrumentMode::CfaOnly).cycles;
+        let full = measure(&s, InstrumentMode::Full).cycles;
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>13.2}x {:>16}",
+            s.name,
+            orig,
+            cfa,
+            full,
+            full as f64 / cfa as f64,
+            pct(full as f64, cfa as f64),
+        );
+    }
+    println!(
+        "\nShape check: instrumentation for CFA dominates the runtime overhead;\n\
+         DIALED's additional data-input logging stays within a small factor of\n\
+         the Tiny-CFA build (paper: 1-20%).\n"
+    );
+}

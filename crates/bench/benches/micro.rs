@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: simulator, crypto, instrumentation and
+//! verification throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dialed::pipeline::InstrumentMode;
+use dialed::prelude::*;
+use msp430::{cpu::Cpu, mem::Ram};
+
+fn bench_simulator(c: &mut Criterion) {
+    // add r10, r10 in a tight loop via jmp.
+    let mut ram = Ram::new();
+    ram.load_words(0xE000, &[0x5A0A, 0x3FFE]); // add ; jmp -2
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("steps_10k", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new();
+            cpu.set_pc(0xE000);
+            for _ in 0..10_000 {
+                std::hint::black_box(cpu.step(&mut ram).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xA5u8; 16 * 1024];
+    let mut group = c.benchmark_group("crypto");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("hmac_sha256_16k", |b| {
+        b.iter(|| std::hint::black_box(hacl::HmacSha256::mac(b"key", &data)));
+    });
+    group.finish();
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let s = apps::syringe_pump::scenario();
+    c.bench_function("instrument_syringe_pump_full", |b| {
+        b.iter(|| std::hint::black_box(s.build(InstrumentMode::Full)));
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let s = apps::fire_sensor::scenario();
+    let op = s.build(InstrumentMode::Full);
+    let ks = KeyStore::from_seed(1);
+    // Pre-run a device once to produce a proof; bench the verifier.
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    (s.feed)(dev.platform_mut());
+    dev.invoke(&s.args);
+    let chal = Challenge::derive(b"micro", 0);
+    let proof = dev.prove(&chal);
+    let mut verifier = DialedVerifier::new(op.clone(), ks.clone());
+    for p in (s.policies)() {
+        verifier = verifier.with_policy(p);
+    }
+    c.bench_function("device_invoke_fire_sensor", |b| {
+        b.iter(|| {
+            let mut dev = DialedDevice::new(op.clone(), ks.clone());
+            (s.feed)(dev.platform_mut());
+            std::hint::black_box(dev.invoke(&s.args));
+        });
+    });
+    c.bench_function("verify_fire_sensor_proof", |b| {
+        b.iter(|| std::hint::black_box(verifier.verify(&proof, &chal)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_crypto,
+    bench_instrumentation,
+    bench_end_to_end
+);
+criterion_main!(benches);

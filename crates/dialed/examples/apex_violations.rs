@@ -1,0 +1,97 @@
+//! A tour of the APEX monitor: the ways an adversary can interfere with an
+//! attested execution, and how each attempt surfaces to the verifier.
+//!
+//! ```text
+//! cargo run -p dialed --example apex_violations
+//! ```
+
+use dialed::prelude::*;
+use msp430::periph::Dma;
+
+const SOURCE: &str = r#"
+        .org 0xE000
+op:
+        mov #0x1234, r10
+        mov r10, &0x0300
+        ret
+"#;
+
+fn fresh(key: &KeyStore) -> (InstrumentedOp, DialedDevice) {
+    let op = InstrumentedOp::build(SOURCE, "op", &BuildOptions::default()).expect("builds");
+    let dev = DialedDevice::new(op.clone(), key.clone());
+    (op, dev)
+}
+
+fn main() {
+    let key = KeyStore::from_seed(3);
+    let mut round = 0u64;
+    println!(
+        "{:<44} {:<6} {:<26} {}",
+        "scenario", "EXEC", "monitor violation", "verdict"
+    );
+    println!("{}", "-".repeat(96));
+    let mut check = |name: &str, op: InstrumentedOp, dev: &DialedDevice| {
+        round += 1;
+        let chal = Challenge::derive(b"tour", round);
+        let proof = dev.prove(&chal);
+        let report = DialedVerifier::new(op, key.clone()).verify(&proof, &chal);
+        let violation = dev
+            .violation()
+            .map_or("-".to_string(), |v| v.to_string().chars().take(26).collect());
+        println!(
+            "{name:<44} {:<6} {:<26} {:?}",
+            proof.pox.exec, violation, report.verdict
+        );
+    };
+
+    // Honest run.
+    let (op, mut dev) = fresh(&key);
+    dev.invoke(&[0; 8]);
+    check("honest execution", op, &dev);
+
+    // DMA fired while the operation runs.
+    let (op, mut dev) = fresh(&key);
+    dev.invoke_with_budget(&[0; 8], 5); // a handful of steps into the op
+    dev.dma(&Dma { dst: 0x0500, data: vec![0xFF] });
+    dev.run_raw(100_000); // let the op finish
+    check("DMA transfer during execution", op, &dev);
+
+    // Jump into the middle of the operation (skipping its entry).
+    let (op, mut dev) = fresh(&key);
+    dev.cpu_mut().set_reg(msp430::Reg::SP, 0x11FC);
+    dev.cpu_mut().set_reg(msp430::Reg::R4, op.r_top());
+    dev.cpu_mut().set_pc(op.op_entry + 4);
+    dev.run_raw(100_000);
+    check("control entered mid-ER (entry skipped)", op, &dev);
+
+    // Interrupt taken mid-execution.
+    let irq_src = r#"
+        .org 0xE000
+op:
+        bis #8, sr
+        mov #1, r10
+        mov #2, r11
+        ret
+"#;
+    let op = InstrumentedOp::build(irq_src, "op", &BuildOptions::default()).expect("builds");
+    let mut dev = DialedDevice::new(op.clone(), key.clone());
+    dev.platform_mut().load_words(0xFFE0 + 18, &[0xF700]);
+    dev.platform_mut().load_words(0xF700, &[0x1300]); // reti
+    dev.cpu_mut().raise_irq(9);
+    dev.invoke(&[0; 8]);
+    check("interrupt serviced during execution", op, &dev);
+
+    // Code patched before the run (static RA catches it even if EXEC held).
+    let (op, mut dev) = fresh(&key);
+    dev.platform_mut().load_words(op.op_entry + 4, &[0x4303]);
+    dev.invoke(&[0; 8]);
+    check("code patched before execution", op, &dev);
+
+    // OR tampered after a clean run (external master).
+    let (op, mut dev) = fresh(&key);
+    dev.invoke(&[0; 8]);
+    dev.dma(&Dma { dst: op.pox.or_min, data: vec![0xAD, 0xDE] });
+    check("OR rewritten after execution (DMA)", op, &dev);
+
+    println!("\nOnly the honest execution yields a verifiable proof.");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: attest a tiny embedded operation end to end.
+//!
+//! ```text
+//! cargo run -p dialed --example quickstart
+//! ```
+//!
+//! The operation reads a GPIO pin (a *data input*), doubles an argument,
+//! and stores the result to a global. We build it with full Tiny-CFA +
+//! DIALED instrumentation, run it on the simulated MSP430 under the APEX
+//! monitor, produce a proof, and verify it — then flip one bit of the
+//! attested log to show the proof break.
+
+use dialed::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An embedded operation in MSP430 assembly. Conventions: entry label
+    // first, one toplevel `ret` last, arguments arrive in r8..r15.
+    let source = r#"
+        .org 0xE000
+demo_op:
+        mov r15, r10            ; argument
+        add r10, r10            ; double it
+        mov.b &0x0020, r11      ; read P1IN — a data input
+        add r11, r10
+        mov r10, &0x0300        ; publish to a global
+        ret
+"#;
+
+    // 1. Instrument (Tiny-CFA + DIALED) and assemble.
+    let op = InstrumentedOp::build(source, "demo_op", &BuildOptions::default())?;
+    println!(
+        "built demo_op: {} bytes of instrumented code, ER {:#06x}..{:#06x}, OR {:#06x}..{:#06x}",
+        op.code_size(),
+        op.pox.er_min,
+        op.pox.er_max,
+        op.pox.or_min,
+        op.pox.or_max
+    );
+
+    // 2. Boot a device sharing a key with the verifier, stimulate, run.
+    let key = KeyStore::from_seed(2024);
+    let mut device = DialedDevice::new(op.clone(), key.clone());
+    device.platform_mut().gpio.p1.input = 0x11;
+    let run = device.invoke(&[0, 0, 0, 0, 0, 0, 0, 21]);
+    println!(
+        "device run: {} instructions, {} cycles, {} log bytes",
+        run.insns, run.cycles, run.log_bytes_used
+    );
+
+    // 3. Attest under a fresh challenge.
+    let challenge = Challenge::derive(b"quickstart", 1);
+    let proof = device.prove(&challenge);
+    println!("proof: EXEC={}, OR snapshot {} bytes", proof.pox.exec, proof.pox.or_data.len());
+
+    // 4. Verify: PoX check + abstract execution + policies.
+    let verifier = DialedVerifier::new(op, key)
+        .with_policy(Box::new(GlobalWriteBounds::new(vec![(0x0300, 0x0301)])));
+    let report = verifier.verify(&proof, &challenge);
+    println!("verification: {report}");
+    assert!(report.is_clean());
+
+    // 5. Any tampering with the attested output breaks the proof.
+    let mut forged = proof.clone();
+    forged.pox.or_data[0] ^= 0x01;
+    let report = verifier.verify(&forged, &challenge);
+    println!("after flipping one OR bit: {report}");
+    assert!(!report.is_clean());
+
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! I-Log / CF-Log breakdown utilities.
+//!
+//! CF-Log and I-Log share one physical stack in OR (F5); this module
+//! derives the logical split from a reconstruction — the quantity behind
+//! the paper's Fig. 6(c) comparison (Tiny-CFA log vs. DIALED log).
+
+use crate::verifier::Emulation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical composition of an operation's attestation log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct LogBreakdown {
+    /// Control-flow entries (Tiny-CFA).
+    pub cf_entries: usize,
+    /// Runtime data-input entries (DIALED F4).
+    pub input_entries: usize,
+    /// Entry-block entries: SP base + 8 argument registers (DIALED F3).
+    pub arg_entries: usize,
+    /// Total bytes of OR consumed.
+    pub bytes_used: usize,
+}
+
+impl LogBreakdown {
+    /// Derives the breakdown from a reconstruction.
+    #[must_use]
+    pub fn from_emulation(emu: &Emulation) -> Self {
+        let (cf_entries, input_entries, arg_entries) = emu.log_counts;
+        let r_top = emu.pox.or_max & !1;
+        Self {
+            cf_entries,
+            input_entries,
+            arg_entries,
+            bytes_used: usize::from(r_top.saturating_sub(emu.final_r4)),
+        }
+    }
+
+    /// Bytes attributable to CFA alone.
+    #[must_use]
+    pub fn cf_bytes(&self) -> usize {
+        self.cf_entries * 2
+    }
+
+    /// Bytes attributable to DFA (inputs + entry block).
+    #[must_use]
+    pub fn dfa_bytes(&self) -> usize {
+        (self.input_entries + self.arg_entries) * 2
+    }
+}
+
+impl fmt::Display for LogBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B used ({} cf + {} input + {} arg entries)",
+            self.bytes_used, self.cf_entries, self.input_entries, self.arg_entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::DialedDevice;
+    use crate::pipeline::{BuildOptions, InstrumentedOp};
+    use crate::verifier::DialedVerifier;
+    use vrased::{Challenge, KeyStore};
+
+    #[test]
+    fn breakdown_accounts_for_every_logged_word() {
+        let src = "\
+            .org 0xE000\nop:\n mov &0x0020, r14\n tst r14\n jz z\n nop\nz:\n ret\n";
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(6);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        dev.platform_mut().gpio.p1.input = 1;
+        dev.invoke(&[0; 8]);
+        let proof = dev.prove(&Challenge::derive(b"b", 0));
+        let emu = DialedVerifier::new(op, ks).reconstruct(&proof.pox.or_data);
+        let b = LogBreakdown::from_emulation(&emu);
+        assert_eq!(b.arg_entries, 9);
+        assert_eq!(b.input_entries, 1);
+        assert_eq!(b.cf_entries, 2, "jz + ret");
+        assert_eq!(b.bytes_used, (9 + 1 + 2) * 2);
+        assert_eq!(b.cf_bytes() + b.dfa_bytes(), b.bytes_used);
+        assert!(b.to_string().contains("24 B used"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The DIALED instrumentation pass: features **F3** (argument logging) and
+//! **F4** (runtime data-input logging).
+//!
+//! Inserted blocks follow the paper's Figs. 4 and 5, adapted as recorded in
+//! DESIGN.md:
+//!
+//! * the log stack is word-granular (`decd r4`, not `dec r4`);
+//! * blocks that clobber condition codes are wrapped in `push sr … pop sr`
+//!   (flag liveness across reads is real in chained-branch code);
+//! * the abort is a branch-to-self spin, identical in effect to the paper's
+//!   jump to `.L11` (execution never reaches the legal ER exit, so EXEC
+//!   never latches);
+//! * every input-log `mov` carries a `__dfa_in_<n>` label; the verifier uses
+//!   those addresses as injection sites during abstract execution.
+
+use msp430::regs::Reg;
+use msp430_asm::{parse_snippet, Expr, Item, Program, SourceLine, Stmt, TOperand, Template};
+use serde::{Deserialize, Serialize};
+use tinycfa::pass::PassError;
+
+/// Prefix of the labels marking input-log instructions.
+pub const INPUT_SITE_PREFIX: &str = "__dfa_in_";
+/// Prefix of the labels marking argument-log instructions (entry block).
+pub const ARG_SITE_PREFIX: &str = "__dfa_arg_";
+
+/// Which memory reads receive runtime stack-range checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum ReadCheckPolicy {
+    /// Every memory read is checked at runtime (paper-faithful F4).
+    #[default]
+    AllReads,
+    /// Reads addressed as `x(sp)` with `x ≥ 0` are assumed in-stack and not
+    /// instrumented — an ablation quantifying the cost of checking stack
+    /// locals.
+    SkipStackLocals,
+}
+
+/// DIALED pass configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DfaConfig {
+    /// First OR byte.
+    pub or_min: u16,
+    /// Last OR byte (inclusive).
+    pub or_max: u16,
+    /// Read-check policy.
+    pub read_policy: ReadCheckPolicy,
+    /// Emit the `r4` entry check (`cmp #R_TOP, r4 ; jne $`). Off by default
+    /// because Tiny-CFA already provides it when the passes are composed.
+    pub entry_check: bool,
+}
+
+impl DfaConfig {
+    /// The initial `R` value (top word slot of OR) — also the address where
+    /// the entry block saves the stack-pointer base.
+    #[must_use]
+    pub fn r_top(&self) -> u16 {
+        self.or_max & !1
+    }
+}
+
+fn expr_uses_here(e: &Expr) -> bool {
+    match e {
+        Expr::Here => true,
+        Expr::Num(_) | Expr::Sym(_) => false,
+        Expr::Add(a, b) | Expr::Sub(a, b) => expr_uses_here(a) || expr_uses_here(b),
+        Expr::Neg(a) => expr_uses_here(a),
+    }
+}
+
+/// Registers an operand *uses as a base* (for scratch avoidance).
+fn base_regs(t: &Template) -> Vec<Reg> {
+    let mut out = Vec::new();
+    let mut add = |o: &TOperand| match o {
+        TOperand::Reg(r)
+        | TOperand::Indexed(_, r)
+        | TOperand::Indirect(r)
+        | TOperand::IndirectInc(r) => out.push(*r),
+        _ => {}
+    };
+    match t {
+        Template::Jcc { .. } => {}
+        Template::One { sd, .. } => add(sd),
+        Template::Two { src, dst, .. } => {
+            add(src);
+            add(dst);
+        }
+    }
+    out
+}
+
+/// Instruments `program` with DIALED's F3+F4. Run *after* the Tiny-CFA pass
+/// (which owns the entry `r4` check and all control-flow instructions).
+///
+/// # Errors
+///
+/// See [`PassError`]; notably reads based on `pc` and `$`-relative
+/// addresses are unsupported.
+pub fn instrument(
+    program: &Program,
+    op_label: &str,
+    cfg: &DfaConfig,
+) -> Result<Program, PassError> {
+    let mut out = Program::new();
+    let mut n = 0usize;
+    let mut found = false;
+    let snip = |text: &str| -> Result<Vec<SourceLine>, PassError> {
+        parse_snippet(text).map_err(|e| PassError::Snippet(e.to_string()))
+    };
+
+    let mut idx = 0usize;
+    while idx < program.lines.len() {
+        let line = &program.lines[idx];
+        match &line.item {
+            Item::Label(l) if l == op_label && !found => {
+                found = true;
+                out.lines.push(line.clone());
+                // Keep Tiny-CFA's entry check (`cmp #R_TOP, r4 ; jne $`)
+                // ahead of our entry block — but nothing else: other
+                // synthetic lines right after the label belong to the first
+                // instruction's instrumentation and must stay after F3.
+                while let Some(next) = program.lines.get(idx + 1) {
+                    if next.synthetic && is_entry_check_line(&next.item) {
+                        out.lines.push(next.clone());
+                        idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.lines.extend(snip(&entry_block_text(cfg))?);
+            }
+            Item::Stmt(Stmt::Insn(t)) if !line.synthetic && !t.alters_control_flow() => {
+                let preserve = msp430_asm::ast::flags_live_from(&program.lines, idx);
+                let reads: Vec<TOperand> = t.memory_reads().into_iter().cloned().collect();
+                for op in &reads {
+                    if let Some(text) =
+                        read_block_text(op, t, &mut n, cfg, line.line, preserve)?
+                    {
+                        out.lines.extend(snip(&text)?);
+                    }
+                }
+                out.lines.push(line.clone());
+            }
+            _ => out.lines.push(line.clone()),
+        }
+        idx += 1;
+    }
+
+    if !found {
+        return Err(PassError::OpLabelNotFound(op_label.to_string()));
+    }
+    Ok(out)
+}
+
+/// Recognises the two lines of Tiny-CFA's entry check: `cmp #K, r4` and the
+/// abort spin `jne $`.
+fn is_entry_check_line(item: &Item) -> bool {
+    match item {
+        Item::Stmt(Stmt::Insn(Template::Two {
+            op: msp430::isa::Op2::Cmp,
+            dst: TOperand::Reg(Reg::R4),
+            ..
+        })) => true,
+        Item::Stmt(Stmt::Insn(Template::Jcc {
+            cond: msp430::isa::Cond::Nz,
+            target: Expr::Here,
+        })) => true,
+        _ => false,
+    }
+}
+
+/// The F3 entry block: optional `r4` check, save SP base at `[R_TOP]`, then
+/// log the eight argument registers `r8`–`r15` (Fig. 4(b)).
+fn entry_block_text(cfg: &DfaConfig) -> String {
+    let mut s = String::new();
+    if cfg.entry_check {
+        s.push_str(&format!(" cmp #{}, r4\n jne $\n", cfg.r_top()));
+    }
+    let or_min = cfg.or_min;
+    // Save the stack pointer to [R_TOP] (the slot r4 points at on entry).
+    s.push_str(&format!(
+        "__dfa_arg_sp:\n mov r1, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
+    ));
+    for (i, reg) in (8..16).enumerate() {
+        s.push_str(&format!(
+            "{ARG_SITE_PREFIX}{i}:\n mov r{reg}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
+        ));
+    }
+    s
+}
+
+/// The F4 read block for one memory operand, or `None` when the policy (or
+/// a static guarantee) says the read cannot be a data input.
+fn read_block_text(
+    op: &TOperand,
+    t: &Template,
+    n: &mut usize,
+    cfg: &DfaConfig,
+    line: usize,
+    preserve: bool,
+) -> Result<Option<String>, PassError> {
+    let or_min = cfg.or_min;
+    let r_top = cfg.r_top();
+    match op {
+        // `@sp` / `@sp+` read the top of the stack — always in-stack.
+        TOperand::Indirect(Reg::R1) | TOperand::IndirectInc(Reg::R1) => Ok(None),
+        TOperand::Indirect(Reg::R0) | TOperand::IndirectInc(Reg::R0) => {
+            Err(PassError::Unsupported {
+                line,
+                msg: "pc-based indirect reads are not instrumentable".into(),
+            })
+        }
+        TOperand::Indirect(Reg::R4) | TOperand::IndirectInc(Reg::R4) => {
+            Err(PassError::ReservedRegister { line })
+        }
+        TOperand::Indirect(r) | TOperand::IndirectInc(r) => {
+            *n += 1;
+            let i = *n;
+            // Runtime range check against [SP, base), then log (Fig. 5(b)).
+            let body = format!(
+                " cmp &{r_top}, {r}\n jhs __dfa{i}_log\n cmp r1, {r}\n jhs __dfa{i}_skip\n__dfa{i}_log:\n{INPUT_SITE_PREFIX}{i}:\n mov @{r}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n__dfa{i}_skip:\n"
+            );
+            Ok(Some(if preserve {
+                format!(" push sr\n{body} pop sr\n")
+            } else {
+                body
+            }))
+        }
+        TOperand::Indexed(e, r) => {
+            if expr_uses_here(e) {
+                return Err(PassError::Unsupported {
+                    line,
+                    msg: "`$`-relative indexed reads are not instrumentable".into(),
+                });
+            }
+            if *r == Reg::R4 {
+                return Err(PassError::ReservedRegister { line });
+            }
+            if *r == Reg::R0 {
+                return Err(PassError::Unsupported {
+                    line,
+                    msg: "pc-based indexed reads are not instrumentable".into(),
+                });
+            }
+            if *r == Reg::R1 && cfg.read_policy == ReadCheckPolicy::SkipStackLocals {
+                if let Some(v) = e.eval(&std::collections::BTreeMap::new(), 0) {
+                    if v >= 0 {
+                        return Ok(None);
+                    }
+                }
+            }
+            *n += 1;
+            let i = *n;
+            let scratch = pick_scratch(t);
+            // EA = r + e; SP shifts by 2 per push active inside the block,
+            // so an SP base needs compensation.
+            let shift = if preserve { 4 } else { 2 };
+            let ea_setup = if *r == Reg::R1 {
+                format!(" mov r1, {scratch}\n add #{e}+{shift}, {scratch}\n")
+            } else {
+                format!(" mov {r}, {scratch}\n add #{e}, {scratch}\n")
+            };
+            let body = format!(
+                " push {scratch}\n{ea_setup} cmp &{r_top}, {scratch}\n jhs __dfa{i}_log\n cmp r1, {scratch}\n jhs __dfa{i}_skip\n__dfa{i}_log:\n{INPUT_SITE_PREFIX}{i}:\n mov @{scratch}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n__dfa{i}_skip:\n pop {scratch}\n"
+            );
+            Ok(Some(if preserve {
+                format!(" push sr\n{body} pop sr\n")
+            } else {
+                body
+            }))
+        }
+        // Static addresses (globals, peripherals, constant tables) are by
+        // definition outside the operation's stack: unconditional log.
+        TOperand::Absolute(e) | TOperand::Symbolic(e) => {
+            if expr_uses_here(e) {
+                return Err(PassError::Unsupported {
+                    line,
+                    msg: "`$`-relative reads are not instrumentable".into(),
+                });
+            }
+            *n += 1;
+            let i = *n;
+            let src = match op {
+                TOperand::Absolute(_) => format!("&{e}"),
+                _ => format!("{e}"),
+            };
+            let body = format!(
+                "{INPUT_SITE_PREFIX}{i}:\n mov {src}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
+            );
+            Ok(Some(if preserve {
+                format!(" push sr\n{body} pop sr\n")
+            } else {
+                body
+            }))
+        }
+        TOperand::Reg(_) | TOperand::Imm(_) => Ok(None),
+    }
+}
+
+/// Picks a scratch register not used by the instruction (it is push/popped,
+/// so correctness only needs it distinct from the bases read inside the
+/// block).
+fn pick_scratch(t: &Template) -> Reg {
+    let used = base_regs(t);
+    for idx in (5..16).rev() {
+        let r = Reg::from_index(idx);
+        if r != Reg::R4 && !used.contains(&r) {
+            return r;
+        }
+    }
+    // An instruction can reference at most three registers; unreachable.
+    Reg::R15
+}
+
+/// Collects the addresses of all input/argument log sites from an assembled
+/// image's symbol table.
+#[must_use]
+pub fn collect_log_sites(image: &msp430_asm::Image) -> LogSites {
+    let mut input = Vec::new();
+    let mut args = Vec::new();
+    for (name, addr) in &image.symbols {
+        if name.starts_with(INPUT_SITE_PREFIX) {
+            input.push(*addr);
+        } else if name.starts_with(ARG_SITE_PREFIX) || name == "__dfa_arg_sp" {
+            args.push(*addr);
+        }
+    }
+    input.sort_unstable();
+    args.sort_unstable();
+    LogSites { input, args }
+}
+
+/// Addresses of the instrumentation's log instructions.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogSites {
+    /// `__dfa_in_*` — runtime data-input logs (injection points).
+    pub input: Vec<u16>,
+    /// `__dfa_arg_*` — entry block logs (SP base + argument registers).
+    pub args: Vec<u16>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430_asm::{assemble_program, parse_program};
+
+    fn cfg() -> DfaConfig {
+        DfaConfig {
+            or_min: 0x0600,
+            or_max: 0x06FF,
+            read_policy: ReadCheckPolicy::AllReads,
+            entry_check: true,
+        }
+    }
+
+    fn build(src: &str) -> (Program, msp430_asm::Image) {
+        let p = parse_program(src).unwrap();
+        let inst = instrument(&p, "op", &cfg()).unwrap();
+        let img = assemble_program(&inst).unwrap();
+        (inst, img)
+    }
+
+    #[test]
+    fn entry_block_logs_sp_and_eight_args() {
+        let (_, img) = build(".org 0xE000\nop:\n ret\n");
+        let sites = collect_log_sites(&img);
+        assert_eq!(sites.args.len(), 9, "SP base + r8..r15");
+        assert!(sites.input.is_empty());
+    }
+
+    #[test]
+    fn peripheral_read_gets_unconditional_log() {
+        let (_, img) = build(".org 0xE000\nop:\n mov &0x0020, r14\n ret\n");
+        let sites = collect_log_sites(&img);
+        assert_eq!(sites.input.len(), 1);
+    }
+
+    #[test]
+    fn indirect_read_gets_range_check() {
+        let (prog, img) = build(".org 0xE000\nop:\n mov.b @r15, r14\n ret\n");
+        let sites = collect_log_sites(&img);
+        assert_eq!(sites.input.len(), 1);
+        // The block contains the two comparisons of Fig. 5(b).
+        let text = format!("{prog:?}");
+        assert!(text.contains("Indirect(R15)"));
+    }
+
+    #[test]
+    fn stack_relative_reads_skipped_statically_only_under_ablation() {
+        let src = ".org 0xE000\nop:\n mov 2(r1), r14\n ret\n";
+        let (_, img) = build(src);
+        assert_eq!(collect_log_sites(&img).input.len(), 1, "AllReads instruments x(sp)");
+
+        let p = parse_program(src).unwrap();
+        let mut c = cfg();
+        c.read_policy = ReadCheckPolicy::SkipStackLocals;
+        let inst = instrument(&p, "op", &c).unwrap();
+        let img = assemble_program(&inst).unwrap();
+        assert_eq!(collect_log_sites(&img).input.len(), 0, "ablation skips x(sp)");
+    }
+
+    #[test]
+    fn rmw_destination_read_is_instrumented() {
+        // add r5, &0x0300 reads the destination.
+        let (_, img) = build(".org 0xE000\nop:\n add r5, &0x0300\n ret\n");
+        assert_eq!(collect_log_sites(&img).input.len(), 1);
+        // mov r5, &0x0300 writes without reading: no log.
+        let (_, img) = build(".org 0xE000\nop:\n mov r5, &0x0300\n ret\n");
+        assert_eq!(collect_log_sites(&img).input.len(), 0);
+    }
+
+    #[test]
+    fn two_reads_one_insn_two_sites() {
+        let (_, img) = build(".org 0xE000\nop:\n add @r14, 2(r15)\n ret\n");
+        assert_eq!(collect_log_sites(&img).input.len(), 2);
+    }
+
+    #[test]
+    fn control_flow_insns_left_to_tinycfa() {
+        // `call #f` and `ret` are CF instructions: no __dfa sites for them.
+        let (_, img) = build(".org 0xE000\nop:\n call #0xF800\n ret\n");
+        assert_eq!(collect_log_sites(&img).input.len(), 0);
+    }
+
+    #[test]
+    fn pop_like_stack_reads_not_instrumented() {
+        let (_, img) = build(".org 0xE000\nop:\n pop r11\n ret\n");
+        assert_eq!(collect_log_sites(&img).input.len(), 0, "@sp+ is in-stack");
+    }
+
+    #[test]
+    fn scratch_register_avoids_instruction_bases() {
+        let t = Template::Two {
+            op: msp430::isa::Op2::Mov,
+            size: msp430::isa::Size::Word,
+            src: TOperand::Indexed(Expr::num(2), Reg::R15),
+            dst: TOperand::Reg(Reg::R14),
+        };
+        let s = pick_scratch(&t);
+        assert_ne!(s, Reg::R15);
+        assert_ne!(s, Reg::R14);
+        assert_ne!(s, Reg::R4);
+    }
+
+    #[test]
+    fn pc_based_reads_rejected() {
+        let p = parse_program(".org 0xE000\nop:\n mov @r0, r5\n ret\n").unwrap();
+        assert!(matches!(
+            instrument(&p, "op", &cfg()),
+            Err(PassError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn composes_after_tinycfa() {
+        let src = ".org 0xE000\nop:\n mov &0x0020, r14\n tst r14\n jz done\n nop\ndone:\n ret\n";
+        let p = parse_program(src).unwrap();
+        let cfa = tinycfa::instrument(
+            &p,
+            "op",
+            &tinycfa::CfaConfig {
+                or_min: 0x0600,
+                or_max: 0x06FF,
+                policy: tinycfa::LogPolicy::AllTransfers,
+            },
+        )
+        .unwrap();
+        let mut c = cfg();
+        c.entry_check = false; // Tiny-CFA provides it
+        let both = instrument(&cfa, "op", &c).unwrap();
+        let img = assemble_program(&both).unwrap();
+        let sites = collect_log_sites(&img);
+        assert_eq!(sites.args.len(), 9);
+        assert_eq!(sites.input.len(), 1);
+        // Instrumented image is strictly larger than CFA-only.
+        let cfa_only = assemble_program(&cfa).unwrap();
+        assert!(img.size_bytes() > cfa_only.size_bytes());
+    }
+}

@@ -1,0 +1,278 @@
+//! The instrumentation pipeline: source → Tiny-CFA pass → DIALED pass →
+//! assembled, APEX-configured operation bundle.
+
+use crate::pass::{self, DfaConfig, LogSites, ReadCheckPolicy};
+use apex::PoxConfig;
+use msp430_asm::{assemble_program, parse_program, parse_snippet, Image, Program};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tinycfa::{CfaConfig, LogPolicy};
+
+/// Which instrumentation stages to apply — the three Fig. 6 variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum InstrumentMode {
+    /// No instrumentation (paper's "Original" bars).
+    Original,
+    /// Tiny-CFA only (CFA guarantee).
+    CfaOnly,
+    /// Tiny-CFA + DIALED (CFA + DFA) — the full system.
+    #[default]
+    Full,
+}
+
+/// Build parameters for an attested operation.
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// First OR byte.
+    pub or_min: u16,
+    /// Last OR byte (inclusive).
+    pub or_max: u16,
+    /// Instrumentation stages.
+    pub mode: InstrumentMode,
+    /// CF-Log coverage.
+    pub cfa_policy: LogPolicy,
+    /// Data-read check policy.
+    pub read_policy: ReadCheckPolicy,
+    /// Address of the canonical (untrusted) caller stub. The protocol fixes
+    /// this so the verifier knows the op's return address.
+    pub caller_site: u16,
+    /// Initial stack pointer the caller establishes before `call #op`.
+    pub stack_top: u16,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            or_min: 0x0600,
+            or_max: 0x06FF,
+            mode: InstrumentMode::Full,
+            cfa_policy: LogPolicy::AllTransfers,
+            read_policy: ReadCheckPolicy::AllReads,
+            caller_site: 0xF800,
+            stack_top: 0x09FE,
+        }
+    }
+}
+
+/// Build failures.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// Source failed to parse.
+    Parse(String),
+    /// An instrumentation pass failed.
+    Pass(String),
+    /// Assembly failed.
+    Assemble(String),
+    /// Structural convention violated (entry label, final `ret`, regions).
+    Convention(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(m) => write!(f, "parse error: {m}"),
+            BuildError::Pass(m) => write!(f, "instrumentation error: {m}"),
+            BuildError::Assemble(m) => write!(f, "assembly error: {m}"),
+            BuildError::Convention(m) => write!(f, "operation convention: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A fully built attested operation: instrumented program, loadable image
+/// (operation + canonical caller stub), APEX configuration, and the log-site
+/// map the verifier needs.
+#[derive(Clone, Debug)]
+pub struct InstrumentedOp {
+    /// The instrumented program (with the caller stub appended).
+    pub program: Program,
+    /// Assembled image of everything.
+    pub image: Image,
+    /// APEX region configuration.
+    pub pox: PoxConfig,
+    /// Input/argument log-site addresses.
+    pub sites: LogSites,
+    /// The options used.
+    pub options: BuildOptions,
+    /// Entry address of the operation (= `er_min`).
+    pub op_entry: u16,
+    /// Where the op returns to (caller stub's halt label).
+    pub return_addr: u16,
+    /// Dense ER contents for the verifier.
+    pub er_bytes: Vec<u8>,
+}
+
+impl InstrumentedOp {
+    /// Parses, instruments, assembles and validates an operation.
+    ///
+    /// Conventions enforced:
+    ///
+    /// * `op_label` must exist and be the lowest address of its contiguous
+    ///   code segment (it becomes `er_min`);
+    /// * the segment's last instruction must be the operation's single
+    ///   toplevel `ret` (it becomes `er_exit`);
+    /// * the segment must not overlap OR or the caller stub.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn build(source: &str, op_label: &str, options: &BuildOptions) -> Result<Self, BuildError> {
+        let program = parse_program(source).map_err(|e| BuildError::Parse(e.to_string()))?;
+        Self::build_from_program(&program, op_label, options)
+    }
+
+    /// Like [`InstrumentedOp::build`] but from an already-parsed program
+    /// (used when callers synthesise programs).
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn build_from_program(
+        program: &Program,
+        op_label: &str,
+        options: &BuildOptions,
+    ) -> Result<Self, BuildError> {
+        let mut instrumented = program.clone();
+
+        if options.mode != InstrumentMode::Original {
+            let cfa = CfaConfig {
+                or_min: options.or_min,
+                or_max: options.or_max,
+                policy: options.cfa_policy,
+            };
+            instrumented = tinycfa::instrument(&instrumented, op_label, &cfa)
+                .map_err(|e| BuildError::Pass(e.to_string()))?;
+        }
+        if options.mode == InstrumentMode::Full {
+            let dfa = DfaConfig {
+                or_min: options.or_min,
+                or_max: options.or_max,
+                read_policy: options.read_policy,
+                entry_check: false, // Tiny-CFA already emitted it
+            };
+            instrumented = pass::instrument(&instrumented, op_label, &dfa)
+                .map_err(|e| BuildError::Pass(e.to_string()))?;
+        }
+
+        // Canonical caller stub: sets nothing itself (the device harness
+        // initialises registers); it just calls the op and halts.
+        let caller = format!(
+            ".org {}\n__caller:\n call #{op_label}\n__caller_ret:\n jmp __caller_ret\n",
+            options.caller_site
+        );
+        instrumented
+            .lines
+            .extend(parse_snippet(&caller).map_err(|e| BuildError::Pass(e.to_string()))?);
+
+        let image =
+            assemble_program(&instrumented).map_err(|e| BuildError::Assemble(e.to_string()))?;
+
+        let op_entry = image
+            .symbol(op_label)
+            .ok_or_else(|| BuildError::Convention(format!("label `{op_label}` not found")))?;
+        let (er_min, er_max) = image
+            .contiguous_extent(op_entry)
+            .ok_or_else(|| BuildError::Convention("empty operation".into()))?;
+        if er_min != op_entry {
+            return Err(BuildError::Convention(format!(
+                "operation entry {op_entry:#06x} must begin its code segment (starts {er_min:#06x})"
+            )));
+        }
+        // The segment must end in the toplevel `ret` (mov @sp+, pc =
+        // 0x4130); it becomes er_exit.
+        let er_exit = er_max.wrapping_sub(1);
+        let last = image.words_at(er_exit);
+        if last.first() != Some(&0x4130) {
+            return Err(BuildError::Convention(
+                "operation must end with its single toplevel `ret`".into(),
+            ));
+        }
+        let pox = PoxConfig::new(er_min, er_max, er_exit, options.or_min, options.or_max)
+            .map_err(|e| BuildError::Convention(e.to_string()))?;
+
+        let return_addr = image
+            .symbol("__caller_ret")
+            .ok_or_else(|| BuildError::Convention("caller stub missing".into()))?;
+
+        let sites = pass::collect_log_sites(&image);
+        let er_bytes = image
+            .contiguous_bytes(op_entry)
+            .ok_or_else(|| BuildError::Convention("empty operation".into()))?;
+
+        Ok(Self {
+            program: instrumented,
+            image,
+            pox,
+            sites,
+            options: options.clone(),
+            op_entry,
+            return_addr,
+            er_bytes,
+        })
+    }
+
+    /// The initial `R` (`r4`) value the caller must establish.
+    #[must_use]
+    pub fn r_top(&self) -> u16 {
+        self.options.or_max & !1
+    }
+
+    /// Code size of the operation in bytes — the Fig. 6(a) metric.
+    #[must_use]
+    pub fn code_size(&self) -> usize {
+        self.er_bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OP: &str = "\
+        .org 0xE000\nop:\n mov &0x0020, r14\n tst r14\n jz done\n nop\ndone:\n ret\n";
+
+    #[test]
+    fn builds_all_three_modes_with_increasing_size() {
+        let mut opts = BuildOptions::default();
+        opts.mode = InstrumentMode::Original;
+        let orig = InstrumentedOp::build(OP, "op", &opts).unwrap();
+        opts.mode = InstrumentMode::CfaOnly;
+        let cfa = InstrumentedOp::build(OP, "op", &opts).unwrap();
+        opts.mode = InstrumentMode::Full;
+        let full = InstrumentedOp::build(OP, "op", &opts).unwrap();
+        assert!(orig.code_size() < cfa.code_size());
+        assert!(cfa.code_size() < full.code_size());
+        assert_eq!(full.sites.args.len(), 9);
+        assert_eq!(full.sites.input.len(), 1);
+    }
+
+    #[test]
+    fn er_exit_is_the_final_ret() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        assert_eq!(op.image.words_at(op.pox.er_exit)[0], 0x4130);
+        assert_eq!(op.pox.er_min, op.op_entry);
+    }
+
+    #[test]
+    fn missing_final_ret_rejected() {
+        let src = ".org 0xE000\nop:\n nop\n jmp op\n";
+        let err = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap_err();
+        assert!(matches!(err, BuildError::Convention(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_label_rejected() {
+        let err = InstrumentedOp::build(".org 0xE000\nother:\n ret\n", "op", &BuildOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Pass(_) | BuildError::Convention(_)));
+    }
+
+    #[test]
+    fn caller_stub_present() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        assert_eq!(op.return_addr, op.options.caller_site + 4);
+        // call #op at the caller site.
+        assert_eq!(op.image.words_at(op.options.caller_site)[0], 0x12B0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Verification reports and attack findings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One concrete finding from verification.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Finding {
+    /// The APEX proof itself did not verify (wrong code, tampered OR,
+    /// cleared EXEC, replay, …).
+    PoxRejected {
+        /// Reason from the PoX verifier.
+        reason: String,
+    },
+    /// A `ret` (or the toplevel return) went somewhere other than its call
+    /// site — the Fig. 1 class of control-flow hijack, reproduced by the
+    /// verifier's shadow stack during abstract execution.
+    ReturnHijack {
+        /// Address of the return instruction.
+        at: u16,
+        /// The legitimate return target.
+        expected: u16,
+        /// Where control actually went.
+        actual: u16,
+    },
+    /// The attested OR differs from the OR recomputed by abstract
+    /// execution — device behaviour diverged from its own logs.
+    LogDivergence {
+        /// First diverging OR address.
+        addr: u16,
+        /// Device word at that slot.
+        device: u16,
+        /// Recomputed word at that slot.
+        emulated: u16,
+    },
+    /// A store targeted memory outside the operation's stack and its
+    /// declared writable regions — the Fig. 2 class of data-only attack.
+    OutOfBoundsWrite {
+        /// PC of the store.
+        pc: u16,
+        /// Target address.
+        addr: u16,
+    },
+    /// Actuation pulse exceeded the declared safety bound.
+    ActuationViolation {
+        /// Actuator port address.
+        port: u16,
+        /// Measured pulse length in CPU cycles.
+        cycles: u64,
+        /// Declared maximum.
+        max: u64,
+    },
+    /// Abstract execution did not terminate within its budget (the device
+    /// log drives the program into an abort or livelock).
+    EmulationStuck,
+    /// A custom policy flagged the execution.
+    PolicyViolation {
+        /// Policy name.
+        policy: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::PoxRejected { reason } => write!(f, "PoX rejected: {reason}"),
+            Finding::ReturnHijack { at, expected, actual } => write!(
+                f,
+                "control-flow hijack: ret at {at:#06x} went to {actual:#06x}, expected {expected:#06x}"
+            ),
+            Finding::LogDivergence { addr, device, emulated } => write!(
+                f,
+                "log divergence at {addr:#06x}: device {device:#06x} ≠ recomputed {emulated:#06x}"
+            ),
+            Finding::OutOfBoundsWrite { pc, addr } => {
+                write!(f, "data-only attack: store from {pc:#06x} to {addr:#06x} out of bounds")
+            }
+            Finding::ActuationViolation { port, cycles, max } => write!(
+                f,
+                "actuation violation: port {port:#06x} pulsed {cycles} cycles (max {max})"
+            ),
+            Finding::EmulationStuck => write!(f, "abstract execution did not terminate"),
+            Finding::PolicyViolation { policy, detail } => {
+                write!(f, "policy `{policy}`: {detail}")
+            }
+        }
+    }
+}
+
+/// Overall verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Proof valid and the reconstructed execution is benign.
+    Clean,
+    /// The cryptographic proof itself failed.
+    Rejected,
+    /// Proof valid but the reconstructed execution shows an attack.
+    Attack,
+}
+
+/// Statistics the verifier gathered (useful for the Fig. 6 harness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct VerifyStats {
+    /// Instructions abstractly executed.
+    pub emulated_insns: usize,
+    /// Log bytes the device consumed in OR.
+    pub log_bytes_used: usize,
+    /// Number of logged words classified as control-flow entries.
+    pub cf_entries: usize,
+    /// Number of logged words classified as data-input entries.
+    pub input_entries: usize,
+    /// Number of logged words from the entry block (SP base + args).
+    pub arg_entries: usize,
+}
+
+/// The verifier's complete answer.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Verdict.
+    pub verdict: Verdict,
+    /// All findings (empty when clean).
+    pub findings: Vec<Finding>,
+    /// Verification statistics.
+    pub stats: VerifyStats,
+}
+
+impl Report {
+    /// A clean report with statistics.
+    #[must_use]
+    pub fn clean(stats: VerifyStats) -> Self {
+        Self { verdict: Verdict::Clean, findings: Vec::new(), stats }
+    }
+
+    /// A rejection (PoX failure).
+    #[must_use]
+    pub fn rejected(reason: &str) -> Self {
+        Self {
+            verdict: Verdict::Rejected,
+            findings: vec![Finding::PoxRejected { reason: reason.to_string() }],
+            stats: VerifyStats::default(),
+        }
+    }
+
+    /// An attack report.
+    #[must_use]
+    pub fn attack(findings: Vec<Finding>, stats: VerifyStats) -> Self {
+        Self { verdict: Verdict::Attack, findings, stats }
+    }
+
+    /// Is the execution proven benign?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.verdict == Verdict::Clean
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.verdict {
+            Verdict::Clean => write!(
+                f,
+                "CLEAN ({} insns emulated, {} log bytes: {} cf / {} input / {} arg entries)",
+                self.stats.emulated_insns,
+                self.stats.log_bytes_used,
+                self.stats.cf_entries,
+                self.stats.input_entries,
+                self.stats.arg_entries
+            ),
+            Verdict::Rejected | Verdict::Attack => {
+                let label = if self.verdict == Verdict::Rejected { "REJECTED" } else { "ATTACK" };
+                write!(f, "{label}:")?;
+                for finding in &self.findings {
+                    write!(f, "\n  - {finding}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let r = Report::rejected("MAC verification failed");
+        assert!(r.to_string().contains("REJECTED"));
+        assert!(!r.is_clean());
+
+        let r = Report::attack(
+            vec![Finding::ReturnHijack { at: 0xE010, expected: 0xE020, actual: 0xE004 }],
+            VerifyStats::default(),
+        );
+        assert!(r.to_string().contains("hijack"));
+
+        let r = Report::clean(VerifyStats { emulated_insns: 10, ..Default::default() });
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("CLEAN"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Verifier-side abstract execution and the complete verification flow.
+//!
+//! Given an authentic OR snapshot (APEX-verified), the verifier re-executes
+//! the *instrumented* operation locally:
+//!
+//! * initial state comes from the log head: the saved SP base and the eight
+//!   argument registers (F3 entries);
+//! * at every `__dfa_in_*` input-log site, the logged word is *injected*
+//!   into the emulated memory at the read's effective address before the
+//!   log instruction runs — so the subsequent original read consumes
+//!   exactly the device's input;
+//! * everything else (ALU, stack, control flow, the CF-Log writes
+//!   themselves) is recomputed deterministically.
+//!
+//! The recomputed OR must equal the attested OR word-for-word over the used
+//! span; any divergence means the device's execution did not follow its own
+//! logs. A shadow call stack over the reconstruction reproduces control-flow
+//! hijacks (Fig. 1), and application policies evaluated on the
+//! reconstructed trace expose data-only attacks (Fig. 2).
+
+use crate::attest::DialedProof;
+use crate::pipeline::InstrumentedOp;
+use crate::policy::Policy;
+use crate::report::{Finding, Report, VerifyStats};
+use apex::{PoxConfig, PoxVerifier};
+use msp430::cpu::{Cpu, CpuFault};
+use msp430::isa::{Insn, Op1, Op2, Operand};
+use msp430::mem::{Bus, Ram};
+use msp430::regs::Reg;
+use msp430::trace::Trace;
+use tinycfa::OrStack;
+use vrased::{Challenge, KeyStore};
+
+/// Why abstract execution stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmuOutcome {
+    /// Reached the operation's return site.
+    Completed,
+    /// Step budget exhausted (abort spin or livelock).
+    Budget,
+    /// CPU fault during emulation.
+    Fault,
+}
+
+/// The result of abstractly executing an operation against a device log.
+#[derive(Clone, Debug)]
+pub struct Emulation {
+    /// Reconstructed execution trace (instrumented program, device inputs).
+    pub trace: Trace,
+    /// Shadow-stack findings discovered during reconstruction.
+    pub findings: Vec<Finding>,
+    /// Termination.
+    pub outcome: EmuOutcome,
+    /// The operation's stack base (SP at entry), from the log head.
+    pub sp_base: u16,
+    /// Deepest SP observed (stack extent for spatial policies).
+    pub min_sp: u16,
+    /// Final log stack pointer `R`.
+    pub final_r4: u16,
+    /// The recomputed OR region bytes.
+    pub or_emulated: Vec<u8>,
+    /// APEX regions.
+    pub pox: PoxConfig,
+    /// The op's legitimate return site.
+    pub caller_return: u16,
+    /// Log classification counts (cf / input / arg entries).
+    pub log_counts: (usize, usize, usize),
+}
+
+/// Default abstract-execution step budget.
+pub const DEFAULT_EMU_BUDGET: usize = 4_000_000;
+
+/// Abstractly executes `op` against the device's attested OR bytes.
+///
+/// `device_or` must span exactly `or_min..=or_max`.
+#[must_use]
+pub fn abstract_execute(op: &InstrumentedOp, device_or: &[u8], budget: usize) -> Emulation {
+    let pox = op.pox;
+    let or_stack = OrStack::new(device_or, pox.or_min, pox.or_max);
+    let r_top = or_stack.r_top();
+
+    // Log head: SP base then r8..r15 (entry block order).
+    let sp_base = or_stack.entry(0).unwrap_or(0);
+    let mut cpu = Cpu::new();
+    cpu.set_reg(Reg::SP, sp_base.wrapping_add(2)); // caller's SP before `call`
+    cpu.set_reg(Reg::R4, r_top);
+    for i in 0..8u16 {
+        let v = or_stack.entry(1 + usize::from(i)).unwrap_or(0);
+        cpu.set_reg(Reg::from_index(8 + i), v);
+    }
+    cpu.set_pc(op.options.caller_site);
+
+    let mut ram = Ram::new();
+    op.image.load_into_ram(&mut ram);
+
+    let mut trace = Trace::new();
+    let mut findings = Vec::new();
+    let mut shadow: Vec<u16> = Vec::new();
+    let mut min_sp = cpu.reg(Reg::SP);
+    let mut outcome = EmuOutcome::Budget;
+    let (mut cf_n, mut in_n, mut arg_n) = (0usize, 0usize, 0usize);
+    let input_sites = &op.sites.input;
+    let arg_sites = &op.sites.args;
+
+    for _ in 0..budget {
+        let pc = cpu.pc();
+        if pc == op.return_addr {
+            outcome = EmuOutcome::Completed;
+            break;
+        }
+
+        // Input injection: before an input-log instruction executes, place
+        // the device's logged word at the read's effective address.
+        if input_sites.binary_search(&pc).is_ok() {
+            inject(&mut cpu, &mut ram, &or_stack, pox.or_min);
+        }
+
+        let step = match cpu.step(&mut ram) {
+            Ok(s) => s,
+            Err(CpuFault::Halted | CpuFault::Decode { .. }) => {
+                outcome = EmuOutcome::Fault;
+                break;
+            }
+        };
+
+        min_sp = min_sp.min(cpu.reg(Reg::SP));
+
+        // Shadow call stack over *original* control flow.
+        if let Some(insn) = &step.insn {
+            match insn {
+                Insn::One { op: Op1::Call, .. } => {
+                    if let Some(w) = step.writes().next() {
+                        shadow.push(w.value);
+                    }
+                }
+                Insn::Two {
+                    op: Op2::Mov,
+                    src: Operand::IndirectInc(Reg::R1),
+                    dst: Operand::Reg(Reg::R0),
+                    ..
+                } => {
+                    let expected = shadow.pop().unwrap_or(op.return_addr);
+                    if step.next_pc != expected {
+                        findings.push(Finding::ReturnHijack {
+                            at: step.pc,
+                            expected,
+                            actual: step.next_pc,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Classify OR log writes for the statistics.
+        for w in step.writes() {
+            if w.addr >= pox.or_min && w.addr <= pox.or_max {
+                if input_sites.binary_search(&step.pc).is_ok() {
+                    in_n += 1;
+                } else if arg_sites.binary_search(&step.pc).is_ok() {
+                    arg_n += 1;
+                } else {
+                    cf_n += 1;
+                }
+            }
+        }
+
+        trace.push(step);
+    }
+
+    let final_r4 = cpu.reg(Reg::R4);
+    let mut or_emulated = vec![0u8; usize::from(pox.or_max - pox.or_min) + 1];
+    for (i, byte) in or_emulated.iter_mut().enumerate() {
+        *byte = ram.as_slice()[usize::from(pox.or_min) + i];
+    }
+
+    Emulation {
+        trace,
+        findings,
+        outcome,
+        sp_base,
+        min_sp,
+        final_r4,
+        or_emulated,
+        pox,
+        caller_return: op.return_addr,
+        log_counts: (cf_n, in_n, arg_n),
+    }
+}
+
+/// Injects the device-logged word for the input-log instruction at the
+/// current PC: decodes `mov <src>, 0(r4)`, resolves `<src>`'s effective
+/// address from emulated registers, and stores the device's word there.
+fn inject(cpu: &mut Cpu, ram: &mut Ram, or_stack: &OrStack<'_>, or_min: u16) {
+    let pc = cpu.pc();
+    let first = ram.read_word(pc);
+    let mut cursor = pc.wrapping_add(2);
+    let decoded = Insn::decode(pc, first, || {
+        let w = ram.read_word(cursor);
+        cursor = cursor.wrapping_add(2);
+        w
+    });
+    let Ok(Insn::Two { src, .. }) = decoded else { return };
+    let ea = match src {
+        Operand::Indirect(r) | Operand::IndirectInc(r) => cpu.reg(r),
+        Operand::Indexed(r, x) => cpu.reg(r).wrapping_add(x),
+        Operand::Symbolic(a) | Operand::Absolute(a) => a,
+        _ => return,
+    };
+    let slot = cpu.reg(Reg::R4);
+    if slot < or_min {
+        return; // device log overflowed; the emulated check will abort too
+    }
+    let idx = usize::from(or_stack.r_top().wrapping_sub(slot)) / 2;
+    if let Some(v) = or_stack.entry(idx) {
+        ram.write_word(ea & !1, v);
+    }
+}
+
+/// The DIALED verifier: PoX check + abstract execution + policies.
+#[derive(Debug)]
+pub struct DialedVerifier {
+    op: InstrumentedOp,
+    pox_verifier: PoxVerifier,
+    policies: Vec<Box<dyn Policy>>,
+    emu_budget: usize,
+}
+
+impl DialedVerifier {
+    /// A verifier for `op` sharing `keystore` with the device.
+    #[must_use]
+    pub fn new(op: InstrumentedOp, keystore: KeyStore) -> Self {
+        let pox_verifier = PoxVerifier::new(keystore, op.pox, op.er_bytes.clone());
+        Self { op, pox_verifier, policies: Vec::new(), emu_budget: DEFAULT_EMU_BUDGET }
+    }
+
+    /// Registers an application policy evaluated on every reconstruction.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Overrides the abstract-execution step budget.
+    #[must_use]
+    pub fn with_emu_budget(mut self, budget: usize) -> Self {
+        self.emu_budget = budget;
+        self
+    }
+
+    /// Runs only the abstract-execution stage (for tooling/benchmarks);
+    /// callers must have verified the OR's authenticity themselves.
+    #[must_use]
+    pub fn reconstruct(&self, device_or: &[u8]) -> Emulation {
+        abstract_execute(&self.op, device_or, self.emu_budget)
+    }
+
+    /// Full verification of a proof under `challenge`.
+    #[must_use]
+    pub fn verify(&self, proof: &DialedProof, challenge: &Challenge) -> Report {
+        // 1. Cryptographic proof of execution (code + OR + EXEC).
+        let or = match self.pox_verifier.verify(&proof.pox, challenge) {
+            Ok(or) => or,
+            Err(reason) => return Report::rejected(reason),
+        };
+        if self.op.sites.args.len() != 9 {
+            return Report::rejected("operation was not built with full DIALED instrumentation");
+        }
+
+        // 2. Abstract execution with input injection.
+        let emu = abstract_execute(&self.op, &or, self.emu_budget);
+        let mut findings = emu.findings.clone();
+
+        if emu.outcome != EmuOutcome::Completed {
+            findings.push(Finding::EmulationStuck);
+        }
+
+        // 3. The recomputed OR must match the attested OR over the used
+        //    span [final_r4 + 2, r_top + 1].
+        let r_top = self.op.r_top();
+        let used_lo = emu.final_r4.wrapping_add(2).max(self.op.pox.or_min);
+        let mut slot = r_top;
+        while slot >= used_lo {
+            let off = usize::from(slot - self.op.pox.or_min);
+            let dev = u16::from(or[off]) | (u16::from(or[off + 1]) << 8);
+            let emul = u16::from(emu.or_emulated[off]) | (u16::from(emu.or_emulated[off + 1]) << 8);
+            if dev != emul {
+                findings.push(Finding::LogDivergence { addr: slot, device: dev, emulated: emul });
+                break;
+            }
+            if slot < 2 {
+                break;
+            }
+            slot -= 2;
+        }
+
+        // 4. Application policies on the reconstructed execution.
+        for policy in &self.policies {
+            findings.extend(policy.check(&emu));
+        }
+
+        let (cf_entries, input_entries, arg_entries) = emu.log_counts;
+        let stats = VerifyStats {
+            emulated_insns: emu.trace.insn_count(),
+            log_bytes_used: usize::from(r_top.saturating_sub(emu.final_r4)),
+            cf_entries,
+            input_entries,
+            arg_entries,
+        };
+
+        if findings.is_empty() {
+            Report::clean(stats)
+        } else {
+            Report::attack(findings, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::DialedDevice;
+    use crate::pipeline::BuildOptions;
+
+    fn round_trip(src: &str, args: &[u16; 8], setup: impl FnOnce(&mut msp430::Platform)) -> Report {
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(77);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        setup(dev.platform_mut());
+        let info = dev.invoke(args);
+        assert_eq!(info.stop, apex::pox::StopReason::ReachedStop, "{:?}", dev.violation());
+        let chal = Challenge::derive(b"verif", 9);
+        let proof = dev.prove(&chal);
+        DialedVerifier::new(op, ks).verify(&proof, &chal)
+    }
+
+    #[test]
+    fn honest_pure_computation_verifies() {
+        let src = "\
+            .org 0xE000\nop:\n mov r15, r10\n add r14, r10\n mov r10, &0x0060\n ret\n";
+        let report = round_trip(src, &[0, 0, 0, 0, 0, 0, 20, 22], |_| {});
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.arg_entries, 9);
+    }
+
+    #[test]
+    fn honest_peripheral_input_verifies() {
+        // Reads P1IN (a data input) and acts on it.
+        let src = "\
+            .org 0xE000\nop:\n mov.b &0x0020, r14\n mov.b r14, &0x0019\n ret\n";
+        let report = round_trip(src, &[0; 8], |p| p.gpio.p1.input = 0x42);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.input_entries, 1);
+    }
+
+    #[test]
+    fn honest_loop_with_branches_verifies() {
+        let src = "\
+            .org 0xE000\nop:\n mov #5, r10\n clr r11\nloop:\n add r10, r11\n dec r10\n jnz loop\n mov r11, &0x0060\n ret\n";
+        let report = round_trip(src, &[0; 8], |_| {});
+        assert!(report.is_clean(), "{report}");
+        // 5 loop iterations → 5 conditional entries + final ret.
+        assert!(report.stats.cf_entries >= 6);
+    }
+
+    #[test]
+    fn honest_pointer_walk_over_globals_verifies() {
+        // Walks a 3-word table at 0x0300 (outside the stack → all logged).
+        let src = "\
+            .org 0xE000\nop:\n mov #0x0300, r15\n clr r11\n mov #3, r10\nloop:\n add @r15+, r11\n dec r10\n jnz loop\n mov r11, &0x0060\n ret\n";
+        let report = round_trip(src, &[0; 8], |p| p.load_words(0x0300, &[7, 11, 13]));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.input_entries, 3);
+    }
+
+    #[test]
+    fn device_input_values_reach_the_verifier_via_ilog() {
+        // The op copies P1IN to a global; the verifier reconstructs the
+        // same write even though it never saw the device's peripheral.
+        let src = "\
+            .org 0xE000\nop:\n mov.b &0x0020, r14\n mov.b r14, &0x0300\n ret\n";
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(3);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        dev.platform_mut().gpio.p1.input = 0xA7;
+        dev.invoke(&[0; 8]);
+        let chal = Challenge::derive(b"v", 0);
+        let proof = dev.prove(&chal);
+        let verifier = DialedVerifier::new(op, ks);
+        let report = verifier.verify(&proof, &chal);
+        assert!(report.is_clean(), "{report}");
+        let emu = verifier.reconstruct(&proof.pox.or_data);
+        // The reconstructed trace contains the store of 0xA7 to 0x0300.
+        let wrote = emu.trace.steps().iter().any(|s| {
+            s.writes().any(|w| w.addr == 0x0300 && w.value == 0xA7)
+        });
+        assert!(wrote, "verifier must reconstruct the device's data flow");
+    }
+
+    #[test]
+    fn tampered_or_is_rejected_cryptographically() {
+        let src = ".org 0xE000\nop:\n mov r15, &0x0060\n ret\n";
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(4);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        dev.invoke(&[0; 8]);
+        let chal = Challenge::derive(b"v", 1);
+        let mut proof = dev.prove(&chal);
+        proof.pox.or_data[4] ^= 0xFF;
+        let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+        assert_eq!(report.verdict, crate::report::Verdict::Rejected);
+    }
+}

@@ -1,0 +1,63 @@
+//! Constant-time comparison helpers.
+//!
+//! Verifier-side tag checks must not leak how many leading bytes of a
+//! candidate tag were correct; [`eq`] compares in time independent of the
+//! position of the first mismatch.
+
+/// Compares two equal-length byte slices in constant time.
+///
+/// Returns `false` immediately (and unavoidably non-constant-time) when the
+/// lengths differ, which is public information for fixed-size tags.
+///
+/// # Examples
+///
+/// ```
+/// assert!(hacl::constant_time::eq(b"abc", b"abc"));
+/// assert!(!hacl::constant_time::eq(b"abc", b"abd"));
+/// assert!(!hacl::constant_time::eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[0], &[1]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn every_single_bit_difference_detected() {
+        let a = [0u8; 8];
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[byte] ^= 1 << bit;
+                assert!(!eq(&a, &b));
+            }
+        }
+    }
+}

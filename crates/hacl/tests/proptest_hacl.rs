@@ -1,0 +1,73 @@
+//! Property-based tests for the crypto substrate.
+
+use hacl::{HmacSha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a message at any point and hashing incrementally must match
+    /// the one-shot digest.
+    #[test]
+    fn sha256_incremental_equals_oneshot(msg in proptest::collection::vec(any::<u8>(), 0..2048),
+                                         cut in any::<usize>()) {
+        let want = Sha256::digest(&msg);
+        let cut = if msg.is_empty() { 0 } else { cut % (msg.len() + 1) };
+        let mut h = Sha256::new();
+        h.update(&msg[..cut]);
+        h.update(&msg[cut..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Many tiny updates must match one big update.
+    #[test]
+    fn sha256_byte_at_a_time(msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let want = Sha256::digest(&msg);
+        let mut h = Sha256::new();
+        for b in &msg {
+            h.update(&[*b]);
+        }
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// HMAC incremental == one-shot for arbitrary key/message/split.
+    #[test]
+    fn hmac_incremental_equals_oneshot(key in proptest::collection::vec(any::<u8>(), 0..200),
+                                       msg in proptest::collection::vec(any::<u8>(), 0..1024),
+                                       cut in any::<usize>()) {
+        let want = HmacSha256::mac(&key, &msg);
+        let cut = if msg.is_empty() { 0 } else { cut % (msg.len() + 1) };
+        let mut h = HmacSha256::new(&key);
+        h.update(&msg[..cut]);
+        h.update(&msg[cut..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Distinct messages virtually never collide; more importantly, a MAC
+    /// must change when the message changes (weak collision sanity).
+    #[test]
+    fn hmac_message_sensitivity(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                msg in proptest::collection::vec(any::<u8>(), 1..256),
+                                idx in any::<usize>(), bit in 0u8..8) {
+        let idx = idx % msg.len();
+        let mut msg2 = msg.clone();
+        msg2[idx] ^= 1 << bit;
+        prop_assert_ne!(HmacSha256::mac(&key, &msg), HmacSha256::mac(&key, &msg2));
+    }
+
+    /// A MAC must change when the key changes.
+    #[test]
+    fn hmac_key_sensitivity(key in proptest::collection::vec(any::<u8>(), 1..64),
+                            msg in proptest::collection::vec(any::<u8>(), 0..128),
+                            idx in any::<usize>(), bit in 0u8..8) {
+        let idx = idx % key.len();
+        let mut key2 = key.clone();
+        key2[idx] ^= 1 << bit;
+        prop_assert_ne!(HmacSha256::mac(&key, &msg), HmacSha256::mac(&key2, &msg));
+    }
+
+    /// Constant-time eq agrees with ==.
+    #[test]
+    fn ct_eq_agrees_with_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                  b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(hacl::constant_time::eq(&a, &b), a == b);
+    }
+}

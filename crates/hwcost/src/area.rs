@@ -1,0 +1,116 @@
+//! LUT/FF area estimation.
+//!
+//! Coefficients model a Xilinx 6-input-LUT fabric and were fixed once so
+//! that the baseline MSP430 description in [`crate::designs`] lands on the
+//! published openMSP430 synthesis (1904 LUTs / 691 FFs); every other design
+//! is then estimated with the *same* coefficients.
+
+use crate::ir::{Component, Module};
+use std::fmt;
+use std::ops::Add;
+
+/// An area estimate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Area {
+    /// Look-up tables (combinational).
+    pub luts: u32,
+    /// Flip-flops (state).
+    pub ffs: u32,
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area { luts: self.luts + rhs.luts, ffs: self.ffs + rhs.ffs }
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs / {} FFs", self.luts, self.ffs)
+    }
+}
+
+impl Area {
+    /// Percentage overhead of `self` relative to `base`, as (lut %, ff %).
+    #[must_use]
+    pub fn overhead_vs(&self, base: &Area) -> (f64, f64) {
+        (
+            100.0 * f64::from(self.luts) / f64::from(base.luts),
+            100.0 * f64::from(self.ffs) / f64::from(base.ffs),
+        )
+    }
+}
+
+/// The fixed-coefficient estimator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Estimator;
+
+impl Estimator {
+    /// Estimates one component.
+    #[must_use]
+    pub fn component(&self, c: &Component) -> Area {
+        match *c {
+            Component::Register { bits } => Area { luts: 0, ffs: bits },
+            // A magnitude comparator packs ~2 bits per LUT via the carry
+            // chain.
+            Component::Comparator { bits } => Area { luts: bits.div_ceil(2), ffs: 0 },
+            // One LUT per bit with fast-carry.
+            Component::Adder { bits } => Area { luts: bits, ffs: 0 },
+            // A 6-LUT implements a 4:1 mux slice.
+            Component::Mux { bits, inputs } => {
+                Area { luts: bits * inputs.div_ceil(4), ffs: 0 }
+            }
+            // ~3 gate-equivalents per LUT on average for random logic.
+            Component::Logic { gates } => Area { luts: gates.div_ceil(3), ffs: 0 },
+            // 64 ROM bits per LUT (LUT-as-ROM).
+            Component::Rom { bits } => Area { luts: bits.div_ceil(64), ffs: 0 },
+        }
+    }
+
+    /// Estimates a whole module tree.
+    #[must_use]
+    pub fn module(&self, m: &Module) -> Area {
+        m.flatten()
+            .iter()
+            .map(|(_, c)| self.component(c))
+            .fold(Area::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_coefficients() {
+        let e = Estimator;
+        assert_eq!(e.component(&Component::Register { bits: 44 }), Area { luts: 0, ffs: 44 });
+        assert_eq!(e.component(&Component::Comparator { bits: 16 }), Area { luts: 8, ffs: 0 });
+        assert_eq!(e.component(&Component::Adder { bits: 16 }), Area { luts: 16, ffs: 0 });
+        assert_eq!(
+            e.component(&Component::Mux { bits: 16, inputs: 16 }),
+            Area { luts: 64, ffs: 0 }
+        );
+        assert_eq!(e.component(&Component::Logic { gates: 9 }), Area { luts: 3, ffs: 0 });
+        assert_eq!(e.component(&Component::Rom { bits: 128 }), Area { luts: 2, ffs: 0 });
+    }
+
+    #[test]
+    fn module_sums_recursively() {
+        let m = Module::new("a")
+            .with("r", Component::Register { bits: 8 })
+            .with_sub(Module::new("b").with("c", Component::Comparator { bits: 16 }));
+        let a = Estimator.module(&m);
+        assert_eq!(a, Area { luts: 8, ffs: 8 });
+    }
+
+    #[test]
+    fn overhead_percentages() {
+        let base = Area { luts: 1000, ffs: 500 };
+        let extra = Area { luts: 100, ffs: 50 };
+        let (l, f) = extra.overhead_vs(&base);
+        assert!((l - 10.0).abs() < 1e-9);
+        assert!((f - 10.0).abs() < 1e-9);
+    }
+}

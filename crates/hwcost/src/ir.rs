@@ -1,0 +1,131 @@
+//! A block-level structural RTL IR.
+
+use std::fmt;
+
+/// One hardware building block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Component {
+    /// `bits` D flip-flops.
+    Register {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// An equality/magnitude comparator.
+    Comparator {
+        /// Operand width.
+        bits: u32,
+    },
+    /// A ripple/carry-chain adder or subtractor.
+    Adder {
+        /// Operand width.
+        bits: u32,
+    },
+    /// An `inputs`-way multiplexer, `bits` wide.
+    Mux {
+        /// Data width.
+        bits: u32,
+        /// Number of selectable inputs.
+        inputs: u32,
+    },
+    /// Unstructured random logic, counted in 2-input gate equivalents.
+    Logic {
+        /// Gate-equivalent count.
+        gates: u32,
+    },
+    /// Combinational lookup structure (decoder tables).
+    Rom {
+        /// Total bits.
+        bits: u32,
+    },
+}
+
+/// A named block: components plus submodules.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Block name.
+    pub name: String,
+    /// Leaf components with instance labels.
+    pub components: Vec<(String, Component)>,
+    /// Nested blocks.
+    pub submodules: Vec<Module>,
+}
+
+impl Module {
+    /// An empty block.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ..Self::default() }
+    }
+
+    /// Adds a component (builder style).
+    #[must_use]
+    pub fn with(mut self, label: &str, c: Component) -> Self {
+        self.components.push((label.to_string(), c));
+        self
+    }
+
+    /// Adds a submodule (builder style).
+    #[must_use]
+    pub fn with_sub(mut self, m: Module) -> Self {
+        self.submodules.push(m);
+        self
+    }
+
+    /// Iterates all components recursively.
+    pub fn flatten(&self) -> Vec<(&str, &Component)> {
+        let mut out: Vec<(&str, &Component)> =
+            self.components.iter().map(|(l, c)| (l.as_str(), c)).collect();
+        for sub in &self.submodules {
+            out.extend(sub.flatten());
+        }
+        out
+    }
+
+    /// Total flip-flop bits (sum of `Register` components).
+    #[must_use]
+    pub fn register_bits(&self) -> u32 {
+        self.flatten()
+            .iter()
+            .map(|(_, c)| match c {
+                Component::Register { bits } => *bits,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for (label, c) in &self.components {
+            writeln!(f, "  {label}: {c:?}")?;
+        }
+        for sub in &self.submodules {
+            for line in sub.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_flatten() {
+        let m = Module::new("top")
+            .with("state", Component::Register { bits: 3 })
+            .with_sub(
+                Module::new("cmp_bank")
+                    .with("pc_lo", Component::Comparator { bits: 16 })
+                    .with("pc_hi", Component::Comparator { bits: 16 }),
+            );
+        assert_eq!(m.flatten().len(), 3);
+        assert_eq!(m.register_bits(), 3);
+        let text = m.to_string();
+        assert!(text.contains("module top"));
+        assert!(text.contains("pc_lo"));
+    }
+}

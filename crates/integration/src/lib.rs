@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the DIALED stack live in `tests/`.
+//!
+//! This library crate is intentionally empty: it exists so the integration
+//! suite can be a workspace member with the full dependency set.
+#![forbid(unsafe_code)]

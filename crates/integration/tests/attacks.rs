@@ -1,0 +1,205 @@
+//! Adversarial integration tests: the full catalogue of runtime attacks
+//! from the paper's adversary model (Section III-B), each mounted on the
+//! real stack and each detected.
+
+use apps::{app_build_options, syringe_pump};
+use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+use dialed::prelude::*;
+use msp430::periph::Dma;
+use msp430::regs::Reg;
+
+fn syringe(variant: &str) -> InstrumentedOp {
+    let src = match variant {
+        "safe" => syringe_pump::SOURCE,
+        "df" => syringe_pump::SOURCE_VULN_DF,
+        "cf" => syringe_pump::SOURCE_VULN_CF,
+        _ => unreachable!(),
+    };
+    InstrumentedOp::build(src, "syringe_op", &app_build_options(InstrumentMode::Full)).unwrap()
+}
+
+fn verify(op: &InstrumentedOp, dev: &DialedDevice, ks: &KeyStore, round: u64) -> Report {
+    let chal = Challenge::derive(b"atk", round);
+    let proof = dev.prove(&chal);
+    let mut v = DialedVerifier::new(op.clone(), ks.clone());
+    for p in syringe_pump::policies() {
+        v = v.with_policy(p);
+    }
+    v.verify(&proof, &chal)
+}
+
+#[test]
+fn fig1_hijack_reproduced_and_classified() {
+    let op = syringe("cf");
+    let ks = KeyStore::from_seed(1);
+    let inject = op.image.symbol("spc_inject").unwrap();
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    dev.platform_mut().uart.feed(&syringe_pump::attack_packet_cf(inject));
+    dev.invoke(&[0; 8]);
+    let report = verify(&op, &dev, &ks, 1);
+    assert_eq!(report.verdict, Verdict::Attack);
+    let hijack = report
+        .findings
+        .iter()
+        .find_map(|f| match f {
+            Finding::ReturnHijack { at, expected, actual } => Some((*at, *expected, *actual)),
+            _ => None,
+        })
+        .expect("hijack finding");
+    assert_eq!(hijack.2, inject, "actual target is the post-check gadget");
+    assert_ne!(hijack.1, hijack.2);
+}
+
+#[test]
+fn fig2_data_only_attack_needs_no_annotation() {
+    let op = syringe("df");
+    let ks = KeyStore::from_seed(2);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    syringe_pump::feed_attack_df(dev.platform_mut());
+    dev.invoke(&[0; 8]);
+    let report = verify(&op, &dev, &ks, 2);
+    assert_eq!(report.verdict, Verdict::Attack);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| matches!(f, Finding::OutOfBoundsWrite { addr, .. } if *addr == syringe_pump::SET_ADDR)));
+}
+
+#[test]
+fn dma_input_forgery_during_run_detected() {
+    // The attacker DMAs a fake "settings" value into RAM while the op runs,
+    // hoping the op consumes it. APEX clears EXEC for any mid-run DMA.
+    let op = syringe("safe");
+    let ks = KeyStore::from_seed(3);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    syringe_pump::feed_nominal(dev.platform_mut());
+    dev.invoke_with_budget(&[0; 8], 50); // part-way into the op
+    dev.dma(&Dma { dst: apps::GLOBALS, data: vec![0xFF, 0x00] });
+    dev.run_raw(1_000_000);
+    let report = verify(&op, &dev, &ks, 3);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}
+
+#[test]
+fn interrupt_based_toctou_detected() {
+    // An ISR that fires mid-operation could modify state between check and
+    // use; APEX clears EXEC on any interrupt inside ER.
+    let src = r#"
+        .org 0xE000
+op:
+        eint
+        mov #1, r10
+        mov #2, r11
+        dint
+        ret
+"#;
+    let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+    let ks = KeyStore::from_seed(4);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    dev.platform_mut().load_words(0xFFE0 + 2 * 9, &[0xF700]);
+    dev.platform_mut().load_words(0xF700, &[0x1300]);
+    dev.cpu_mut().raise_irq(9);
+    dev.invoke(&[0; 8]);
+    let chal = Challenge::derive(b"irq", 0);
+    let proof = dev.prove(&chal);
+    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}
+
+#[test]
+fn malicious_caller_wrong_r_aborts() {
+    let op = syringe("safe");
+    let ks = KeyStore::from_seed(5);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    syringe_pump::feed_nominal(dev.platform_mut());
+    dev.cpu_mut().set_reg(Reg::SP, apps::STACK_TOP);
+    dev.cpu_mut().set_reg(Reg::R4, 0x0500); // wrong R
+    dev.cpu_mut().set_pc(op.options.caller_site);
+    let info = dev.run_raw(50_000);
+    assert_eq!(info.stop, apex::pox::StopReason::StepBudgetExhausted, "spins at entry");
+    let report = verify(&op, &dev, &ks, 5);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}
+
+#[test]
+fn stray_pointer_write_into_log_aborts() {
+    // A (vulnerable) op whose pointer write is redirected into the live log
+    // region must hit the F5 write check and abort.
+    let src = r#"
+        .org 0xE000
+op:
+        mov.b &0x0066, r10          ; attacker-controlled low byte
+        mov.b #0, &0x0066
+        mov.b &0x0066, r11
+        mov.b #0, &0x0066
+        swpb r11
+        bis r11, r10                ; attacker controls full pointer
+        mov #0xAA, 0(r10)           ; unchecked pointer store
+        ret
+"#;
+    let opts = apps::app_build_options(InstrumentMode::Full);
+    let op = InstrumentedOp::build(src, "op", &opts).unwrap();
+    let ks = KeyStore::from_seed(6);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    // Aim the store at the top of OR, where CF-Log entries live.
+    let target = opts.or_max & !1;
+    dev.platform_mut().uart.feed(&[(target & 0xFF) as u8, (target >> 8) as u8]);
+    let info = dev.invoke(&[0; 8]);
+    assert_eq!(
+        info.stop,
+        apex::pox::StopReason::StepBudgetExhausted,
+        "write check must spin-abort"
+    );
+    let chal = Challenge::derive(b"f5", 0);
+    let proof = dev.prove(&chal);
+    assert!(!proof.pox.exec);
+    // Benign pointer (a normal global) flows through cleanly.
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    dev.platform_mut().uart.feed(&[0x00, 0x03]); // 0x0300
+    let info = dev.invoke(&[0; 8]);
+    assert_eq!(info.stop, apex::pox::StopReason::ReachedStop, "{:?}", dev.violation());
+    let chal = Challenge::derive(b"f5", 1);
+    let proof = dev.prove(&chal);
+    let verifier = DialedVerifier::new(op, ks)
+        .with_policy(Box::new(GlobalWriteBounds::new(vec![
+            (0x0300, 0x0301),
+            (0x0066, 0x0067),
+        ])));
+    assert!(verifier.verify(&proof, &chal).is_clean());
+}
+
+#[test]
+fn code_patch_detected_even_with_exec_set() {
+    // Patch a *data table outside ER*? No — patch the op itself before the
+    // run: EXEC may still latch (write happened before Running), but the
+    // MAC over ER exposes the modification.
+    let op = syringe("safe");
+    let ks = KeyStore::from_seed(7);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    syringe_pump::feed_nominal(dev.platform_mut());
+    // Overwrite one word of the instrumented op (e.g. weaken a check).
+    dev.platform_mut().load_words(op.op_entry + 6, &[0x4303]);
+    dev.invoke(&[0; 8]);
+    let report = verify(&op, &dev, &ks, 7);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}
+
+#[test]
+fn input_forgery_in_transit_detected() {
+    // A network adversary rewrites the I-Log portion of the proof to make a
+    // hot sensor look cool: MAC fails.
+    let s = apps::fire_sensor::scenario();
+    let op = s.build(InstrumentMode::Full);
+    let ks = KeyStore::from_seed(8);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    apps::fire_sensor::feed_hot(dev.platform_mut());
+    dev.invoke(&[0; 8]);
+    let chal = Challenge::derive(b"forge", 0);
+    let mut proof = dev.prove(&chal);
+    // Find and tweak a log word (any position will do — the whole OR is
+    // MACed).
+    let len = proof.pox.or_data.len();
+    proof.pox.or_data[len - 20] ^= 0x10;
+    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}

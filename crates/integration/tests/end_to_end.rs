@@ -1,0 +1,140 @@
+//! Full-stack integration: every evaluation app through the complete
+//! Vrf ↔ Prv protocol, honest and adversarial.
+
+use apex::pox::StopReason;
+use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+use dialed::prelude::*;
+
+fn build_and_run(
+    scenario: &apps::Scenario,
+    seed: u64,
+) -> (InstrumentedOp, DialedDevice, KeyStore) {
+    let op = scenario.build(InstrumentMode::Full);
+    let ks = KeyStore::from_seed(seed);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    (scenario.feed)(dev.platform_mut());
+    let info = dev.invoke(&scenario.args);
+    assert_eq!(info.stop, StopReason::ReachedStop, "{}: {:?}", scenario.name, dev.violation());
+    (op, dev, ks)
+}
+
+fn verifier_for(scenario: &apps::Scenario, op: &InstrumentedOp, ks: &KeyStore) -> DialedVerifier {
+    let mut v = DialedVerifier::new(op.clone(), ks.clone());
+    for p in (scenario.policies)() {
+        v = v.with_policy(p);
+    }
+    v
+}
+
+#[test]
+fn all_apps_verify_clean_when_honest() {
+    for (i, s) in apps::scenarios().into_iter().enumerate() {
+        let (op, dev, ks) = build_and_run(&s, 100 + i as u64);
+        let chal = Challenge::derive(b"e2e", i as u64);
+        let proof = dev.prove(&chal);
+        let report = verifier_for(&s, &op, &ks).verify(&proof, &chal);
+        assert!(report.is_clean(), "{}: {report}", s.name);
+        assert_eq!(report.stats.arg_entries, 9, "{}", s.name);
+        assert!(report.stats.cf_entries > 0, "{}", s.name);
+        assert_eq!(
+            report.stats.log_bytes_used,
+            2 * (report.stats.cf_entries + report.stats.input_entries + report.stats.arg_entries),
+            "{}: every logged word classified",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn or_bitflips_never_verify() {
+    let s = apps::fire_sensor::scenario();
+    let (op, dev, ks) = build_and_run(&s, 200);
+    let chal = Challenge::derive(b"flip", 0);
+    let proof = dev.prove(&chal);
+    let verifier = verifier_for(&s, &op, &ks);
+    // Flip a bit in each of several positions across the used log span.
+    for pos in [0usize, 1, 7, 100, proof.pox.or_data.len() - 1] {
+        let mut forged = proof.clone();
+        forged.pox.or_data[pos] ^= 0x40;
+        let report = verifier.verify(&forged, &chal);
+        assert!(!report.is_clean(), "bit flip at {pos} accepted");
+    }
+}
+
+#[test]
+fn wrong_key_and_replay_rejected() {
+    let s = apps::ultrasonic_ranger::scenario();
+    let (op, dev, ks) = build_and_run(&s, 201);
+    let chal = Challenge::derive(b"replay", 0);
+    let proof = dev.prove(&chal);
+
+    // Wrong verifier key.
+    let wrong = DialedVerifier::new(op.clone(), KeyStore::from_seed(999));
+    assert_eq!(wrong.verify(&proof, &chal).verdict, Verdict::Rejected);
+
+    // Replay under a fresh challenge.
+    let fresh = Challenge::derive(b"replay", 1);
+    let v = verifier_for(&s, &op, &ks);
+    assert_eq!(v.verify(&proof, &fresh).verdict, Verdict::Rejected);
+}
+
+#[test]
+fn proof_without_running_rejected() {
+    let s = apps::fire_sensor::scenario();
+    let op = s.build(InstrumentMode::Full);
+    let ks = KeyStore::from_seed(202);
+    let dev = DialedDevice::new(op.clone(), ks.clone());
+    let chal = Challenge::derive(b"norun", 0);
+    let proof = dev.prove(&chal);
+    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    assert_eq!(report.verdict, Verdict::Rejected);
+}
+
+#[test]
+fn stale_or_from_previous_run_detected() {
+    // Run once with input A (proof1), then run again with input B but
+    // replay proof1's challenge — each challenge binds one execution.
+    let s = apps::fire_sensor::scenario();
+    let (op, mut dev, ks) = build_and_run(&s, 203);
+    let chal1 = Challenge::derive(b"stale", 1);
+    let proof1 = dev.prove(&chal1);
+    let verifier = verifier_for(&s, &op, &ks);
+    assert!(verifier.verify(&proof1, &chal1).is_clean());
+
+    // Second run, different sensor value.
+    dev.platform_mut().adc.feed(&[apps::fire_sensor::raw_for_temp(80), 0x600]);
+    dev.invoke(&s.args);
+    let chal2 = Challenge::derive(b"stale", 2);
+    let proof2 = dev.prove(&chal2);
+    assert!(verifier.verify(&proof2, &chal2).is_clean());
+    // Old proof no longer matches the new challenge and vice versa.
+    assert!(!verifier.verify(&proof1, &chal2).is_clean());
+    assert!(!verifier.verify(&proof2, &chal1).is_clean());
+}
+
+#[test]
+fn cfa_only_build_cannot_claim_dfa_verification() {
+    let s = apps::fire_sensor::scenario();
+    let op = s.build(InstrumentMode::CfaOnly);
+    let ks = KeyStore::from_seed(204);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    (s.feed)(dev.platform_mut());
+    dev.invoke(&s.args);
+    let chal = Challenge::derive(b"cfaonly", 0);
+    let proof = dev.prove(&chal);
+    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    assert_eq!(report.verdict, Verdict::Rejected, "{report}");
+}
+
+#[test]
+fn device_rebuilds_are_deterministic() {
+    // The verifier instruments the source itself; both sides must agree on
+    // every byte or nothing verifies. Rebuild and compare.
+    for s in apps::scenarios() {
+        let a = s.build(InstrumentMode::Full);
+        let b = s.build(InstrumentMode::Full);
+        assert_eq!(a.er_bytes, b.er_bytes, "{}", s.name);
+        assert_eq!(a.sites, b.sites, "{}", s.name);
+        assert_eq!(a.pox, b.pox, "{}", s.name);
+    }
+}

@@ -1,0 +1,99 @@
+//! Linear-sweep disassembler.
+
+use msp430::isa::{DecodeError, Insn};
+
+/// One disassembled instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DisasmLine {
+    /// Address of the instruction.
+    pub addr: u16,
+    /// Decoded instruction.
+    pub insn: Insn,
+    /// Encoded length in bytes.
+    pub len: u16,
+}
+
+/// Disassembles `words` as a contiguous code block starting at `base`.
+///
+/// Stops at the first undecodable word and reports it.
+///
+/// # Errors
+///
+/// Returns the address and the [`DecodeError`] of the first bad word.
+pub fn disassemble(base: u16, words: &[u16]) -> Result<Vec<DisasmLine>, (u16, DecodeError)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < words.len() {
+        let addr = base.wrapping_add(2 * i as u16);
+        let mut used = 1usize;
+        let first = words[i];
+        let insn = {
+            let tail = &words[i + 1..];
+            let mut k = 0usize;
+            let res = Insn::decode(addr, first, || {
+                let w = tail.get(k).copied().unwrap_or(0);
+                k += 1;
+                w
+            });
+            used += k;
+            res.map_err(|e| (addr, e))?
+        };
+        out.push(DisasmLine { addr, insn, len: 2 * used as u16 });
+        i += used;
+    }
+    Ok(out)
+}
+
+/// Formats a disassembly as text, one instruction per line.
+#[must_use]
+pub fn format_disassembly(lines: &[DisasmLine]) -> String {
+    let mut s = String::new();
+    for l in lines {
+        s.push_str(&format!("{:#06x}:  {}\n", l.addr, l.insn));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembles_known_block() {
+        // mov #21, r10 ; add r10, r10 ; jmp .
+        let lines = disassemble(0xE000, &[0x403A, 0x0015, 0x5A0A, 0x3FFF]).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len, 4);
+        assert_eq!(lines[1].addr, 0xE004);
+        assert_eq!(lines[2].insn.to_string(), "jmp +0");
+        let text = format_disassembly(&lines);
+        assert!(text.contains("0xe000:  mov #21, r10"));
+    }
+
+    #[test]
+    fn reports_bad_word_address() {
+        let err = disassemble(0xE000, &[0x4305, 0x0000]).unwrap_err();
+        assert_eq!(err.0, 0xE002);
+    }
+
+    #[test]
+    fn assemble_disassemble_round_trip() {
+        let img = crate::assemble(
+            r#"
+            .org 0xE000
+            push r11
+            mov #0x1234, r11
+            call #0xF000
+            pop r11
+            ret
+        "#,
+        )
+        .unwrap();
+        let words = img.words_at(0xE000);
+        let lines = disassemble(0xE000, &words).unwrap();
+        let text = format_disassembly(&lines);
+        assert!(text.contains("push r11"));
+        assert!(text.contains("call #-4096"), "{text}");
+        assert!(text.contains("mov @r1+, r0"), "ret is mov @sp+, pc: {text}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Tokeniser for MSP430 assembly source.
+
+use msp430::regs::Reg;
+use std::fmt;
+
+/// One token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier (mnemonic, label, symbol, or `.directive`).
+    Ident(String),
+    /// Integer literal (decimal, `0x`, `0b`, or `'c'` character).
+    Num(i64),
+    /// Register name.
+    Reg(Reg),
+    /// `#`
+    Hash,
+    /// `&`
+    Amp,
+    /// `@`
+    At,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `$` — address of the current instruction.
+    Dollar,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Reg(r) => write!(f, "{r}"),
+            Tok::Hash => write!(f, "#"),
+            Tok::Amp => write!(f, "&"),
+            Tok::At => write!(f, "@"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dollar => write!(f, "$"),
+        }
+    }
+}
+
+/// Lexing error with a column hint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// 0-based byte offset in the line.
+    pub col: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col {}: {}", self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn reg_name(s: &str) -> Option<Reg> {
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "pc" => Some(Reg::PC),
+        "sp" => Some(Reg::SP),
+        "sr" => Some(Reg::SR),
+        _ => {
+            let rest = lower.strip_prefix('r')?;
+            let n: u16 = rest.parse().ok()?;
+            (n < 16).then(|| Reg::from_index(n))
+        }
+    }
+}
+
+/// Tokenises one line (the comment tail after `;` is discarded).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed numbers or stray characters.
+pub fn lex_line(line: &str) -> Result<Vec<Tok>, LexError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => { toks.push(Tok::Hash); i += 1; }
+            '&' => { toks.push(Tok::Amp); i += 1; }
+            '@' => { toks.push(Tok::At); i += 1; }
+            '+' => { toks.push(Tok::Plus); i += 1; }
+            '-' => { toks.push(Tok::Minus); i += 1; }
+            '(' => { toks.push(Tok::LParen); i += 1; }
+            ')' => { toks.push(Tok::RParen); i += 1; }
+            ',' => { toks.push(Tok::Comma); i += 1; }
+            ':' => { toks.push(Tok::Colon); i += 1; }
+            '$' => { toks.push(Tok::Dollar); i += 1; }
+            '\'' => {
+                // Character literal 'c'.
+                let rest = &line[i + 1..];
+                let mut chars = rest.chars();
+                let ch = chars.next().ok_or(LexError {
+                    col: i,
+                    msg: "unterminated character literal".into(),
+                })?;
+                if chars.next() != Some('\'') {
+                    return Err(LexError { col: i, msg: "unterminated character literal".into() });
+                }
+                toks.push(Tok::Num(i64::from(ch as u32)));
+                i += 2 + ch.len_utf8();
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                let n = parse_number(text).ok_or(LexError {
+                    col: start,
+                    msg: format!("bad number literal `{text}`"),
+                })?;
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                if let Some(r) = reg_name(text) {
+                    toks.push(Tok::Reg(r));
+                } else {
+                    toks.push(Tok::Ident(text.to_string()));
+                }
+            }
+            other => {
+                return Err(LexError { col: i, msg: format!("unexpected character `{other}`") });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_number(text: &str) -> Option<i64> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_instruction_line() {
+        let t = lex_line("  mov.b  @r15+, -2(r1) ; copy byte").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("mov.b".into()),
+                Tok::At,
+                Tok::Reg(Reg::R15),
+                Tok::Plus,
+                Tok::Comma,
+                Tok::Minus,
+                Tok::Num(2),
+                Tok::LParen,
+                Tok::Reg(Reg::SP),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex_line("0x10 0b101 42 'A'").unwrap(),
+            vec![Tok::Num(16), Tok::Num(5), Tok::Num(42), Tok::Num(65)]);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let t = lex_line("pc sp sr r4 R15").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Reg(Reg::PC),
+                Tok::Reg(Reg::SP),
+                Tok::Reg(Reg::SR),
+                Tok::Reg(Reg::R4),
+                Tok::Reg(Reg::R15)
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_and_directives() {
+        let t = lex_line("loop: .word 1, 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("loop".into()),
+                Tok::Colon,
+                Tok::Ident(".word".into()),
+                Tok::Num(1),
+                Tok::Comma,
+                Tok::Num(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_only_line() {
+        assert!(lex_line("; nothing here").unwrap().is_empty());
+        assert!(lex_line("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        assert!(lex_line("0xZZ").is_err());
+        assert!(lex_line("mov \"str\"").is_err());
+    }
+
+    #[test]
+    fn r16_is_an_identifier_not_a_register() {
+        assert_eq!(lex_line("r16").unwrap(), vec![Tok::Ident("r16".into())]);
+    }
+}

@@ -1,0 +1,50 @@
+//! A two-pass assembler (and disassembler) for MSP430 assembly.
+//!
+//! The DIALED paper instruments *assembly text* produced by `msp430-gcc`
+//! with a ~300-line Python pass. This crate replaces that part of the
+//! toolchain: the three evaluation applications are written in MSP430
+//! assembly, parsed into an AST ([`ast`]), optionally rewritten by the
+//! Tiny-CFA and DIALED instrumentation passes (which live in their own
+//! crates and splice synthetic [`ast::SourceLine`]s into the program), and
+//! assembled into a loadable [`image::Image`].
+//!
+//! Supported surface syntax:
+//!
+//! * all 27 core instructions plus the standard emulated mnemonics (`ret`,
+//!   `pop`, `br`, `clr`, `inc`, `dec`, `incd`, `decd`, `inv`, `rla`, `rlc`,
+//!   `adc`, `sbc`, `dadc`, `tst`, `nop`, `clrc`, `setc`, `clrz`, `setz`,
+//!   `clrn`, `setn`, `dint`, `eint`), with `.b`/`.w` suffixes;
+//! * all seven addressing modes — plus `@Rn` as a *destination*, accepted as
+//!   sugar for `0(Rn)` exactly like the listings in the paper write it;
+//! * labels, `$` (current instruction address), expressions with `+ -`;
+//! * directives: `.org`, `.word`, `.byte`, `.space`, `.equ`, `.align`;
+//! * comments with `;`.
+//!
+//! # Example
+//!
+//! ```
+//! let img = msp430_asm::assemble(r#"
+//!         .org 0xE000
+//! start:  mov #21, r10
+//!         add r10, r10
+//! done:   jmp done
+//! "#)?;
+//! assert_eq!(img.words_at(0xE000)[..2], [0x403A, 0x0015]);
+//! # Ok::<(), msp430_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod ast;
+pub mod disasm;
+pub mod image;
+pub mod lexer;
+pub mod listing;
+pub mod parser;
+
+pub use assembler::{assemble, assemble_program, AsmError};
+pub use ast::{Expr, Item, Program, SourceLine, Stmt, TOperand, Template};
+pub use image::Image;
+pub use parser::{parse_program, parse_snippet};

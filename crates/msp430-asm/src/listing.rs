@@ -1,0 +1,92 @@
+//! Assembly listings: source lines annotated with addresses and encodings.
+//!
+//! Useful for inspecting what the instrumentation passes produced — the
+//! equivalent of reading the paper's Fig. 4/5 "after" columns.
+
+use crate::assembler::AsmError;
+use crate::ast::{Item, Program, Stmt};
+use crate::image::Image;
+use std::fmt::Write as _;
+
+/// Produces a listing of an assembled program: every line with its address
+/// (where applicable) and emitted words.
+///
+/// The program must assemble; pass the image from
+/// [`crate::assemble_program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] if the program re-assembly for layout fails (cannot
+/// normally happen when `image` came from the same program).
+pub fn listing(program: &Program, image: &Image) -> Result<String, AsmError> {
+    // Re-run a light pass-1 to recover addresses per line.
+    let mut out = String::new();
+    let mut pc: u16 = 0;
+    let symbols = &image.symbols;
+    for line in &program.lines {
+        let mark = if line.synthetic { "+" } else { " " };
+        match &line.item {
+            Item::Label(l) => {
+                let _ = writeln!(out, "{mark}          {l}:");
+            }
+            Item::Stmt(stmt) => match stmt {
+                Stmt::Org(e) => {
+                    pc = e.eval(symbols, pc).unwrap_or(i64::from(pc)) as u16;
+                    let _ = writeln!(out, "{mark}          .org {e}");
+                }
+                Stmt::Align => {
+                    if pc & 1 != 0 {
+                        pc = pc.wrapping_add(1);
+                    }
+                    let _ = writeln!(out, "{mark}          .align");
+                }
+                Stmt::Equ(n, e) => {
+                    let _ = writeln!(out, "{mark}          .equ {n}, {e}");
+                }
+                Stmt::Word(es) => {
+                    let _ = writeln!(out, "{mark}{pc:#06x}    .word …({})", es.len());
+                    pc = pc.wrapping_add(2 * es.len() as u16);
+                }
+                Stmt::Byte(es) => {
+                    let _ = writeln!(out, "{mark}{pc:#06x}    .byte …({})", es.len());
+                    pc = pc.wrapping_add(es.len() as u16);
+                }
+                Stmt::Space(e) => {
+                    let n = e.eval(symbols, pc).unwrap_or(0) as u16;
+                    let _ = writeln!(out, "{mark}{pc:#06x}    .space {n}");
+                    pc = pc.wrapping_add(n);
+                }
+                Stmt::Insn(t) => {
+                    let (words, _) = crate::assembler::size_probe(t, symbols, pc);
+                    let mut enc = String::new();
+                    for i in 0..words {
+                        let a = pc.wrapping_add(2 * i);
+                        let w = image.words_at(a).first().copied().unwrap_or(0);
+                        let _ = write!(enc, "{w:04x} ");
+                    }
+                    let _ = writeln!(out, "{mark}{pc:#06x}    {t:<32} ; {enc}");
+                    pc = pc.wrapping_add(2 * words);
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_program, parse_program};
+
+    #[test]
+    fn listing_shows_addresses_and_synthetic_marks() {
+        let mut program = parse_program(".org 0xE000\nstart: mov #21, r10\n").unwrap();
+        let extra = crate::parse_snippet("decd r4\n").unwrap();
+        program.lines.extend(extra);
+        let image = assemble_program(&program).unwrap();
+        let text = listing(&program, &image).unwrap();
+        assert!(text.contains("start:"));
+        assert!(text.contains("0xe000"));
+        assert!(text.lines().any(|l| l.starts_with('+')), "synthetic mark: {text}");
+    }
+}

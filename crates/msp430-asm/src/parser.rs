@@ -1,0 +1,632 @@
+//! Parser: token lines → [`Program`].
+//!
+//! Emulated mnemonics are lowered to their core instruction here (e.g.
+//! `ret` → `mov @sp+, pc`), so every later stage — sizing, encoding, and the
+//! instrumentation passes — sees only the 27 core operations.
+
+use crate::ast::{Expr, Item, Program, SourceLine, Stmt, TOperand, Template};
+use crate::lexer::{lex_line, Tok};
+use msp430::isa::{Cond, Op1, Op2, Size};
+use msp430::regs::Reg;
+use std::fmt;
+
+/// Parse error with line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full source file.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut prog = Program::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        parse_into(raw, line_no, false, &mut prog.lines)?;
+    }
+    Ok(prog)
+}
+
+/// Parses a snippet of assembly into synthetic [`SourceLine`]s, for use by
+/// instrumentation passes splicing generated code into a program.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] (line numbers are relative to the
+/// snippet).
+pub fn parse_snippet(src: &str) -> Result<Vec<SourceLine>, ParseError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        parse_into(raw, idx + 1, true, &mut lines)?;
+    }
+    Ok(lines)
+}
+
+fn parse_into(
+    raw: &str,
+    line_no: usize,
+    synthetic: bool,
+    out: &mut Vec<SourceLine>,
+) -> Result<(), ParseError> {
+    let toks = lex_line(raw).map_err(|e| ParseError { line: line_no, msg: e.to_string() })?;
+    let mut p = P { toks: &toks, pos: 0, line: line_no };
+    let mk = |item| SourceLine { line: line_no, item, synthetic };
+
+    // Leading labels.
+    while p.peek_label() {
+        let Some(Tok::Ident(name)) = p.next().cloned() else { unreachable!() };
+        p.next(); // colon
+        out.push(mk(Item::Label(name)));
+    }
+    if p.at_end() {
+        return Ok(());
+    }
+    let stmt = p.parse_stmt()?;
+    p.expect_end()?;
+    out.push(mk(Item::Stmt(stmt)));
+    Ok(())
+}
+
+struct P<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing `{}`", self.toks[self.pos])))
+        }
+    }
+
+    fn peek_label(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if !s.starts_with('.'))
+            && matches!(self.peek2(), Some(Tok::Colon))
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`")))
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let Some(Tok::Ident(name)) = self.next().cloned() else {
+            return Err(self.err("expected mnemonic or directive"));
+        };
+        if let Some(dir) = name.strip_prefix('.') {
+            return self.parse_directive(dir);
+        }
+        self.parse_insn(&name)
+    }
+
+    fn parse_directive(&mut self, dir: &str) -> Result<Stmt, ParseError> {
+        match dir.to_ascii_lowercase().as_str() {
+            "org" => Ok(Stmt::Org(self.parse_expr()?)),
+            "word" => Ok(Stmt::Word(self.parse_expr_list()?)),
+            "byte" => Ok(Stmt::Byte(self.parse_expr_list()?)),
+            "space" => Ok(Stmt::Space(self.parse_expr()?)),
+            "align" => Ok(Stmt::Align),
+            "equ" => {
+                let Some(Tok::Ident(name)) = self.next().cloned() else {
+                    return Err(self.err(".equ needs a symbol name"));
+                };
+                self.expect(&Tok::Comma)?;
+                Ok(Stmt::Equ(name, self.parse_expr()?))
+            }
+            other => Err(self.err(format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut out = vec![self.parse_expr()?];
+        while self.eat(&Tok::Comma) {
+            out.push(self.parse_expr()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = if self.eat(&Tok::Minus) {
+            Expr::Neg(Box::new(self.parse_term()?))
+        } else {
+            self.parse_term()?
+        };
+        loop {
+            if self.eat(&Tok::Plus) {
+                lhs = Expr::Add(Box::new(lhs), Box::new(self.parse_term()?));
+            } else if self.eat(&Tok::Minus) {
+                lhs = Expr::Sub(Box::new(lhs), Box::new(self.parse_term()?));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        match self.next().cloned() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(s)) => Ok(Expr::Sym(s)),
+            Some(Tok::Dollar) => Ok(Expr::Here),
+            other => Err(self.err(format!(
+                "expected number, symbol or `$`, found `{}`",
+                other.map_or_else(|| "end of line".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn parse_operand(&mut self) -> Result<TOperand, ParseError> {
+        match self.peek() {
+            Some(Tok::Hash) => {
+                self.next();
+                Ok(TOperand::Imm(self.parse_expr()?))
+            }
+            Some(Tok::Amp) => {
+                self.next();
+                Ok(TOperand::Absolute(self.parse_expr()?))
+            }
+            Some(Tok::At) => {
+                self.next();
+                let Some(Tok::Reg(r)) = self.next().copied_reg() else {
+                    return Err(self.err("`@` must be followed by a register"));
+                };
+                if self.eat(&Tok::Plus) {
+                    Ok(TOperand::IndirectInc(r))
+                } else {
+                    Ok(TOperand::Indirect(r))
+                }
+            }
+            Some(Tok::Reg(r)) => {
+                let r = *r;
+                self.next();
+                Ok(TOperand::Reg(r))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                if self.eat(&Tok::LParen) {
+                    let Some(Tok::Reg(r)) = self.next().copied_reg() else {
+                        return Err(self.err("indexed mode needs a register"));
+                    };
+                    self.expect(&Tok::RParen)?;
+                    Ok(TOperand::Indexed(e, r))
+                } else {
+                    Ok(TOperand::Symbolic(e))
+                }
+            }
+        }
+    }
+
+    fn parse_insn(&mut self, name: &str) -> Result<Stmt, ParseError> {
+        let lower = name.to_ascii_lowercase();
+        let (base, size) = match lower.strip_suffix(".b") {
+            Some(b) => (b.to_string(), Size::Byte),
+            None => (
+                lower.strip_suffix(".w").map_or(lower.clone(), |w| w.to_string()),
+                Size::Word,
+            ),
+        };
+
+        // Jumps.
+        let cond = match base.as_str() {
+            "jne" | "jnz" => Some(Cond::Nz),
+            "jeq" | "jz" => Some(Cond::Z),
+            "jnc" | "jlo" => Some(Cond::Nc),
+            "jc" | "jhs" => Some(Cond::C),
+            "jn" => Some(Cond::N),
+            "jge" => Some(Cond::Ge),
+            "jl" => Some(Cond::L),
+            "jmp" => Some(Cond::Always),
+            _ => None,
+        };
+        if let Some(cond) = cond {
+            let target = self.parse_expr()?;
+            return Ok(Stmt::Insn(Template::Jcc { cond, target }));
+        }
+
+        // Format I core ops.
+        let op2 = match base.as_str() {
+            "mov" => Some(Op2::Mov),
+            "add" => Some(Op2::Add),
+            "addc" => Some(Op2::Addc),
+            "subc" => Some(Op2::Subc),
+            "sub" => Some(Op2::Sub),
+            "cmp" => Some(Op2::Cmp),
+            "dadd" => Some(Op2::Dadd),
+            "bit" => Some(Op2::Bit),
+            "bic" => Some(Op2::Bic),
+            "bis" => Some(Op2::Bis),
+            "xor" => Some(Op2::Xor),
+            "and" => Some(Op2::And),
+            _ => None,
+        };
+        if let Some(op) = op2 {
+            let src = self.parse_operand()?;
+            self.expect(&Tok::Comma)?;
+            let raw_dst = self.parse_operand()?;
+            let dst = self.fix_dst(raw_dst)?;
+            return Ok(Stmt::Insn(Template::Two { op, size, src, dst }));
+        }
+
+        // Format II core ops.
+        let op1 = match base.as_str() {
+            "rrc" => Some(Op1::Rrc),
+            "swpb" => Some(Op1::Swpb),
+            "rra" => Some(Op1::Rra),
+            "sxt" => Some(Op1::Sxt),
+            "push" => Some(Op1::Push),
+            "call" => Some(Op1::Call),
+            "reti" => Some(Op1::Reti),
+            _ => None,
+        };
+        if let Some(op) = op1 {
+            let sd = if op == Op1::Reti {
+                TOperand::Reg(Reg::CG2)
+            } else {
+                self.parse_operand()?
+            };
+            return Ok(Stmt::Insn(Template::One { op, size, sd }));
+        }
+
+        // Emulated mnemonics.
+        self.parse_emulated(&base, size)
+    }
+
+    /// `@Rn` as a destination is sugar for `0(Rn)` (the paper's listings use
+    /// it); `@Rn+` destinations are rejected.
+    fn fix_dst(&self, dst: TOperand) -> Result<TOperand, ParseError> {
+        match dst {
+            TOperand::Indirect(r) => Ok(TOperand::Indexed(Expr::Num(0), r)),
+            TOperand::IndirectInc(_) => {
+                Err(self.err("`@Rn+` is not a valid destination"))
+            }
+            TOperand::Imm(_) => Err(self.err("immediate is not a valid destination")),
+            other => Ok(other),
+        }
+    }
+
+    fn parse_emulated(&mut self, base: &str, size: Size) -> Result<Stmt, ParseError> {
+        let two = |op, src, dst| Ok(Stmt::Insn(Template::Two { op, size, src, dst }));
+        let sr_flag = |op, bit: i64| {
+            Ok(Stmt::Insn(Template::Two {
+                op,
+                size: Size::Word,
+                src: TOperand::Imm(Expr::Num(bit)),
+                dst: TOperand::Reg(Reg::SR),
+            }))
+        };
+        match base {
+            "nop" => two(Op2::Mov, TOperand::Imm(Expr::Num(0)), TOperand::Reg(Reg::CG2)),
+            "ret" => two(
+                Op2::Mov,
+                TOperand::IndirectInc(Reg::SP),
+                TOperand::Reg(Reg::PC),
+            ),
+            "pop" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Mov, TOperand::IndirectInc(Reg::SP), dst)
+            }
+            "br" => {
+                let src = self.parse_operand()?;
+                Ok(Stmt::Insn(Template::Two {
+                    op: Op2::Mov,
+                    size: Size::Word,
+                    src,
+                    dst: TOperand::Reg(Reg::PC),
+                }))
+            }
+            "clr" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Mov, TOperand::Imm(Expr::Num(0)), dst)
+            }
+            "inc" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Add, TOperand::Imm(Expr::Num(1)), dst)
+            }
+            "incd" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Add, TOperand::Imm(Expr::Num(2)), dst)
+            }
+            "dec" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Sub, TOperand::Imm(Expr::Num(1)), dst)
+            }
+            "decd" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Sub, TOperand::Imm(Expr::Num(2)), dst)
+            }
+            "inv" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Xor, TOperand::Imm(Expr::Num(-1)), dst)
+            }
+            "rla" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Add, same_as_dst(&dst, self)?, dst)
+            }
+            "rlc" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Addc, same_as_dst(&dst, self)?, dst)
+            }
+            "adc" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Addc, TOperand::Imm(Expr::Num(0)), dst)
+            }
+            "sbc" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Subc, TOperand::Imm(Expr::Num(0)), dst)
+            }
+            "dadc" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Dadd, TOperand::Imm(Expr::Num(0)), dst)
+            }
+            "tst" => {
+                let raw = self.parse_operand()?;
+                let dst = self.fix_dst(raw)?;
+                two(Op2::Cmp, TOperand::Imm(Expr::Num(0)), dst)
+            }
+            "clrc" => sr_flag(Op2::Bic, 1),
+            "setc" => sr_flag(Op2::Bis, 1),
+            "clrz" => sr_flag(Op2::Bic, 2),
+            "setz" => sr_flag(Op2::Bis, 2),
+            "clrn" => sr_flag(Op2::Bic, 4),
+            "setn" => sr_flag(Op2::Bis, 4),
+            "dint" => sr_flag(Op2::Bic, 8),
+            "eint" => sr_flag(Op2::Bis, 8),
+            other => Err(self.err(format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+/// `rla dst` lowers to `add dst, dst` — the source must be a *readable* copy
+/// of the destination operand.
+fn same_as_dst(dst: &TOperand, p: &P<'_>) -> Result<TOperand, ParseError> {
+    match dst {
+        TOperand::Reg(_) | TOperand::Indexed(..) | TOperand::Symbolic(_)
+        | TOperand::Absolute(_) => Ok(dst.clone()),
+        _ => Err(p.err("rla/rlc destination must be register or memory")),
+    }
+}
+
+/// Helper: `Option<&Tok>` → owned register matcher.
+trait CopiedReg {
+    fn copied_reg(self) -> Option<Tok>;
+}
+
+impl CopiedReg for Option<&Tok> {
+    fn copied_reg(self) -> Option<Tok> {
+        match self {
+            Some(Tok::Reg(r)) => Some(Tok::Reg(*r)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_insn(src: &str) -> Template {
+        let p = parse_program(src).expect("parse");
+        for l in p.lines {
+            if let Item::Stmt(Stmt::Insn(t)) = l.item {
+                return t;
+            }
+        }
+        panic!("no instruction in `{src}`");
+    }
+
+    #[test]
+    fn parses_core_two_operand() {
+        let t = one_insn("  mov.b @r15+, -2(r1)");
+        assert_eq!(
+            t,
+            Template::Two {
+                op: Op2::Mov,
+                size: Size::Byte,
+                src: TOperand::IndirectInc(Reg::R15),
+                dst: TOperand::Indexed(Expr::Neg(Box::new(Expr::Num(2))), Reg::SP),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_jumps_and_aliases() {
+        assert_eq!(
+            one_insn("jeq done"),
+            Template::Jcc { cond: Cond::Z, target: Expr::sym("done") }
+        );
+        assert_eq!(
+            one_insn("jhs done"),
+            Template::Jcc { cond: Cond::C, target: Expr::sym("done") }
+        );
+        assert_eq!(
+            one_insn("jmp $"),
+            Template::Jcc { cond: Cond::Always, target: Expr::Here }
+        );
+    }
+
+    #[test]
+    fn lowers_emulated_ret_pop_br() {
+        assert_eq!(
+            one_insn("ret"),
+            Template::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: TOperand::IndirectInc(Reg::SP),
+                dst: TOperand::Reg(Reg::PC)
+            }
+        );
+        assert_eq!(
+            one_insn("pop r11"),
+            Template::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: TOperand::IndirectInc(Reg::SP),
+                dst: TOperand::Reg(Reg::R11)
+            }
+        );
+        assert_eq!(
+            one_insn("br #0xF000"),
+            Template::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: TOperand::Imm(Expr::Num(0xF000)),
+                dst: TOperand::Reg(Reg::PC)
+            }
+        );
+    }
+
+    #[test]
+    fn lowers_inc_dec_tst_nop() {
+        assert_eq!(
+            one_insn("inc r5"),
+            Template::Two {
+                op: Op2::Add, size: Size::Word,
+                src: TOperand::Imm(Expr::Num(1)), dst: TOperand::Reg(Reg::R5)
+            }
+        );
+        assert_eq!(
+            one_insn("tst r9"),
+            Template::Two {
+                op: Op2::Cmp, size: Size::Word,
+                src: TOperand::Imm(Expr::Num(0)), dst: TOperand::Reg(Reg::R9)
+            }
+        );
+        assert_eq!(
+            one_insn("nop"),
+            Template::Two {
+                op: Op2::Mov, size: Size::Word,
+                src: TOperand::Imm(Expr::Num(0)), dst: TOperand::Reg(Reg::CG2)
+            }
+        );
+    }
+
+    #[test]
+    fn indirect_destination_sugar() {
+        // The paper writes `mov r8, @r4`; we accept it as `mov r8, 0(r4)`.
+        let t = one_insn("mov r8, @r4");
+        assert_eq!(
+            t,
+            Template::Two {
+                op: Op2::Mov, size: Size::Word,
+                src: TOperand::Reg(Reg::R8),
+                dst: TOperand::Indexed(Expr::Num(0), Reg::R4)
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_directives() {
+        let p = parse_program("start:\n  .org 0xE000\nloop: jmp loop\n").unwrap();
+        assert!(matches!(&p.lines[0].item, Item::Label(l) if l == "start"));
+        assert!(matches!(&p.lines[1].item, Item::Stmt(Stmt::Org(Expr::Num(0xE000)))));
+        assert!(matches!(&p.lines[2].item, Item::Label(l) if l == "loop"));
+    }
+
+    #[test]
+    fn equ_and_word_lists() {
+        let p = parse_program(".equ OR_MAX, 0x6FE\n.word 1, 2, OR_MAX\n").unwrap();
+        assert!(matches!(&p.lines[0].item,
+            Item::Stmt(Stmt::Equ(n, Expr::Num(0x6FE))) if n == "OR_MAX"));
+        assert!(matches!(&p.lines[1].item, Item::Stmt(Stmt::Word(v)) if v.len() == 3));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse_program("mov r5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_program("\n\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn indirect_inc_destination_rejected() {
+        assert!(parse_program("mov r5, @r6+").is_err());
+    }
+
+    #[test]
+    fn snippets_are_synthetic() {
+        let lines = parse_snippet("mov r1, @r4\n decd r4\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.synthetic));
+    }
+
+    #[test]
+    fn expression_arithmetic() {
+        let t = one_insn("mov #OR_MAX-2+4, r5");
+        let TOperand::Imm(e) = (match t {
+            Template::Two { src, .. } => src,
+            _ => panic!(),
+        }) else {
+            panic!()
+        };
+        let mut syms = std::collections::BTreeMap::new();
+        syms.insert("OR_MAX".to_string(), 10u16);
+        assert_eq!(e.eval(&syms, 0), Some(12));
+    }
+}

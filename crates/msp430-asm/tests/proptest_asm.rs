@@ -1,0 +1,115 @@
+//! Property tests: the assembler agrees with the ISA encoder, and
+//! text round-trips through assemble → disassemble → assemble.
+
+use msp430::isa::{Cond, Insn, Op1, Op2, Operand, Size};
+use msp430::regs::Reg;
+use msp430_asm::{assemble, disasm};
+use proptest::prelude::*;
+
+fn gp_reg() -> impl Strategy<Value = Reg> {
+    (4u16..16).prop_map(Reg::from_index)
+}
+
+fn src_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        (gp_reg(), -1000i32..1000).prop_map(|(r, x)| Operand::Indexed(r, x as u16)),
+        // Keep symbolic/absolute targets in sane memory so text stays exact.
+        (0x0200u16..0xF000).prop_map(Operand::Absolute),
+        gp_reg().prop_map(Operand::Indirect),
+        gp_reg().prop_map(Operand::IndirectInc),
+        (-0x8000i32..0x8000).prop_map(|v| Operand::Imm(v as u16)),
+    ]
+}
+
+fn dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        (gp_reg(), -1000i32..1000).prop_map(|(r, x)| Operand::Indexed(r, x as u16)),
+        (0x0200u16..0xF000).prop_map(Operand::Absolute),
+    ]
+}
+
+fn op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![
+        Just(Op2::Mov), Just(Op2::Add), Just(Op2::Addc), Just(Op2::Subc),
+        Just(Op2::Sub), Just(Op2::Cmp), Just(Op2::Dadd), Just(Op2::Bit),
+        Just(Op2::Bic), Just(Op2::Bis), Just(Op2::Xor), Just(Op2::And),
+    ]
+}
+
+fn op1() -> impl Strategy<Value = Op1> {
+    prop_oneof![
+        Just(Op1::Rrc), Just(Op1::Swpb), Just(Op1::Rra),
+        Just(Op1::Sxt), Just(Op1::Push), Just(Op1::Call),
+    ]
+}
+
+fn any_sized_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (op2(), any::<bool>(), src_operand(), dst_operand()).prop_map(|(op, byte, src, dst)| {
+            let size = if byte { Size::Byte } else { Size::Word };
+            Insn::Two { op, size, src, dst }
+        }),
+        (op1(), any::<bool>(), src_operand()).prop_map(|(op, byte, sd)| {
+            let size = if byte && op.allows_byte() { Size::Byte } else { Size::Word };
+            Insn::One { op, size, sd }
+        }),
+    ]
+}
+
+/// Renders an instruction as parseable source text.
+fn render(insn: &Insn) -> String {
+    // `Insn`'s Display form is already valid assembler syntax for the
+    // operand kinds generated here (registers, indexed, absolute, indirect,
+    // immediates).
+    insn.to_string()
+}
+
+proptest! {
+    /// Assembling the textual form of an instruction reproduces the direct
+    /// ISA encoding exactly (the assembler adds no drift).
+    #[test]
+    fn text_matches_direct_encoding(insn in any_sized_insn()) {
+        let at = 0xE000u16;
+        let Ok(direct) = insn.encode(at) else { return Ok(()); };
+        let src = format!(".org 0xE000\n {}\n", render(&insn));
+        let img = assemble(&src).unwrap_or_else(|e| panic!("`{src}` failed: {e}"));
+        prop_assert_eq!(img.words_at(at), direct);
+    }
+
+    /// assemble → disassemble → assemble is a fixpoint on the textual level.
+    #[test]
+    fn assemble_disassemble_fixpoint(insns in proptest::collection::vec(any_sized_insn(), 1..20)) {
+        let mut src = String::from(".org 0xE000\n");
+        for i in &insns {
+            if i.encode(0).is_err() {
+                return Ok(());
+            }
+            src.push_str(&format!(" {}\n", render(i)));
+        }
+        let img = assemble(&src).unwrap();
+        let words = img.words_at(0xE000);
+        let lines = disasm::disassemble(0xE000, &words).unwrap();
+        let mut src2 = String::from(".org 0xE000\n");
+        for l in &lines {
+            src2.push_str(&format!(" {}\n", l.insn));
+        }
+        let img2 = assemble(&src2).unwrap();
+        prop_assert_eq!(img2.words_at(0xE000), words);
+    }
+
+    /// Jump targets expressed with `$` arithmetic land where expected.
+    #[test]
+    fn jump_dollar_arithmetic(off in -200i32..200) {
+        let off = off * 2;
+        let cond = Cond::Always;
+        let delta = off + 2;
+        let expr = if delta >= 0 { format!("$+{delta}") } else { format!("$-{}", -delta) };
+        let src = format!(".org 0xE000\n {} {expr}\n", cond.mnemonic());
+        let img = assemble(&src).unwrap();
+        let w = img.words_at(0xE000)[0];
+        let expect = Insn::jump_to(cond, 0xE000, (0xE000i32 + 2 + off) as u16).unwrap();
+        prop_assert_eq!(vec![w], expect.encode(0xE000).unwrap());
+    }
+}

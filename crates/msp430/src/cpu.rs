@@ -1,0 +1,759 @@
+//! The MSP430 CPU core: fetch, decode, execute, and bus-event reporting.
+//!
+//! [`Cpu::step`] executes exactly one instruction (or services one pending
+//! interrupt) and returns a [`Step`] describing everything that happened on
+//! the bus. Hardware monitors — the APEX FSM in particular — consume the
+//! `Step` stream; nothing about attestation lives in this module.
+
+use crate::cycles::{insn_cycles, IRQ_CYCLES};
+use crate::flags;
+use crate::isa::{Cond, DecodeError, Insn, Op1, Op2, Operand, Size};
+use crate::layout::RESET_VECTOR;
+use crate::mem::{Access, AccessKind, Bus};
+use crate::regs::{Reg, RegFile};
+use std::fmt;
+
+/// Everything one [`Cpu::step`] did, for consumption by monitors and traces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// PC at the start of the step (address of the executed instruction).
+    pub pc: u16,
+    /// PC after the step (next instruction to execute).
+    pub next_pc: u16,
+    /// The executed instruction; `None` when the step serviced an interrupt.
+    pub insn: Option<Insn>,
+    /// Cycles consumed.
+    pub cycles: u32,
+    /// Ordered bus accesses (fetches, reads, writes).
+    pub accesses: Vec<Access>,
+    /// Vector number when this step was an interrupt entry.
+    pub irq: Option<u8>,
+}
+
+impl Step {
+    /// Iterator over only the data writes of this step.
+    pub fn writes(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Write)
+    }
+
+    /// Iterator over only the data reads of this step.
+    pub fn reads(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Read)
+    }
+}
+
+/// Faults that stop the core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuFault {
+    /// An undecodable opcode was fetched.
+    Decode {
+        /// Address of the bad opcode.
+        at: u16,
+        /// Underlying decode error.
+        err: DecodeError,
+    },
+    /// The CPU is halted (CPUOFF set in SR).
+    Halted,
+}
+
+impl fmt::Display for CpuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuFault::Decode { at, err } => write!(f, "decode fault at {at:#06x}: {err}"),
+            CpuFault::Halted => write!(f, "cpu halted (CPUOFF)"),
+        }
+    }
+}
+
+impl std::error::Error for CpuFault {}
+
+/// The MSP430 CPU core.
+#[derive(Clone, Debug, Default)]
+pub struct Cpu {
+    /// Architectural register file.
+    pub regs: RegFile,
+    pending_irq: Option<u8>,
+}
+
+impl Cpu {
+    /// A core with all registers zero (PC must be set before stepping).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the PC from the reset vector, like a power-on reset.
+    pub fn reset(&mut self, bus: &mut impl Bus) {
+        self.regs = RegFile::new();
+        let entry = bus.read_word(RESET_VECTOR);
+        self.regs.set(Reg::PC, entry);
+        self.pending_irq = None;
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u16 {
+        self.regs.get(r)
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u16) {
+        self.regs.set(r, v);
+    }
+
+    /// Program counter.
+    #[must_use]
+    pub fn pc(&self) -> u16 {
+        self.regs.pc()
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u16) {
+        self.regs.set(Reg::PC, pc);
+    }
+
+    /// Is a given SR flag set?
+    #[must_use]
+    pub fn flag(&self, mask: u16) -> bool {
+        self.regs.sr() & mask != 0
+    }
+
+    /// True when CPUOFF is set (core stopped until external wake).
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.flag(flags::CPUOFF)
+    }
+
+    /// Latches an interrupt request for vector `vec` (0–31). It is taken at
+    /// the next step boundary if GIE is set.
+    pub fn raise_irq(&mut self, vec: u8) {
+        self.pending_irq = Some(vec);
+    }
+
+    /// Clears any pending interrupt request.
+    pub fn clear_irq(&mut self) {
+        self.pending_irq = None;
+    }
+
+    /// Executes one instruction (or takes one interrupt).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuFault::Halted`] when CPUOFF is set; [`CpuFault::Decode`] on an
+    /// invalid opcode (PC is left pointing at the bad instruction).
+    pub fn step(&mut self, bus: &mut impl Bus) -> Result<Step, CpuFault> {
+        if self.halted() {
+            return Err(CpuFault::Halted);
+        }
+
+        let pc0 = self.regs.pc();
+        let mut accesses: Vec<Access> = Vec::with_capacity(6);
+
+        // Interrupt entry: push PC, push SR, clear SR (keep SCG0), vector.
+        if let Some(vec) = self.pending_irq {
+            if self.flag(flags::GIE) {
+                self.pending_irq = None;
+                let mut sp = self.regs.sp();
+                sp = sp.wrapping_sub(2);
+                bus.write_word(sp, pc0);
+                accesses.push(Access { addr: sp, kind: AccessKind::Write, value: pc0, word: true });
+                sp = sp.wrapping_sub(2);
+                let sr = self.regs.sr();
+                bus.write_word(sp, sr);
+                accesses.push(Access { addr: sp, kind: AccessKind::Write, value: sr, word: true });
+                self.regs.set(Reg::SP, sp);
+                self.regs.set(Reg::SR, sr & flags::SCG0);
+                let vaddr = 0xFFE0u16.wrapping_add(u16::from(vec) * 2);
+                let target = bus.read_word(vaddr);
+                accesses.push(Access { addr: vaddr, kind: AccessKind::Read, value: target, word: true });
+                self.regs.set(Reg::PC, target);
+                return Ok(Step {
+                    pc: pc0,
+                    next_pc: target,
+                    insn: None,
+                    cycles: IRQ_CYCLES,
+                    accesses,
+                    irq: Some(vec),
+                });
+            }
+        }
+
+        // Fetch + decode. A local PC cursor advances over extension words and
+        // records fetch events; the architectural PC is committed after
+        // decode so the instruction sees PC already past its full encoding.
+        let mut cursor = pc0;
+        let insn = {
+            let first = fetch_word(&mut cursor, &mut accesses, bus);
+            Insn::decode(pc0, first, || fetch_word(&mut cursor, &mut accesses, bus))
+                .map_err(|err| CpuFault::Decode { at: pc0, err })?
+        };
+        self.regs.set(Reg::PC, cursor);
+
+        let cycles = insn_cycles(&insn);
+        self.execute(bus, &insn, &mut accesses);
+
+        Ok(Step {
+            pc: pc0,
+            next_pc: self.regs.pc(),
+            insn: Some(insn),
+            cycles,
+            accesses,
+            irq: None,
+        })
+    }
+
+    /// Runs until the PC reaches `stop_pc`, the CPU halts/faults, or
+    /// `max_steps` is exceeded. Returns the executed steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuFault`]; hitting `max_steps` is reported as
+    /// a fault-free return with `steps.len() == max_steps`.
+    pub fn run_until(
+        &mut self,
+        bus: &mut impl Bus,
+        stop_pc: u16,
+        max_steps: usize,
+    ) -> Result<Vec<Step>, CpuFault> {
+        let mut steps = Vec::new();
+        while self.regs.pc() != stop_pc && steps.len() < max_steps {
+            steps.push(self.step(bus)?);
+        }
+        Ok(steps)
+    }
+
+    fn execute(&mut self, bus: &mut impl Bus, insn: &Insn, acc: &mut Vec<Access>) {
+        match *insn {
+            Insn::Jump { cond, offset } => {
+                if self.cond_true(cond) {
+                    let pc = self.regs.pc();
+                    self.regs.set(Reg::PC, pc.wrapping_add((offset as u16).wrapping_mul(2)));
+                }
+            }
+            Insn::One { op, size, sd } => self.exec_format2(bus, op, size, sd, acc),
+            Insn::Two { op, size, src, dst } => self.exec_format1(bus, op, size, src, dst, acc),
+        }
+    }
+
+    fn cond_true(&self, cond: Cond) -> bool {
+        let sr = self.regs.sr();
+        let c = sr & flags::C != 0;
+        let z = sr & flags::Z != 0;
+        let n = sr & flags::N != 0;
+        let v = sr & flags::V != 0;
+        match cond {
+            Cond::Nz => !z,
+            Cond::Z => z,
+            Cond::Nc => !c,
+            Cond::C => c,
+            Cond::N => n,
+            Cond::Ge => n == v,
+            Cond::L => n != v,
+            Cond::Always => true,
+        }
+    }
+
+    /// Resolves an operand to (value, effective address if memory).
+    fn read_operand(
+        &mut self,
+        bus: &mut impl Bus,
+        op: Operand,
+        size: Size,
+        acc: &mut Vec<Access>,
+    ) -> (u16, Option<u16>) {
+        match op {
+            Operand::Reg(r) => (self.regs.get(r) & flags::mask(size), None),
+            Operand::Imm(v) => (v & flags::mask(size), None),
+            Operand::Indexed(r, x) => {
+                let ea = self.regs.get(r).wrapping_add(x);
+                (self.load(bus, ea, size, acc), Some(ea))
+            }
+            Operand::Symbolic(a) | Operand::Absolute(a) => {
+                (self.load(bus, a, size, acc), Some(a))
+            }
+            Operand::Indirect(r) => {
+                let ea = self.regs.get(r);
+                (self.load(bus, ea, size, acc), Some(ea))
+            }
+            Operand::IndirectInc(r) => {
+                let ea = self.regs.get(r);
+                let v = self.load(bus, ea, size, acc);
+                self.regs.set(r, ea.wrapping_add(size.bytes()));
+                (v, Some(ea))
+            }
+        }
+    }
+
+    fn load(&mut self, bus: &mut impl Bus, ea: u16, size: Size, acc: &mut Vec<Access>) -> u16 {
+        let (v, word) = match size {
+            Size::Word => (bus.read_word(ea), true),
+            Size::Byte => (u16::from(bus.read_byte(ea)), false),
+        };
+        acc.push(Access { addr: ea, kind: AccessKind::Read, value: v, word });
+        v
+    }
+
+    fn store(&mut self, bus: &mut impl Bus, ea: u16, v: u16, size: Size, acc: &mut Vec<Access>) {
+        match size {
+            Size::Word => bus.write_word(ea, v),
+            Size::Byte => bus.write_byte(ea, v as u8),
+        }
+        acc.push(Access {
+            addr: ea,
+            kind: AccessKind::Write,
+            value: v & flags::mask(size),
+            word: size == Size::Word,
+        });
+    }
+
+    /// Writes back a result to a destination operand (register or memory EA).
+    fn write_dst(
+        &mut self,
+        bus: &mut impl Bus,
+        dst: Operand,
+        ea: Option<u16>,
+        v: u16,
+        size: Size,
+        acc: &mut Vec<Access>,
+    ) {
+        match dst {
+            // Writes to r3 (CG2) are architecturally discarded.
+            Operand::Reg(Reg::R3) => {}
+            Operand::Reg(r) => match size {
+                Size::Word => self.regs.set(r, v),
+                Size::Byte => self.regs.set_byte(r, v as u8),
+            },
+            _ => {
+                let ea = ea.expect("memory destination must have an effective address");
+                self.store(bus, ea, v, size, acc);
+            }
+        }
+    }
+
+    fn exec_format1(
+        &mut self,
+        bus: &mut impl Bus,
+        op: Op2,
+        size: Size,
+        src: Operand,
+        dst: Operand,
+        acc: &mut Vec<Access>,
+    ) {
+        let (s, _) = self.read_operand(bus, src, size, acc);
+        // Destination EA is computed after source side effects (@Rn+).
+        let (d, ea) = if op == Op2::Mov {
+            // MOV does not read the destination; still resolve the EA.
+            let ea = match dst {
+                Operand::Reg(_) => None,
+                Operand::Indexed(r, x) => Some(self.regs.get(r).wrapping_add(x)),
+                Operand::Symbolic(a) | Operand::Absolute(a) => Some(a),
+                _ => None,
+            };
+            (0, ea)
+        } else {
+            self.read_operand(bus, dst, size, acc)
+        };
+
+        let sr = self.regs.sr();
+        let carry = sr & flags::C != 0;
+        let (out, keep_v) = match op {
+            Op2::Mov => (flags::AluOut { value: s, c: false, z: false, n: false, v: false }, false),
+            Op2::Add => (flags::add(d, s, false, size), false),
+            Op2::Addc => (flags::add(d, s, carry, size), false),
+            Op2::Sub | Op2::Cmp => (flags::sub(d, s, true, size), false),
+            Op2::Subc => (flags::sub(d, s, carry, size), false),
+            Op2::Dadd => (flags::dadd(d, s, carry, size), true),
+            Op2::Bit | Op2::And => (flags::logic(d & s, size), false),
+            Op2::Xor => (flags::xor(d, s, size), false),
+            Op2::Bic => (flags::AluOut { value: d & !s, c: false, z: false, n: false, v: false }, false),
+            Op2::Bis => (flags::AluOut { value: d | s, c: false, z: false, n: false, v: false }, false),
+        };
+
+        if op.writes_dst() {
+            self.write_dst(bus, dst, ea, out.value, size, acc);
+        }
+        if op.sets_flags() {
+            // Flags are applied to the (possibly just-written) SR.
+            let sr_now = self.regs.sr();
+            self.regs.set(Reg::SR, flags::apply(sr_now, &out, keep_v));
+        }
+    }
+
+    fn exec_format2(
+        &mut self,
+        bus: &mut impl Bus,
+        op: Op1,
+        size: Size,
+        sd: Operand,
+        acc: &mut Vec<Access>,
+    ) {
+        match op {
+            Op1::Reti => {
+                let mut sp = self.regs.sp();
+                let sr = bus.read_word(sp);
+                acc.push(Access { addr: sp, kind: AccessKind::Read, value: sr, word: true });
+                sp = sp.wrapping_add(2);
+                let pc = bus.read_word(sp);
+                acc.push(Access { addr: sp, kind: AccessKind::Read, value: pc, word: true });
+                sp = sp.wrapping_add(2);
+                self.regs.set(Reg::SR, sr);
+                self.regs.set(Reg::SP, sp);
+                self.regs.set(Reg::PC, pc);
+            }
+            Op1::Push => {
+                let (v, _) = self.read_operand(bus, sd, size, acc);
+                let sp = self.regs.sp().wrapping_sub(2);
+                self.regs.set(Reg::SP, sp);
+                // push.b still moves SP by 2 but stores a byte.
+                self.store(bus, sp, v, size, acc);
+            }
+            Op1::Call => {
+                let (target, _) = self.read_operand(bus, sd, Size::Word, acc);
+                let sp = self.regs.sp().wrapping_sub(2);
+                self.regs.set(Reg::SP, sp);
+                let ret = self.regs.pc();
+                self.store(bus, sp, ret, Size::Word, acc);
+                self.regs.set(Reg::PC, target);
+            }
+            Op1::Rrc | Op1::Rra | Op1::Swpb | Op1::Sxt => {
+                let (v, ea) = self.read_operand(bus, sd, size, acc);
+                let sr = self.regs.sr();
+                let carry_in = sr & flags::C != 0;
+                let sign = flags::sign_bit(size);
+                let (result, out): (u16, Option<flags::AluOut>) = match op {
+                    Op1::Rrc => {
+                        let r = (v >> 1) | if carry_in { sign } else { 0 };
+                        let o = flags::AluOut {
+                            value: r & flags::mask(size),
+                            c: v & 1 != 0,
+                            z: r & flags::mask(size) == 0,
+                            n: r & sign != 0,
+                            v: false,
+                        };
+                        (o.value, Some(o))
+                    }
+                    Op1::Rra => {
+                        let r = (v >> 1) | (v & sign);
+                        let o = flags::AluOut {
+                            value: r & flags::mask(size),
+                            c: v & 1 != 0,
+                            z: r & flags::mask(size) == 0,
+                            n: r & sign != 0,
+                            v: false,
+                        };
+                        (o.value, Some(o))
+                    }
+                    Op1::Swpb => ((v >> 8) | (v << 8), None),
+                    Op1::Sxt => {
+                        let r = if v & 0x80 != 0 { v | 0xFF00 } else { v & 0x00FF };
+                        (r, Some(flags::logic(r, Size::Word)))
+                    }
+                    _ => unreachable!(),
+                };
+                // Write back to the same place (register or memory EA).
+                match sd {
+                    Operand::Reg(Reg::R3) => {}
+                    Operand::Reg(r) => match size {
+                        Size::Word => self.regs.set(r, result),
+                        Size::Byte => self.regs.set_byte(r, result as u8),
+                    },
+                    Operand::Imm(_) => {} // e.g. `rrc #4` — result discarded
+                    _ => {
+                        let ea = ea.expect("memory operand has EA");
+                        // SXT result is a word even for byte-addressed input.
+                        let wsize = if op == Op1::Sxt { Size::Word } else { size };
+                        self.store(bus, ea, result, wsize, acc);
+                    }
+                }
+                if let Some(o) = out {
+                    let sr_now = self.regs.sr();
+                    self.regs.set(Reg::SR, flags::apply(sr_now, &o, false));
+                }
+            }
+        }
+    }
+}
+
+/// Fetches one instruction-stream word, recording the bus event.
+fn fetch_word<B: Bus>(cursor: &mut u16, acc: &mut Vec<Access>, bus: &mut B) -> u16 {
+    let w = bus.read_word(*cursor);
+    acc.push(Access { addr: *cursor, kind: AccessKind::Fetch, value: w, word: true });
+    *cursor = cursor.wrapping_add(2);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Ram;
+
+    /// Assembles a tiny program with the encoder and runs it.
+    fn run(words: &[u16], steps: usize) -> (Cpu, Ram) {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, words);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::SP, 0x0A00);
+        for _ in 0..steps {
+            cpu.step(&mut ram).expect("step ok");
+        }
+        (cpu, ram)
+    }
+
+    #[test]
+    fn mov_imm_and_add() {
+        // mov #21, r10 ; add r10, r10
+        let (cpu, _) = run(&[0x403A, 0x0015, 0x5A0A], 2);
+        assert_eq!(cpu.reg(Reg::R10), 42);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        // 0xE000: call #0xE008
+        // 0xE004: jmp .        (landing point after return)
+        // 0xE006: (pad)
+        // 0xE008: ret
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x12B0, 0xE008, 0x3FFF, 0x4303, 0x4130]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::SP, 0x0A00);
+        let s1 = cpu.step(&mut ram).unwrap(); // call
+        assert_eq!(cpu.pc(), 0xE008);
+        assert_eq!(cpu.reg(Reg::SP), 0x09FE);
+        assert_eq!(ram.read_word(0x09FE), 0xE004);
+        assert_eq!(s1.cycles, 5);
+        let s2 = cpu.step(&mut ram).unwrap(); // ret
+        assert_eq!(cpu.pc(), 0xE004);
+        assert_eq!(cpu.reg(Reg::SP), 0x0A00);
+        assert_eq!(s2.cycles, 3);
+    }
+
+    #[test]
+    fn push_pop_word() {
+        // mov #0x1234, r5 ; push r5 ; mov @sp+, r6 (pop r6)
+        let (cpu, _) = run(&[0x4035, 0x1234, 0x1205, 0x4136], 3);
+        assert_eq!(cpu.reg(Reg::R6), 0x1234);
+        assert_eq!(cpu.reg(Reg::SP), 0x0A00);
+    }
+
+    #[test]
+    fn conditional_jump_taken_and_not() {
+        // mov #1, r5 ; cmp #1, r5 ; jz +4 (skip next) ; mov #0xDEAD, r6 ; mov #7, r7
+        let prog = [
+            0x4315,         // mov #1, r5
+            0x9315,         // cmp #1, r5
+            0x2402,         // jz skip two words
+            0x4036, 0xDEAD, // mov #0xDEAD, r6
+            0x4037, 0x0007, // mov #7, r7
+        ];
+        let (cpu, _) = run(&prog, 4);
+        assert_eq!(cpu.reg(Reg::R6), 0, "skipped");
+        assert_eq!(cpu.reg(Reg::R7), 7);
+    }
+
+    #[test]
+    fn byte_op_clears_high_byte_in_register() {
+        // mov #0xBEEF, r5 ; mov.b r5, r6
+        let (cpu, _) = run(&[0x4035, 0xBEEF, 0x4546], 2);
+        assert_eq!(cpu.reg(Reg::R6), 0x00EF);
+    }
+
+    #[test]
+    fn autoincrement_word_and_byte() {
+        // mov #0x0200, r15 ; mov @r15+, r5 ; mov.b @r15+, r6
+        let mut ram = Ram::new();
+        ram.load_words(0x0200, &[0xCAFE]);
+        ram.load_bytes(0x0202, &[0x7A]);
+        ram.load_words(0xE000, &[0x403F, 0x0200, 0x4F35, 0x4F76]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R5), 0xCAFE);
+        assert_eq!(cpu.reg(Reg::R15), 0x0202);
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R6), 0x007A);
+        assert_eq!(cpu.reg(Reg::R15), 0x0203);
+    }
+
+    #[test]
+    fn indexed_store_and_load() {
+        // mov #0x0300, r4 ; mov #0xABCD, r5 ; mov r5, 4(r4) ; mov 4(r4), r6
+        let prog = [
+            0x4034, 0x0300, // mov #0x300, r4
+            0x4035, 0xABCD, // mov #0xABCD, r5
+            0x4584, 0x0004, // mov r5, 4(r4)
+            0x4416, 0x0004, // mov 4(r4), r6
+        ];
+        let (cpu, ram) = run(&prog, 4);
+        let mut ram = ram;
+        assert_eq!(ram.read_word(0x0304), 0xABCD);
+        assert_eq!(cpu.reg(Reg::R6), 0xABCD);
+    }
+
+    #[test]
+    fn symbolic_load_is_pc_relative() {
+        // 0xE000: mov DATA, r5   (symbolic; DATA at 0xE006)
+        // 0xE004: jmp .
+        // 0xE006: .word 0x5555
+        let i = Insn::Two {
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Symbolic(0xE006),
+            dst: Operand::Reg(Reg::R5),
+        };
+        let mut words = i.encode(0xE000).unwrap();
+        words.push(0x3FFF);
+        words.push(0x5555);
+        let (cpu, _) = run(&words, 1);
+        assert_eq!(cpu.reg(Reg::R5), 0x5555);
+    }
+
+    #[test]
+    fn br_via_mov_to_pc() {
+        // mov #0xE006, pc ; (dead) ; mov #9, r5
+        let prog = [0x4030, 0xE006, 0x4303, 0x4035, 0x0009];
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &prog);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.pc(), 0xE006);
+        assert_eq!(s.cycles, 3); // #N → PC
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R5), 9);
+    }
+
+    #[test]
+    fn sr_cpuoff_halts() {
+        // bis #0x10, sr  → CPUOFF
+        let (mut cpu, mut ram) = run(&[0xD032, 0x0010], 1);
+        assert!(cpu.halted());
+        assert!(matches!(cpu.step(&mut ram), Err(CpuFault::Halted)));
+    }
+
+    #[test]
+    fn irq_entry_and_reti() {
+        // main: bis #8, sr (GIE) ; nop-ish loop. ISR at 0xF000: reti.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0xD232, 0x4303, 0x4303, 0x4303]); // bis #8,sr ; nops
+        ram.load_words(0xF000, &[0x1300]); // reti
+        ram.load_words(0xFFE0 + 2 * 9, &[0xF000]); // vector 9
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::SP, 0x0A00);
+        cpu.step(&mut ram).unwrap(); // GIE on
+        cpu.raise_irq(9);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(s.irq, Some(9));
+        assert_eq!(cpu.pc(), 0xF000);
+        assert_eq!(s.cycles, 6);
+        assert!(!cpu.flag(flags::GIE), "GIE cleared on entry");
+        let s = cpu.step(&mut ram).unwrap(); // reti
+        assert_eq!(cpu.pc(), 0xE002);
+        assert!(cpu.flag(flags::GIE), "GIE restored");
+        assert_eq!(s.cycles, 5);
+        assert_eq!(cpu.reg(Reg::SP), 0x0A00);
+    }
+
+    #[test]
+    fn irq_held_pending_while_gie_clear() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x4303, 0x4303]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.raise_irq(3);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(s.irq, None, "masked while GIE clear");
+        assert_eq!(cpu.pc(), 0xE002);
+    }
+
+    #[test]
+    fn decode_fault_reports_address() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x0000]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        match cpu.step(&mut ram) {
+            Err(CpuFault::Decode { at, .. }) => assert_eq!(at, 0xE000),
+            other => panic!("expected decode fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rrc_uses_and_sets_carry() {
+        // setc (bis #1, sr) ; mov #2, r5 ; rrc r5
+        let (cpu, _) = run(&[0xD312, 0x4325, 0x1005], 3);
+        // carry-in 1 → msb set; bit0 of 2 = 0 → carry-out clear.
+        assert_eq!(cpu.reg(Reg::R5), 0x8001);
+        assert!(!cpu.flag(flags::C));
+        assert!(cpu.flag(flags::N));
+    }
+
+    #[test]
+    fn rra_preserves_sign() {
+        // mov #0x8004, r5 ; rra r5
+        let (cpu, _) = run(&[0x4035, 0x8004, 0x1105], 2);
+        assert_eq!(cpu.reg(Reg::R5), 0xC002);
+        assert!(cpu.flag(flags::N));
+    }
+
+    #[test]
+    fn swpb_and_sxt() {
+        // mov #0x1280, r5 ; swpb r5 ; sxt r5
+        let (cpu, _) = run(&[0x4035, 0x1280, 0x1085, 0x1185], 3);
+        // swpb → 0x8012; sxt of low byte 0x12 → 0x0012.
+        assert_eq!(cpu.reg(Reg::R5), 0x0012);
+    }
+
+    #[test]
+    fn dadd_bcd() {
+        // clrc? use mov #0, sr ; mov #0x0199, r5 ; mov #0x0001, r6 ; dadd r5, r6
+        let prog = [
+            0x4302,         // mov #0, sr
+            0x4035, 0x0199, // mov #0x0199, r5
+            0x4316,         // mov #1, r6
+            0xA506,         // dadd r5, r6
+        ];
+        let (cpu, _) = run(&prog, 4);
+        assert_eq!(cpu.reg(Reg::R6), 0x0200);
+    }
+
+    #[test]
+    fn writes_to_r3_are_discarded() {
+        // mov #0x1234, r3 — r3 must stay 0 (constant generator).
+        let (cpu, _) = run(&[0x4033, 0x1234], 1);
+        assert_eq!(cpu.reg(Reg::R3), 0);
+    }
+
+    #[test]
+    fn step_reports_accesses() {
+        // mov #0xAA55, &0x0200
+        let (_, _) = run(&[], 0);
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x40B2, 0xAA55, 0x0200]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let s = cpu.step(&mut ram).unwrap();
+        let fetches: Vec<_> = s.accesses.iter().filter(|a| a.kind == AccessKind::Fetch).collect();
+        assert_eq!(fetches.len(), 3);
+        let writes: Vec<_> = s.writes().collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].addr, 0x0200);
+        assert_eq!(writes[0].value, 0xAA55);
+        assert_eq!(s.cycles, 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_address() {
+        // mov #1, r5 ; mov #2, r6 ; jmp .
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x4315, 0x4326, 0x3FFF]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let steps = cpu.run_until(&mut ram, 0xE004, 100).unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(cpu.pc(), 0xE004);
+    }
+}

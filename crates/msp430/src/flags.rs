@@ -1,0 +1,256 @@
+//! Status-register (SR / `r2`) bit definitions and flag arithmetic.
+//!
+//! The MSP430 keeps its four condition codes (C, Z, N, V) together with the
+//! interrupt-enable and low-power bits inside `r2`. This module defines the
+//! bit masks and the arithmetic helpers that compute condition codes exactly
+//! as the ALU does, for both word and byte operations.
+
+use crate::isa::Size;
+
+/// Carry flag (bit 0).
+pub const C: u16 = 0x0001;
+/// Zero flag (bit 1).
+pub const Z: u16 = 0x0002;
+/// Negative flag (bit 2).
+pub const N: u16 = 0x0004;
+/// General interrupt enable (bit 3).
+pub const GIE: u16 = 0x0008;
+/// CPU off — halts instruction execution (bit 4).
+pub const CPUOFF: u16 = 0x0010;
+/// Oscillator off (bit 5); modelled but has no behavioural effect here.
+pub const OSCOFF: u16 = 0x0020;
+/// System clock generator 0 (bit 6); no behavioural effect here.
+pub const SCG0: u16 = 0x0040;
+/// System clock generator 1 (bit 7); no behavioural effect here.
+pub const SCG1: u16 = 0x0080;
+/// Overflow flag (bit 8).
+pub const V: u16 = 0x0100;
+
+/// Result of an ALU operation: the (size-masked) value plus the four
+/// condition codes it produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AluOut {
+    /// Result masked to the operation size.
+    pub value: u16,
+    /// Carry out.
+    pub c: bool,
+    /// Result was zero.
+    pub z: bool,
+    /// Result msb set.
+    pub n: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+/// Mask for the given operation size (0xFFFF or 0x00FF).
+#[must_use]
+pub fn mask(size: Size) -> u16 {
+    match size {
+        Size::Word => 0xFFFF,
+        Size::Byte => 0x00FF,
+    }
+}
+
+/// Most-significant-bit mask for the size.
+#[must_use]
+pub fn sign_bit(size: Size) -> u16 {
+    match size {
+        Size::Word => 0x8000,
+        Size::Byte => 0x0080,
+    }
+}
+
+/// Full adder over `a + b + carry_in`, producing the MSP430 condition codes.
+///
+/// Subtraction is expressed as `add(dst, !src, carry_in)` exactly like the
+/// hardware (`SUB` uses carry-in 1, `SUBC` uses the C flag).
+#[must_use]
+pub fn add(a: u16, b: u16, carry_in: bool, size: Size) -> AluOut {
+    let m = mask(size);
+    let s = sign_bit(size);
+    let (a, b) = (a & m, b & m);
+    let wide = u32::from(a) + u32::from(b) + u32::from(carry_in);
+    let value = (wide as u16) & m;
+    let c = wide > u32::from(m);
+    let n = value & s != 0;
+    let z = value == 0;
+    // Overflow: operands share a sign that the result does not.
+    let v = ((a & s) == (b & s)) && ((value & s) != (a & s));
+    AluOut { value, c, z, n, v }
+}
+
+/// `dst - src` (+ optional borrow chain through `carry_in`).
+///
+/// `SUB`/`CMP` pass `carry_in = true`; `SUBC` passes the current C flag.
+#[must_use]
+pub fn sub(dst: u16, src: u16, carry_in: bool, size: Size) -> AluOut {
+    add(dst, !src & mask(size), carry_in, size)
+}
+
+/// Logic-group flags (`AND`, `BIT`, `SXT`): N and Z from the result,
+/// C = "result not zero", V = 0.
+#[must_use]
+pub fn logic(value: u16, size: Size) -> AluOut {
+    let value = value & mask(size);
+    let z = value == 0;
+    AluOut { value, c: !z, z, n: value & sign_bit(size) != 0, v: false }
+}
+
+/// `XOR` flags: like [`logic`] but V is set when *both* operands were
+/// negative (per the family user's guide).
+#[must_use]
+pub fn xor(a: u16, b: u16, size: Size) -> AluOut {
+    let s = sign_bit(size);
+    let mut out = logic((a ^ b) & mask(size), size);
+    out.v = (a & s != 0) && (b & s != 0);
+    out
+}
+
+/// Decimal (BCD) addition used by `DADD`.
+///
+/// Adds digit-by-digit with decimal carries. V is architecturally undefined
+/// after `DADD`; we report `false` and the CPU leaves the V bit untouched.
+#[must_use]
+pub fn dadd(a: u16, b: u16, carry_in: bool, size: Size) -> AluOut {
+    let digits = match size {
+        Size::Word => 4,
+        Size::Byte => 2,
+    };
+    let mut carry = u16::from(carry_in);
+    let mut value: u16 = 0;
+    for d in 0..digits {
+        let da = (a >> (4 * d)) & 0xF;
+        let db = (b >> (4 * d)) & 0xF;
+        let mut sum = da + db + carry;
+        carry = 0;
+        if sum > 9 {
+            sum += 6;
+            carry = 1;
+        }
+        value |= (sum & 0xF) << (4 * d);
+    }
+    let value = value & mask(size);
+    AluOut {
+        value,
+        c: carry != 0,
+        z: value == 0,
+        n: value & sign_bit(size) != 0,
+        v: false,
+    }
+}
+
+/// Packs condition codes into SR bits (leaving the rest of `sr` intact).
+///
+/// `keep_v` preserves the current V bit, used by `DADD` whose V output is
+/// architecturally undefined.
+#[must_use]
+pub fn apply(sr: u16, out: &AluOut, keep_v: bool) -> u16 {
+    let mut sr = sr & !(C | Z | N | if keep_v { 0 } else { V });
+    if out.c {
+        sr |= C;
+    }
+    if out.z {
+        sr |= Z;
+    }
+    if out.n {
+        sr |= N;
+    }
+    if out.v && !keep_v {
+        sr |= V;
+    }
+    sr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Size::{Byte, Word};
+
+    #[test]
+    fn add_basic_carry_and_overflow() {
+        let o = add(0xFFFF, 1, false, Word);
+        assert_eq!(o.value, 0);
+        assert!(o.c && o.z && !o.n && !o.v);
+
+        let o = add(0x7FFF, 1, false, Word);
+        assert_eq!(o.value, 0x8000);
+        assert!(!o.c && !o.z && o.n && o.v);
+
+        let o = add(0x8000, 0x8000, false, Word);
+        assert_eq!(o.value, 0);
+        assert!(o.c && o.z && o.v);
+    }
+
+    #[test]
+    fn byte_add_ignores_high_bytes() {
+        let o = add(0x12FF, 0xAB01, false, Byte);
+        assert_eq!(o.value, 0x00);
+        assert!(o.c && o.z);
+    }
+
+    #[test]
+    fn sub_carry_means_no_borrow() {
+        // 5 - 3: no borrow → C set.
+        let o = sub(5, 3, true, Word);
+        assert_eq!(o.value, 2);
+        assert!(o.c && !o.z && !o.n);
+        // 3 - 5: borrow → C clear, negative.
+        let o = sub(3, 5, true, Word);
+        assert_eq!(o.value, 0xFFFE);
+        assert!(!o.c && o.n);
+        // x - x = 0 with C set.
+        let o = sub(0x1234, 0x1234, true, Word);
+        assert!(o.c && o.z);
+    }
+
+    #[test]
+    fn sub_signed_overflow() {
+        // 0x8000 - 1 = 0x7FFF overflows (neg - pos = pos).
+        let o = sub(0x8000, 1, true, Word);
+        assert_eq!(o.value, 0x7FFF);
+        assert!(o.v);
+    }
+
+    #[test]
+    fn logic_carry_is_not_zero() {
+        assert!(logic(0, Word).z);
+        assert!(!logic(0, Word).c);
+        assert!(logic(1, Word).c);
+        assert!(logic(0x8000, Word).n);
+        assert!(!logic(0x80, Word).n);
+        assert!(logic(0x80, Byte).n);
+    }
+
+    #[test]
+    fn xor_overflow_when_both_negative() {
+        assert!(xor(0x8000, 0x8001, Word).v);
+        assert!(!xor(0x8000, 0x0001, Word).v);
+        assert!(xor(0x80, 0xFF, Byte).v);
+    }
+
+    #[test]
+    fn dadd_decimal_digits() {
+        // 0x0999 + 0x0001 = 0x1000 in BCD.
+        let o = dadd(0x0999, 0x0001, false, Word);
+        assert_eq!(o.value, 0x1000);
+        assert!(!o.c);
+        // 0x9999 + 0x0001 wraps with carry.
+        let o = dadd(0x9999, 0x0001, false, Word);
+        assert_eq!(o.value, 0x0000);
+        assert!(o.c && o.z);
+        // Carry-in participates: 99 + 00 + 1 = 100 (byte → 00 carry).
+        let o = dadd(0x99, 0x00, true, Byte);
+        assert_eq!(o.value, 0x00);
+        assert!(o.c);
+    }
+
+    #[test]
+    fn apply_sets_and_clears() {
+        let out = AluOut { value: 0, c: true, z: true, n: false, v: false };
+        let sr = apply(N | V | GIE, &out, false);
+        assert_eq!(sr, C | Z | GIE);
+        // keep_v preserves V.
+        let sr = apply(V, &out, true);
+        assert_eq!(sr & V, V);
+    }
+}

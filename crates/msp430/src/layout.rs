@@ -1,0 +1,149 @@
+//! Memory-map constants and region classification.
+//!
+//! We model an openMSP430-style 64 KiB address space:
+//!
+//! ```text
+//! 0x0000 ─ 0x01FF   memory-mapped peripherals (GPIO, ADC, timer, UART, DMA)
+//! 0x0200 ─ 0x11FF   SRAM data memory (4 KiB default, configurable) —
+//!                    sized like the larger x1xx parts so that the paper's
+//!                    ≈2 KB attestation logs fit alongside stack and globals
+//! 0x1200 ─ 0x9FFF   unmapped (bus error region)
+//! 0xA000 ─ 0xFFDF   program memory (flash)
+//! 0xFFE0 ─ 0xFFFF   interrupt vector table (top of flash)
+//! ```
+//!
+//! APEX's Executable Range (ER) and Output Range (OR) are sub-regions of
+//! program and data memory chosen per attested operation; see the `apex`
+//! crate. Here we only define the physical map.
+
+use serde::{Deserialize, Serialize};
+
+/// Peripheral register addresses used by the simulator.
+///
+/// Byte-wide registers live below `0x0100` like the real x1xx parts.
+pub mod mmio {
+    /// Port 1 input register (read-only).
+    pub const P1IN: u16 = 0x0020;
+    /// Port 1 output register.
+    pub const P1OUT: u16 = 0x0021;
+    /// Port 1 direction register.
+    pub const P1DIR: u16 = 0x0022;
+    /// Port 2 input register.
+    pub const P2IN: u16 = 0x0028;
+    /// Port 2 output register.
+    pub const P2OUT: u16 = 0x0029;
+    /// Port 2 direction register.
+    pub const P2DIR: u16 = 0x002A;
+    /// Port 3 input register.
+    pub const P3IN: u16 = 0x0018;
+    /// Port 3 output register — drives the actuator in the paper's examples.
+    pub const P3OUT: u16 = 0x0019;
+    /// Port 3 direction register.
+    pub const P3DIR: u16 = 0x001A;
+    /// UART receive buffer (read pops the RX FIFO).
+    pub const UART_RXBUF: u16 = 0x0066;
+    /// UART transmit buffer (write appends to the TX capture).
+    pub const UART_TXBUF: u16 = 0x0067;
+    /// UART status: bit 0 = RX data available, bit 1 = TX ready (always 1).
+    pub const UART_STAT: u16 = 0x0065;
+    /// ADC conversion-result register (word).
+    pub const ADC_MEM: u16 = 0x0140;
+    /// ADC control: writing bit 0 starts a conversion.
+    pub const ADC_CTL: u16 = 0x0142;
+    /// Timer A counter register (word, free-running).
+    pub const TA_R: u16 = 0x0170;
+    /// Timer A control: write 0 to clear the counter.
+    pub const TA_CTL: u16 = 0x0160;
+}
+
+/// One classified region of the address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Region {
+    /// Memory-mapped peripherals.
+    Peripheral,
+    /// SRAM data memory.
+    Data,
+    /// Unmapped addresses.
+    Unmapped,
+    /// Program (flash) memory.
+    Program,
+    /// Interrupt vector table.
+    Vectors,
+}
+
+/// The physical memory map, configurable so tests can shrink or move
+/// regions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemoryMap {
+    /// First data-memory (SRAM) address.
+    pub data_start: u16,
+    /// Last data-memory address (inclusive).
+    pub data_end: u16,
+    /// First program-memory address.
+    pub prog_start: u16,
+    /// Last program address before the vector table (inclusive).
+    pub prog_end: u16,
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        Self {
+            data_start: 0x0200,
+            data_end: 0x11FF,
+            prog_start: 0xA000,
+            prog_end: 0xFFDF,
+        }
+    }
+}
+
+impl MemoryMap {
+    /// Classifies an address.
+    #[must_use]
+    pub fn region(&self, addr: u16) -> Region {
+        if addr < 0x0200 {
+            Region::Peripheral
+        } else if addr >= self.data_start && addr <= self.data_end {
+            Region::Data
+        } else if addr >= 0xFFE0 {
+            Region::Vectors
+        } else if addr >= self.prog_start && addr <= self.prog_end {
+            Region::Program
+        } else {
+            Region::Unmapped
+        }
+    }
+
+    /// Size of data memory in bytes.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        usize::from(self.data_end - self.data_start) + 1
+    }
+}
+
+/// The reset-vector address.
+pub const RESET_VECTOR: u16 = 0xFFFE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_map_classification() {
+        let m = MemoryMap::default();
+        assert_eq!(m.region(0x0000), Region::Peripheral);
+        assert_eq!(m.region(mmio::P3OUT), Region::Peripheral);
+        assert_eq!(m.region(0x01FF), Region::Peripheral);
+        assert_eq!(m.region(0x0200), Region::Data);
+        assert_eq!(m.region(0x11FF), Region::Data);
+        assert_eq!(m.region(0x1200), Region::Unmapped);
+        assert_eq!(m.region(0xA000), Region::Program);
+        assert_eq!(m.region(0xFFDF), Region::Program);
+        assert_eq!(m.region(0xFFE0), Region::Vectors);
+        assert_eq!(m.region(0xFFFE), Region::Vectors);
+    }
+
+    #[test]
+    fn data_len() {
+        assert_eq!(MemoryMap::default().data_len(), 4096);
+    }
+}

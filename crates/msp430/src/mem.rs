@@ -1,0 +1,168 @@
+//! Bus abstraction, bus-access records, and flat RAM.
+//!
+//! The CPU talks to any [`Bus`]. Every access the CPU makes is *also*
+//! reported architecturally in the [`crate::cpu::Step`] record as a list of
+//! [`Access`]es — this is the signal stream that the APEX monitor (and any
+//! other "hardware" attached next to the core) observes, mirroring the wires
+//! the real monitor taps on the openMSP430.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of bus access occurred.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction-stream fetch (opcode or extension word).
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// One bus access: address, kind, transferred value and width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Access {
+    /// Bus address (word accesses are aligned, bit 0 clear).
+    pub addr: u16,
+    /// Fetch / read / write.
+    pub kind: AccessKind,
+    /// The value transferred (byte accesses use the low 8 bits).
+    pub value: u16,
+    /// True for 16-bit accesses.
+    pub word: bool,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Fetch => "F",
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        let w = if self.word { "w" } else { "b" };
+        write!(f, "{k}{w} {:#06x}={:#06x}", self.addr, self.value)
+    }
+}
+
+/// A 16-bit little-endian memory bus.
+///
+/// Word accesses are always even-aligned: implementations must ignore bit 0
+/// of the address (as the MSP430 bus does).
+pub trait Bus {
+    /// Reads one byte.
+    fn read_byte(&mut self, addr: u16) -> u8;
+    /// Writes one byte.
+    fn write_byte(&mut self, addr: u16, value: u8);
+
+    /// Reads an aligned little-endian word.
+    fn read_word(&mut self, addr: u16) -> u16 {
+        let a = addr & !1;
+        u16::from(self.read_byte(a)) | (u16::from(self.read_byte(a.wrapping_add(1))) << 8)
+    }
+
+    /// Writes an aligned little-endian word.
+    fn write_word(&mut self, addr: u16, value: u16) {
+        let a = addr & !1;
+        self.write_byte(a, value as u8);
+        self.write_byte(a.wrapping_add(1), (value >> 8) as u8);
+    }
+}
+
+/// Flat 64 KiB RAM with no peripherals — the simplest possible [`Bus`],
+/// useful for ISA tests and fuzzing. Use [`crate::platform::Platform`] for
+/// the full device.
+#[derive(Clone)]
+pub struct Ram {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Ram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ram {{ 64 KiB }}")
+    }
+}
+
+impl Default for Ram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ram {
+    /// All-zero memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { bytes: vec![0; 0x1_0000] }
+    }
+
+    /// Copies `words` little-endian starting at `addr`.
+    pub fn load_words(&mut self, addr: u16, words: &[u16]) {
+        let mut a = addr;
+        for w in words {
+            self.bytes[usize::from(a)] = *w as u8;
+            self.bytes[usize::from(a.wrapping_add(1))] = (*w >> 8) as u8;
+            a = a.wrapping_add(2);
+        }
+    }
+
+    /// Copies raw bytes starting at `addr`.
+    pub fn load_bytes(&mut self, addr: u16, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.bytes[usize::from(addr.wrapping_add(i as u16))] = *b;
+        }
+    }
+
+    /// Borrow of the full 64 KiB backing store.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Bus for Ram {
+    fn read_byte(&mut self, addr: u16) -> u8 {
+        self.bytes[usize::from(addr)]
+    }
+
+    fn write_byte(&mut self, addr: u16, value: u8) {
+        self.bytes[usize::from(addr)] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_little_endian_and_aligned() {
+        let mut r = Ram::new();
+        r.write_word(0x0203, 0xBEEF); // bit 0 ignored → 0x0202
+        assert_eq!(r.read_byte(0x0202), 0xEF);
+        assert_eq!(r.read_byte(0x0203), 0xBE);
+        assert_eq!(r.read_word(0x0202), 0xBEEF);
+        assert_eq!(r.read_word(0x0203), 0xBEEF);
+    }
+
+    #[test]
+    fn load_words_round_trip() {
+        let mut r = Ram::new();
+        r.load_words(0xE000, &[0x1234, 0xABCD]);
+        assert_eq!(r.read_word(0xE000), 0x1234);
+        assert_eq!(r.read_word(0xE002), 0xABCD);
+    }
+
+    #[test]
+    fn wraparound_at_top_of_memory() {
+        let mut r = Ram::new();
+        r.load_bytes(0xFFFF, &[0xAA, 0xBB]);
+        assert_eq!(r.read_byte(0xFFFF), 0xAA);
+        assert_eq!(r.read_byte(0x0000), 0xBB);
+    }
+
+    #[test]
+    fn access_display() {
+        let a = Access { addr: 0x200, kind: AccessKind::Write, value: 0x42, word: false };
+        assert_eq!(a.to_string(), "Wb 0x0200=0x0042");
+    }
+}

@@ -1,0 +1,190 @@
+//! Memory-mapped peripheral models.
+//!
+//! These are intentionally simple devices with *scriptable* external inputs,
+//! because the evaluation applications need deterministic sensor readings and
+//! network commands:
+//!
+//! * [`Gpio`] — three 8-bit ports with IN/OUT/DIR registers; the harness sets
+//!   input pin levels, the applications drive outputs (`P3OUT` actuation in
+//!   the paper's examples);
+//! * [`Uart`] — a byte FIFO for received "network" commands plus a transmit
+//!   capture buffer;
+//! * [`Adc`] — returns pre-scripted conversion results (temperature /
+//!   humidity / echo amplitudes);
+//! * [`Timer`] — a free-running 16-bit counter advanced by CPU cycles (used
+//!   by the ultrasonic ranger to time echos);
+//! * [`Dma`] — an external bus master; its transfers bypass the CPU, which is
+//!   exactly the attack surface APEX must police.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One 8-bit GPIO port (IN, OUT, DIR registers).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpioPort {
+    /// Externally driven input levels.
+    pub input: u8,
+    /// Last value written to the output register.
+    pub output: u8,
+    /// Direction register (1 = output); bookkeeping only.
+    pub dir: u8,
+}
+
+/// The GPIO block: ports 1–3.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gpio {
+    /// Port 1.
+    pub p1: GpioPort,
+    /// Port 2.
+    pub p2: GpioPort,
+    /// Port 3 (actuation port in the paper's running example).
+    pub p3: GpioPort,
+}
+
+/// UART with a scriptable receive FIFO and a transmit capture.
+#[derive(Clone, Debug, Default)]
+pub struct Uart {
+    rx: VecDeque<u8>,
+    /// Every byte the program transmitted, in order.
+    pub tx: Vec<u8>,
+}
+
+impl Uart {
+    /// Queues bytes to be received by the program.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.rx.extend(bytes.iter().copied());
+    }
+
+    /// Number of bytes still waiting in the RX FIFO.
+    #[must_use]
+    pub fn rx_available(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Status byte: bit 0 = RX data available, bit 1 = TX ready (always).
+    #[must_use]
+    pub fn status(&self) -> u8 {
+        u8::from(!self.rx.is_empty()) | 0x02
+    }
+
+    /// Peeks the head RX byte without consuming it (0 when empty). Reads
+    /// must be idempotent because instrumented code re-reads inputs.
+    #[must_use]
+    pub fn peek_rx(&self) -> u8 {
+        self.rx.front().copied().unwrap_or(0)
+    }
+
+    /// Pops the next RX byte (0 when empty, like reading an idle bus).
+    pub fn pop_rx(&mut self) -> u8 {
+        self.rx.pop_front().unwrap_or(0)
+    }
+}
+
+/// SAR ADC returning scripted samples.
+#[derive(Clone, Debug, Default)]
+pub struct Adc {
+    samples: VecDeque<u16>,
+    /// Result of the most recent conversion.
+    pub result: u16,
+}
+
+impl Adc {
+    /// Queues conversion results (12-bit values).
+    pub fn feed(&mut self, samples: &[u16]) {
+        self.samples.extend(samples.iter().copied());
+    }
+
+    /// Starts a conversion: latches the next scripted sample (or repeats the
+    /// last one when the script is exhausted).
+    pub fn convert(&mut self) {
+        if let Some(s) = self.samples.pop_front() {
+            self.result = s & 0x0FFF;
+        }
+    }
+}
+
+/// Free-running 16-bit timer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timer {
+    /// Current counter value.
+    pub counter: u16,
+    /// Snapshot captured by the last latch command (what TA_R reads).
+    pub latched: u16,
+}
+
+impl Timer {
+    /// Advances the counter by `cycles` (1 count per CPU cycle here).
+    pub fn advance(&mut self, cycles: u32) {
+        self.counter = self.counter.wrapping_add(cycles as u16);
+    }
+
+    /// Resets the counter (and the latch) to zero.
+    pub fn clear(&mut self) {
+        self.counter = 0;
+        self.latched = 0;
+    }
+
+    /// Latches the current counter for stable reads.
+    pub fn latch(&mut self) {
+        self.latched = self.counter;
+    }
+}
+
+/// A DMA transfer descriptor: an external master writing into memory.
+///
+/// DIALED's adversary model allows arbitrary DMA attempts; APEX must
+/// invalidate the EXEC flag when DMA touches protected regions during an
+/// attested execution. The platform executes the transfer and reports the
+/// bus events so monitors can see them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dma {
+    /// First destination address.
+    pub dst: u16,
+    /// Bytes to write.
+    pub data: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_fifo_order_and_idle_value() {
+        let mut u = Uart::default();
+        u.feed(&[1, 2, 3]);
+        assert_eq!(u.status() & 1, 1);
+        assert_eq!(u.peek_rx(), 1);
+        assert_eq!(u.peek_rx(), 1, "peek is idempotent");
+        assert_eq!(u.pop_rx(), 1);
+        assert_eq!(u.pop_rx(), 2);
+        assert_eq!(u.pop_rx(), 3);
+        assert_eq!(u.status() & 1, 0);
+        assert_eq!(u.pop_rx(), 0, "idle bus reads zero");
+    }
+
+    #[test]
+    fn adc_latches_scripted_samples() {
+        let mut a = Adc::default();
+        a.feed(&[100, 0xFFFF]);
+        a.convert();
+        assert_eq!(a.result, 100);
+        a.convert();
+        assert_eq!(a.result, 0x0FFF, "12-bit mask");
+        a.convert();
+        assert_eq!(a.result, 0x0FFF, "holds last when exhausted");
+    }
+
+    #[test]
+    fn timer_wraps_and_latches() {
+        let mut t = Timer::default();
+        t.counter = 0xFFFE;
+        t.advance(4);
+        assert_eq!(t.counter, 2);
+        assert_eq!(t.latched, 0, "latch unchanged by advance");
+        t.latch();
+        assert_eq!(t.latched, 2);
+        t.clear();
+        assert_eq!(t.counter, 0);
+        assert_eq!(t.latched, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Execution traces and summary statistics.
+//!
+//! A [`Trace`] collects [`Step`]s and summarises the quantities the paper's
+//! Fig. 6 reports: executed instructions, total CPU cycles, and memory
+//! traffic.
+
+use crate::cpu::Step;
+use crate::mem::AccessKind;
+use std::fmt;
+
+/// An ordered record of executed steps with aggregate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// Empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// All recorded steps in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of instruction steps (interrupt entries excluded).
+    #[must_use]
+    pub fn insn_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.insn.is_some()).count()
+    }
+
+    /// Total CPU cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.steps.iter().map(|s| u64::from(s.cycles)).sum()
+    }
+
+    /// Total data reads / data writes across all steps.
+    #[must_use]
+    pub fn rw_counts(&self) -> (usize, usize) {
+        let mut r = 0;
+        let mut w = 0;
+        for s in &self.steps {
+            for a in &s.accesses {
+                match a.kind {
+                    AccessKind::Read => r += 1,
+                    AccessKind::Write => w += 1,
+                    AccessKind::Fetch => {}
+                }
+            }
+        }
+        (r, w)
+    }
+}
+
+impl Extend<Step> for Trace {
+    fn extend<T: IntoIterator<Item = Step>>(&mut self, iter: T) {
+        self.steps.extend(iter);
+    }
+}
+
+impl FromIterator<Step> for Trace {
+    fn from_iter<T: IntoIterator<Item = Step>>(iter: T) -> Self {
+        let mut t = Trace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (r, w) = self.rw_counts();
+        write!(
+            f,
+            "{} insns, {} cycles, {r} reads, {w} writes",
+            self.insn_count(),
+            self.cycles()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::mem::Ram;
+
+    #[test]
+    fn trace_aggregates() {
+        // mov #21, r10 ; add r10, r10 ; mov r10, &0x0200
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x403A, 0x0015, 0x5A0A, 0x4A82, 0x0200]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut trace = Trace::new();
+        for _ in 0..3 {
+            trace.push(cpu.step(&mut ram).unwrap());
+        }
+        assert_eq!(trace.insn_count(), 3);
+        assert_eq!(trace.cycles(), 2 + 1 + 4);
+        let (_, w) = trace.rw_counts();
+        assert_eq!(w, 1);
+        assert!(trace.to_string().contains("3 insns"));
+    }
+}

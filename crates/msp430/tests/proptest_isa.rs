@@ -1,0 +1,199 @@
+//! Property-based tests over the full instruction set.
+
+use msp430::cpu::Cpu;
+use msp430::flags;
+use msp430::isa::{Cond, Insn, Op1, Op2, Operand, Size};
+use msp430::mem::{Bus, Ram};
+use msp430::regs::Reg;
+use proptest::prelude::*;
+
+/// Registers legal as general-purpose operand bases (no PC/SR/CG2).
+fn gp_reg() -> impl Strategy<Value = Reg> {
+    (4u16..16).prop_map(Reg::from_index)
+}
+
+fn any_size() -> impl Strategy<Value = Size> {
+    prop_oneof![Just(Size::Word), Just(Size::Byte)]
+}
+
+fn src_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        Just(Operand::Reg(Reg::SP)),
+        Just(Operand::Reg(Reg::SR)),
+        (gp_reg(), any::<u16>()).prop_map(|(r, x)| Operand::Indexed(r, x)),
+        any::<u16>().prop_map(Operand::Symbolic),
+        any::<u16>().prop_map(Operand::Absolute),
+        gp_reg().prop_map(Operand::Indirect),
+        gp_reg().prop_map(Operand::IndirectInc),
+        any::<u16>().prop_map(Operand::Imm),
+    ]
+}
+
+fn dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        Just(Operand::Reg(Reg::SP)),
+        (gp_reg(), any::<u16>()).prop_map(|(r, x)| Operand::Indexed(r, x)),
+        any::<u16>().prop_map(Operand::Symbolic),
+        any::<u16>().prop_map(Operand::Absolute),
+    ]
+}
+
+fn op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![
+        Just(Op2::Mov), Just(Op2::Add), Just(Op2::Addc), Just(Op2::Subc),
+        Just(Op2::Sub), Just(Op2::Cmp), Just(Op2::Dadd), Just(Op2::Bit),
+        Just(Op2::Bic), Just(Op2::Bis), Just(Op2::Xor), Just(Op2::And),
+    ]
+}
+
+fn op1() -> impl Strategy<Value = Op1> {
+    prop_oneof![
+        Just(Op1::Rrc), Just(Op1::Swpb), Just(Op1::Rra),
+        Just(Op1::Sxt), Just(Op1::Push), Just(Op1::Call),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Nz), Just(Cond::Z), Just(Cond::Nc), Just(Cond::C),
+        Just(Cond::N), Just(Cond::Ge), Just(Cond::L), Just(Cond::Always),
+    ]
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (op2(), any_size(), src_operand(), dst_operand())
+            .prop_map(|(op, size, src, dst)| Insn::Two { op, size, src, dst }),
+        (op1(), src_operand()).prop_map(|(op, sd)| {
+            // Byte size only where architecturally allowed.
+            let size = if op.allows_byte() { Size::Byte } else { Size::Word };
+            Insn::One { op, size, sd }
+        }),
+        (op1(), src_operand()).prop_map(|(op, sd)| Insn::One { op, size: Size::Word, sd }),
+        (cond(), -512i16..=511).prop_map(|(cond, offset)| Insn::Jump { cond, offset }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every encodable instruction, at any even
+    /// address (symbolic operands are position-dependent in encoding, not in
+    /// meaning).
+    #[test]
+    fn encode_decode_round_trip(insn in any_insn(), at in (0u16..0x7FF0).prop_map(|a| a * 2)) {
+        let Ok(words) = insn.encode(at) else { return Ok(()); };
+        prop_assert_eq!(usize::from(insn.len_words()), words.len());
+        let mut it = words[1..].iter().copied();
+        let back = Insn::decode(at, words[0], || it.next().expect("ext words")).unwrap();
+        prop_assert_eq!(back, insn);
+    }
+
+    /// Every 16-bit word either fails decode or decodes to an instruction
+    /// that re-encodes (possibly shorter, e.g. canonicalising a long-form
+    /// constant-generator immediate) to words that decode back to the same
+    /// instruction — the decoder and encoder are semantically consistent on
+    /// the whole opcode space.
+    #[test]
+    fn decode_encode_fixpoint(first in any::<u16>(), ext in proptest::collection::vec(any::<u16>(), 2)) {
+        let at = 0x4000u16;
+        let mut it = ext.iter().copied();
+        let Ok(insn) = Insn::decode(at, first, || it.next().unwrap()) else { return Ok(()); };
+        let consumed = 1 + ext.len() - it.len();
+        let words = insn.encode(at).expect("decoded instructions re-encode");
+        prop_assert!(words.len() <= consumed, "re-encoding never grows");
+        let mut it2 = words[1..].iter().copied();
+        let back = Insn::decode(at, words[0], || it2.next().unwrap()).unwrap();
+        prop_assert_eq!(back, insn);
+    }
+
+    /// ADD/SUB/CMP flags agree with a wide-integer reference model.
+    #[test]
+    fn add_sub_flags_match_reference(a in any::<u16>(), b in any::<u16>()) {
+        let out = flags::add(a, b, false, Size::Word);
+        let wide = u32::from(a) + u32::from(b);
+        prop_assert_eq!(out.value, wide as u16);
+        prop_assert_eq!(out.c, wide > 0xFFFF);
+        prop_assert_eq!(out.z, (wide as u16) == 0);
+        prop_assert_eq!(out.n, (wide as u16) & 0x8000 != 0);
+        let sv = i32::from(a as i16) + i32::from(b as i16);
+        prop_assert_eq!(out.v, sv > i32::from(i16::MAX) || sv < i32::from(i16::MIN));
+
+        let out = flags::sub(a, b, true, Size::Word);
+        prop_assert_eq!(out.value, a.wrapping_sub(b));
+        prop_assert_eq!(out.c, a >= b, "carry == no borrow");
+        let sv = i32::from(a as i16) - i32::from(b as i16);
+        prop_assert_eq!(out.v, sv > i32::from(i16::MAX) || sv < i32::from(i16::MIN));
+    }
+
+    /// Executing `mov src, dst` between registers copies exactly and touches
+    /// no memory or flags.
+    #[test]
+    fn reg_mov_preserves_flags_and_memory(v in any::<u16>(), sr0 in 0u16..0x0200) {
+        let sr0 = sr0 & (flags::C | flags::Z | flags::N | flags::V);
+        let mut ram = Ram::new();
+        let insn = Insn::Two {
+            op: Op2::Mov, size: Size::Word,
+            src: Operand::Reg(Reg::R5), dst: Operand::Reg(Reg::R6),
+        };
+        ram.load_words(0xE000, &insn.encode(0xE000).unwrap());
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::R5, v);
+        cpu.set_reg(Reg::SR, sr0);
+        let step = cpu.step(&mut ram).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::R6), v);
+        prop_assert_eq!(cpu.reg(Reg::SR), sr0);
+        prop_assert_eq!(step.writes().count(), 0);
+    }
+
+    /// Stack discipline: push then pop restores both the value and SP.
+    #[test]
+    fn push_pop_round_trip(v in any::<u16>(), sp in (0x0280u16..0x04F0).prop_map(|a| a * 2)) {
+        let mut ram = Ram::new();
+        let push = Insn::One { op: Op1::Push, size: Size::Word, sd: Operand::Reg(Reg::R7) };
+        let pop = Insn::Two {
+            op: Op2::Mov, size: Size::Word,
+            src: Operand::IndirectInc(Reg::SP), dst: Operand::Reg(Reg::R8),
+        };
+        let mut words = push.encode(0xE000).unwrap();
+        words.extend(pop.encode(0xE002).unwrap());
+        ram.load_words(0xE000, &words);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::SP, sp);
+        cpu.set_reg(Reg::R7, v);
+        cpu.step(&mut ram).unwrap();
+        cpu.step(&mut ram).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::R8), v);
+        prop_assert_eq!(cpu.reg(Reg::SP), sp);
+    }
+
+    /// Conditional jumps agree with direct flag evaluation.
+    #[test]
+    fn jump_condition_table(sr in 0u16..0x0200, cond in cond()) {
+        let sr = sr & (flags::C | flags::Z | flags::N | flags::V);
+        let mut ram = Ram::new();
+        let insn = Insn::Jump { cond, offset: 4 };
+        ram.load_words(0xE000, &insn.encode(0xE000).unwrap());
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.set_reg(Reg::SR, sr);
+        cpu.step(&mut ram).unwrap();
+        let c = sr & flags::C != 0;
+        let z = sr & flags::Z != 0;
+        let n = sr & flags::N != 0;
+        let v = sr & flags::V != 0;
+        let taken = match cond {
+            Cond::Nz => !z,
+            Cond::Z => z,
+            Cond::Nc => !c,
+            Cond::C => c,
+            Cond::N => n,
+            Cond::Ge => n == v,
+            Cond::L => n != v,
+            Cond::Always => true,
+        };
+        prop_assert_eq!(cpu.pc(), if taken { 0xE00A } else { 0xE002 });
+    }
+}

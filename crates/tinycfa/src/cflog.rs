@@ -1,0 +1,90 @@
+//! Reading the OR log stack.
+//!
+//! CF-Log and I-Log share one downward-growing word stack inside OR
+//! (DIALED feature F5). `R = r4` starts at the top word slot and decrements
+//! by 2 per entry; entry *i* therefore lives at `r_top − 2·i`.
+
+/// A read-only view of an OR snapshot as a log stack.
+#[derive(Clone, Copy, Debug)]
+pub struct OrStack<'a> {
+    bytes: &'a [u8],
+    or_min: u16,
+    or_max: u16,
+}
+
+impl<'a> OrStack<'a> {
+    /// Wraps OR bytes spanning `or_min..=or_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` does not exactly cover the region.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], or_min: u16, or_max: u16) -> Self {
+        assert_eq!(
+            bytes.len(),
+            usize::from(or_max - or_min) + 1,
+            "OR snapshot length must match region"
+        );
+        Self { bytes, or_min, or_max }
+    }
+
+    /// The initial value of `R` (the topmost word slot).
+    #[must_use]
+    pub fn r_top(&self) -> u16 {
+        self.or_max & !1
+    }
+
+    /// Number of word slots in the stack.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        (usize::from(self.r_top() - self.or_min) + 2) / 2
+    }
+
+    /// The `idx`-th logged word (0 = first logged entry).
+    ///
+    /// Returns `None` past the region's capacity.
+    #[must_use]
+    pub fn entry(&self, idx: usize) -> Option<u16> {
+        if idx >= self.capacity() {
+            return None;
+        }
+        let addr = self.r_top() - 2 * idx as u16;
+        let off = usize::from(addr - self.or_min);
+        Some(u16::from(self.bytes[off]) | (u16::from(self.bytes[off + 1]) << 8))
+    }
+
+    /// The first `n` entries.
+    #[must_use]
+    pub fn entries(&self, n: usize) -> Vec<u16> {
+        (0..n).filter_map(|i| self.entry(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_read_top_down() {
+        // Region 0x0600..=0x0607: slots at 0x0606, 0x0604, 0x0602, 0x0600.
+        let mut bytes = vec![0u8; 8];
+        bytes[6] = 0x34; // slot 0 = 0x1234
+        bytes[7] = 0x12;
+        bytes[4] = 0x78; // slot 1 = 0x5678
+        bytes[5] = 0x56;
+        let s = OrStack::new(&bytes, 0x0600, 0x0607);
+        assert_eq!(s.r_top(), 0x0606);
+        assert_eq!(s.capacity(), 4);
+        assert_eq!(s.entry(0), Some(0x1234));
+        assert_eq!(s.entry(1), Some(0x5678));
+        assert_eq!(s.entry(4), None);
+        assert_eq!(s.entries(2), vec![0x1234, 0x5678]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_length_panics() {
+        let bytes = vec![0u8; 4];
+        let _ = OrStack::new(&bytes, 0x0600, 0x0607);
+    }
+}

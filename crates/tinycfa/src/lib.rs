@@ -1,0 +1,43 @@
+//! Tiny-CFA: control-flow attestation via automated assembly
+//! instrumentation over APEX.
+//!
+//! Tiny-CFA (IEEE ESL'21, reference \[9\] in the DIALED paper) instruments every
+//! control-flow-altering instruction of an attested operation so that the
+//! *destination* of each executed transfer is appended to a log (CF-Log)
+//! held in the APEX Output Range. APEX makes the log unforgeable; the
+//! verifier replays the program against it and detects any control-flow
+//! hijack.
+//!
+//! # The instrumentation contract
+//!
+//! * register `r4` is reserved as the log stack pointer `R`, initialised by
+//!   the (untrusted) caller to the top of OR and checked at the operation's
+//!   entry (`cmp #R_TOP, r4 ; jne $`) — a wrong value aborts;
+//! * each logged value is written with `mov …, 0(r4)` followed by `decd r4`
+//!   and the overflow check `cmp #OR_MIN, r4 ; jn $`;
+//! * the abort idiom is a branch-to-self spin (`jne $` / `jn $`): execution
+//!   never reaches the legal ER exit, so APEX never latches EXEC and the
+//!   verifier sees the violation. (The paper jumps to an abort label `.L11`;
+//!   a spin has identical security semantics and cannot go out of jump
+//!   range.)
+//! * log blocks are wrapped in `push sr … pop sr` so that condition flags
+//!   are preserved — required for flag chains like `cmp …; jz A; jl B`,
+//!   which the paper's listings gloss over;
+//! * conditional branches are rewritten into a taken/fall-through diamond
+//!   so that *both* outcomes log their destination, making CF-Log
+//!   self-contained even without data knowledge.
+//!
+//! See [`pass::instrument`] for the entry point and [`policy::LogPolicy`]
+//! for the paper-faithful (`AllTransfers`) vs. ablation (`IndirectOnly`)
+//! variants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cflog;
+pub mod pass;
+pub mod policy;
+
+pub use cflog::OrStack;
+pub use pass::{instrument, CfaConfig, PassError};
+pub use policy::LogPolicy;

@@ -1,0 +1,78 @@
+//! Which control-flow transfers get logged.
+
+use msp430_asm::{TOperand, Template};
+use serde::{Deserialize, Serialize};
+
+/// CF-Log coverage policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum LogPolicy {
+    /// Log the destination of *every* control-flow-altering instruction —
+    /// the paper's Tiny-CFA behaviour.
+    #[default]
+    AllTransfers,
+    /// Log only transfers whose destination is not statically known
+    /// (returns, indirect calls/branches, `reti`). Conditional and direct
+    /// branches are reconstructed by the verifier's abstract execution —
+    /// this is the LiteHAX-style optimisation evaluated as an ablation.
+    IndirectOnly,
+}
+
+impl LogPolicy {
+    /// Does this policy require instrumenting `t`?
+    ///
+    /// `t` must already be a control-flow-altering instruction.
+    #[must_use]
+    pub fn wants(&self, t: &Template) -> bool {
+        match self {
+            LogPolicy::AllTransfers => true,
+            LogPolicy::IndirectOnly => match t {
+                Template::Jcc { .. } => false,
+                Template::One { sd, .. } => !matches!(sd, TOperand::Imm(_)),
+                Template::Two { src, .. } => !matches!(src, TOperand::Imm(_)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430::isa::{Cond, Op1, Op2, Size};
+    use msp430::regs::Reg;
+    use msp430_asm::Expr;
+
+    fn call_imm() -> Template {
+        Template::One { op: Op1::Call, size: Size::Word, sd: TOperand::Imm(Expr::num(0xF000)) }
+    }
+
+    fn ret() -> Template {
+        Template::Two {
+            op: Op2::Mov,
+            size: Size::Word,
+            src: TOperand::IndirectInc(Reg::SP),
+            dst: TOperand::Reg(Reg::PC),
+        }
+    }
+
+    #[test]
+    fn all_transfers_logs_everything() {
+        let p = LogPolicy::AllTransfers;
+        assert!(p.wants(&call_imm()));
+        assert!(p.wants(&ret()));
+        assert!(p.wants(&Template::Jcc { cond: Cond::Z, target: Expr::sym("l") }));
+    }
+
+    #[test]
+    fn indirect_only_skips_static_destinations() {
+        let p = LogPolicy::IndirectOnly;
+        assert!(!p.wants(&call_imm()));
+        assert!(!p.wants(&Template::Jcc { cond: Cond::Z, target: Expr::sym("l") }));
+        assert!(p.wants(&ret()));
+        let call_reg = Template::One {
+            op: Op1::Call,
+            size: Size::Word,
+            sd: TOperand::Reg(Reg::R11),
+        };
+        assert!(p.wants(&call_reg));
+    }
+}

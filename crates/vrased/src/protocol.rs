@@ -1,0 +1,134 @@
+//! The Vrf ↔ Prv static-attestation protocol.
+
+use crate::keystore::KeyStore;
+use crate::swatt::SwAtt;
+use hacl::{constant_time, Digest, Sha256};
+use msp430::platform::Platform;
+
+/// A 256-bit attestation challenge (nonce).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Challenge([u8; 32]);
+
+impl Challenge {
+    /// Wraps explicit nonce bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self(bytes)
+    }
+
+    /// Derives a fresh challenge from a session label and counter — the
+    /// deterministic stand-in for the verifier's RNG, so experiments are
+    /// reproducible.
+    #[must_use]
+    pub fn derive(label: &[u8], counter: u64) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"dialed-repro challenge");
+        h.update(label);
+        h.update(&counter.to_le_bytes());
+        Self(h.finalize())
+    }
+
+    /// Raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// The verifier side of static RA: holds the shared key and the expected
+/// memory contents.
+#[derive(Clone, Debug)]
+pub struct RaVerifier {
+    swatt: SwAtt,
+}
+
+impl RaVerifier {
+    /// A verifier sharing `keystore` with the device.
+    #[must_use]
+    pub fn new(keystore: KeyStore) -> Self {
+        Self { swatt: SwAtt::new(keystore) }
+    }
+
+    /// Checks a device response against the expected memory image
+    /// (constant-time tag comparison).
+    #[must_use]
+    pub fn check(
+        &self,
+        expected: &Platform,
+        challenge: &Challenge,
+        regions: &[(u16, u16)],
+        response: &Digest,
+    ) -> bool {
+        let want = self.swatt.attest(expected, challenge, regions);
+        constant_time::eq(&want, response)
+    }
+
+    /// Checks a response that bound extra metadata (used by APEX).
+    #[must_use]
+    pub fn check_with_extra(
+        &self,
+        expected: &Platform,
+        challenge: &Challenge,
+        regions: &[(u16, u16)],
+        extra: &[u8],
+        response: &Digest,
+    ) -> bool {
+        let want = self.swatt.attest_with_extra(expected, challenge, regions, extra);
+        constant_time::eq(&want, response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_device_passes_modified_fails() {
+        let ks = KeyStore::from_seed(11);
+        let device = SwAtt::new(ks.clone());
+        let vrf = RaVerifier::new(ks);
+
+        let mut firmware = Platform::new();
+        firmware.load_words(0xE000, &[0x4303, 0x4130]);
+        let mut device_mem = firmware.clone();
+
+        let c = Challenge::derive(b"round", 0);
+        let resp = device.attest(&device_mem, &c, &[(0xE000, 0xE003)]);
+        assert!(vrf.check(&firmware, &c, &[(0xE000, 0xE003)], &resp));
+
+        // Malware flips one instruction.
+        device_mem.load_words(0xE000, &[0x4304]);
+        let resp = device.attest(&device_mem, &c, &[(0xE000, 0xE003)]);
+        assert!(!vrf.check(&firmware, &c, &[(0xE000, 0xE003)], &resp));
+    }
+
+    #[test]
+    fn replayed_response_fails_fresh_challenge() {
+        let ks = KeyStore::from_seed(12);
+        let device = SwAtt::new(ks.clone());
+        let vrf = RaVerifier::new(ks);
+        let p = Platform::new();
+
+        let c0 = Challenge::derive(b"round", 0);
+        let old = device.attest(&p, &c0, &[(0xE000, 0xE003)]);
+        let c1 = Challenge::derive(b"round", 1);
+        assert!(!vrf.check(&p, &c1, &[(0xE000, 0xE003)], &old));
+    }
+
+    #[test]
+    fn wrong_key_cannot_forge() {
+        let device = SwAtt::new(KeyStore::from_seed(13));
+        let vrf = RaVerifier::new(KeyStore::from_seed(14));
+        let p = Platform::new();
+        let c = Challenge::derive(b"round", 0);
+        let resp = device.attest(&p, &c, &[(0, 3)]);
+        assert!(!vrf.check(&p, &c, &[(0, 3)], &resp));
+    }
+
+    #[test]
+    fn challenge_derivation_distinct() {
+        assert_ne!(Challenge::derive(b"a", 0), Challenge::derive(b"a", 1));
+        assert_ne!(Challenge::derive(b"a", 0), Challenge::derive(b"b", 0));
+        assert_eq!(Challenge::derive(b"a", 0), Challenge::derive(b"a", 0));
+    }
+}

@@ -1,0 +1,179 @@
+//! The residual VRASED hardware monitor.
+//!
+//! VRASED's verified monitor enforces seven LTL properties about key
+//! isolation and SW-Att atomicity. Two of them are discharged *by
+//! construction* in this reproduction (the key is not addressable; SW-Att
+//! runs atomically between CPU steps). What remains observable on our bus is
+//! protection of the attestation scratch region — the RAM SW-Att uses for
+//! its stack/locals, which ordinary software and DMA must never touch while
+//! an attestation is marked in-flight.
+
+use msp430::cpu::Step;
+use msp430::mem::{Access, AccessKind};
+use std::fmt;
+
+/// A reserved region guarded against CPU/DMA access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReservedRegion {
+    /// First guarded address.
+    pub start: u16,
+    /// Last guarded address (inclusive).
+    pub end: u16,
+}
+
+impl ReservedRegion {
+    /// Does the region contain `addr`?
+    #[must_use]
+    pub fn contains(&self, addr: u16) -> bool {
+        addr >= self.start && addr <= self.end
+    }
+}
+
+/// Rule violations the monitor can flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuleViolation {
+    /// CPU touched the reserved attestation region.
+    CpuAccess {
+        /// Offending address.
+        addr: u16,
+        /// PC of the offending instruction.
+        pc: u16,
+    },
+    /// DMA touched the reserved attestation region.
+    DmaAccess {
+        /// Offending address.
+        addr: u16,
+    },
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleViolation::CpuAccess { addr, pc } => {
+                write!(f, "cpu access to reserved {addr:#06x} from pc {pc:#06x}")
+            }
+            RuleViolation::DmaAccess { addr } => {
+                write!(f, "dma access to reserved {addr:#06x}")
+            }
+        }
+    }
+}
+
+/// The monitor FSM: observes bus traffic, latches the first violation.
+///
+/// On real hardware a violation triggers an immediate MCU reset; callers
+/// here check [`VrasedRules::violation`] and refuse to produce attestation
+/// responses, which is observationally equivalent for the verifier.
+#[derive(Clone, Debug)]
+pub struct VrasedRules {
+    region: ReservedRegion,
+    violation: Option<RuleViolation>,
+}
+
+impl VrasedRules {
+    /// Guards `region`.
+    #[must_use]
+    pub fn new(region: ReservedRegion) -> Self {
+        Self { region, violation: None }
+    }
+
+    /// Feeds one executed CPU step.
+    pub fn observe_step(&mut self, step: &Step) {
+        if self.violation.is_some() {
+            return;
+        }
+        for a in &step.accesses {
+            if a.kind != AccessKind::Fetch && self.region.contains(a.addr) {
+                self.violation = Some(RuleViolation::CpuAccess { addr: a.addr, pc: step.pc });
+                return;
+            }
+        }
+    }
+
+    /// Feeds DMA bus events.
+    pub fn observe_dma(&mut self, events: &[Access]) {
+        if self.violation.is_some() {
+            return;
+        }
+        for a in events {
+            if self.region.contains(a.addr) {
+                self.violation = Some(RuleViolation::DmaAccess { addr: a.addr });
+                return;
+            }
+        }
+    }
+
+    /// The first violation, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<RuleViolation> {
+        self.violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430::cpu::Cpu;
+    use msp430::mem::Ram;
+    use msp430::periph::Dma;
+    use msp430::platform::Platform;
+
+    const REGION: ReservedRegion = ReservedRegion { start: 0x0A00, end: 0x0AFF };
+
+    #[test]
+    fn clean_execution_flags_nothing() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x4035, 0x1234, 0x4582, 0x0200]); // mov #x,r5 ; mov r5,&0x200
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut rules = VrasedRules::new(REGION);
+        rules.observe_step(&cpu.step(&mut ram).unwrap());
+        rules.observe_step(&cpu.step(&mut ram).unwrap());
+        assert!(rules.violation().is_none());
+    }
+
+    #[test]
+    fn cpu_write_into_reserved_region_flagged() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x40B2, 0xDEAD, 0x0A10]); // mov #0xDEAD, &0x0A10
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut rules = VrasedRules::new(REGION);
+        rules.observe_step(&cpu.step(&mut ram).unwrap());
+        assert!(matches!(
+            rules.violation(),
+            Some(RuleViolation::CpuAccess { addr: 0x0A10, pc: 0xE000 })
+        ));
+    }
+
+    #[test]
+    fn cpu_read_of_reserved_region_flagged() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x4216, 0x0A00]); // mov &0x0A00, r6
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut rules = VrasedRules::new(REGION);
+        rules.observe_step(&cpu.step(&mut ram).unwrap());
+        assert!(rules.violation().is_some());
+    }
+
+    #[test]
+    fn dma_into_reserved_region_flagged() {
+        let mut p = Platform::new();
+        let mut rules = VrasedRules::new(REGION);
+        let ev = p.dma_transfer(&Dma { dst: 0x0AFF, data: vec![1] });
+        rules.observe_dma(&ev);
+        assert!(matches!(rules.violation(), Some(RuleViolation::DmaAccess { addr: 0x0AFF })));
+    }
+
+    #[test]
+    fn first_violation_latched() {
+        let mut p = Platform::new();
+        let mut rules = VrasedRules::new(REGION);
+        let ev1 = p.dma_transfer(&Dma { dst: 0x0A00, data: vec![1] });
+        let ev2 = p.dma_transfer(&Dma { dst: 0x0A80, data: vec![1] });
+        rules.observe_dma(&ev1);
+        rules.observe_dma(&ev2);
+        assert!(matches!(rules.violation(), Some(RuleViolation::DmaAccess { addr: 0x0A00 })));
+    }
+}

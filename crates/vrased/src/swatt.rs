@@ -1,0 +1,122 @@
+//! The SW-Att attestation service: `HMAC(K, challenge ‖ regions ‖ extra)`.
+
+use crate::keystore::KeyStore;
+use crate::protocol::Challenge;
+use hacl::{Digest, HmacSha256};
+use msp430::platform::Platform;
+
+/// The device-side attestation routine.
+///
+/// Mirrors VRASED's SW-Att: reads prover memory without side effects and
+/// MACs it under the protected key together with the verifier's challenge.
+/// Executed atomically (the simulated CPU is not running while it executes,
+/// exactly as VRASED's hardware guarantees non-interruptible execution).
+#[derive(Clone, Debug)]
+pub struct SwAtt {
+    keystore: KeyStore,
+}
+
+impl SwAtt {
+    /// Binds the service to the device key.
+    #[must_use]
+    pub fn new(keystore: KeyStore) -> Self {
+        Self { keystore }
+    }
+
+    /// Attests `regions` (inclusive `(start, end)` address pairs) of the
+    /// platform's memory.
+    #[must_use]
+    pub fn attest(
+        &self,
+        platform: &Platform,
+        challenge: &Challenge,
+        regions: &[(u16, u16)],
+    ) -> Digest {
+        self.attest_with_extra(platform, challenge, regions, &[])
+    }
+
+    /// Attests memory regions plus caller-supplied `extra` bytes.
+    ///
+    /// APEX uses `extra` to bind the PoX metadata (region bounds and the
+    /// EXEC flag) into the same MAC.
+    #[must_use]
+    pub fn attest_with_extra(
+        &self,
+        platform: &Platform,
+        challenge: &Challenge,
+        regions: &[(u16, u16)],
+        extra: &[u8],
+    ) -> Digest {
+        let mut mac = HmacSha256::new(self.keystore.key_material());
+        mac.update(challenge.as_bytes());
+        for (start, end) in regions {
+            mac.update(&start.to_le_bytes());
+            mac.update(&end.to_le_bytes());
+            mac.update(platform.mem_range(*start, *end));
+        }
+        mac.update(extra);
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SwAtt, Platform, Challenge) {
+        let mut p = Platform::new();
+        p.load_words(0xE000, &[0x1234, 0x5678]);
+        (SwAtt::new(KeyStore::from_seed(3)), p, Challenge::derive(b"t", 0))
+    }
+
+    #[test]
+    fn deterministic_for_same_state() {
+        let (att, p, c) = setup();
+        assert_eq!(
+            att.attest(&p, &c, &[(0xE000, 0xE003)]),
+            att.attest(&p, &c, &[(0xE000, 0xE003)])
+        );
+    }
+
+    #[test]
+    fn sensitive_to_memory_challenge_region_and_key() {
+        let (att, p, c) = setup();
+        let base = att.attest(&p, &c, &[(0xE000, 0xE003)]);
+
+        let mut p2 = p.clone();
+        p2.load_words(0xE002, &[0x5679]);
+        assert_ne!(att.attest(&p2, &c, &[(0xE000, 0xE003)]), base, "memory");
+
+        let c2 = Challenge::derive(b"t", 1);
+        assert_ne!(att.attest(&p, &c2, &[(0xE000, 0xE003)]), base, "challenge");
+
+        assert_ne!(att.attest(&p, &c, &[(0xE000, 0xE001)]), base, "region");
+
+        let att2 = SwAtt::new(KeyStore::from_seed(4));
+        assert_ne!(att2.attest(&p, &c, &[(0xE000, 0xE003)]), base, "key");
+    }
+
+    #[test]
+    fn region_bounds_are_bound_into_mac() {
+        // Same bytes at two different regions must not collide: the region
+        // addresses are MACed, preventing relocation attacks.
+        let att = SwAtt::new(KeyStore::from_seed(9));
+        let c = Challenge::derive(b"t", 0);
+        let mut p = Platform::new();
+        p.load_words(0xE000, &[0xAAAA]);
+        p.load_words(0xF000, &[0xAAAA]);
+        assert_ne!(
+            att.attest(&p, &c, &[(0xE000, 0xE001)]),
+            att.attest(&p, &c, &[(0xF000, 0xF001)])
+        );
+    }
+
+    #[test]
+    fn extra_bytes_are_bound() {
+        let (att, p, c) = setup();
+        assert_ne!(
+            att.attest_with_extra(&p, &c, &[(0xE000, 0xE001)], &[1]),
+            att.attest_with_extra(&p, &c, &[(0xE000, 0xE001)], &[0]),
+        );
+    }
+}
