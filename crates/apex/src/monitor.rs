@@ -199,9 +199,7 @@ mod tests {
     /// Assembles an operation whose last instruction is `ret`, places a
     /// caller at 0xF000 and runs it under the monitor.
     fn run_op(body: &str, caller_tamper: Option<&str>) -> (ApexMonitor, Cpu, Platform) {
-        let src = format!(
-            ".org 0xE000\nop_start:\n{body}\nop_end: ret\n"
-        );
+        let src = format!(".org 0xE000\nop_start:\n{body}\nop_end: ret\n");
         let img = assemble(&src).unwrap();
         let (_, er_max_addr) = img.extent().unwrap();
         let er_exit = img.symbol("op_end").unwrap();
@@ -240,10 +238,7 @@ mod tests {
 
     #[test]
     fn honest_run_sets_exec() {
-        let (mon, _, platform) = run_op(
-            " mov #0x1234, r5\n mov r5, &0x0600\n",
-            None,
-        );
+        let (mon, _, platform) = run_op(" mov #0x1234, r5\n mov r5, &0x0600\n", None);
         assert_eq!(mon.violation(), None);
         assert!(mon.exec());
         assert_eq!(mon.phase(), Phase::Done);
@@ -257,8 +252,8 @@ mod tests {
         let src = ".org 0xE000\nop: nop\n nop\nop_end: ret\n";
         let img = assemble(src).unwrap();
         let (_, er_max) = img.extent().unwrap();
-        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
-            .unwrap();
+        let cfg =
+            PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX).unwrap();
         let mut platform = Platform::new();
         img.load_into_platform(&mut platform);
         let cimg = assemble(".org 0xF000\n call #0xE002\nhalt: jmp halt\n").unwrap();
@@ -288,10 +283,7 @@ mod tests {
 
     #[test]
     fn or_write_after_done_clears_exec() {
-        let (mon, _, _) = run_op(
-            " mov #7, &0x0600\n",
-            Some(" mov #0xBAD, &0x0600\n"),
-        );
+        let (mon, _, _) = run_op(" mov #7, &0x0600\n", Some(" mov #0xBAD, &0x0600\n"));
         assert!(!mon.exec(), "post-hoc OR tamper must clear EXEC");
         assert!(matches!(
             mon.violation(),
@@ -305,9 +297,8 @@ mod tests {
         let src = ".org 0xF000\n mov #0xBAD, &0x0600\n call #0xE000\nhalt: jmp halt\n";
         let img_op = assemble(".org 0xE000\nop: mov #7, &0x0600\nop_end: ret\n").unwrap();
         let (_, er_max) = img_op.extent().unwrap();
-        let cfg =
-            PoxConfig::new(ER_MIN, er_max, img_op.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
-                .unwrap();
+        let cfg = PoxConfig::new(ER_MIN, er_max, img_op.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
+            .unwrap();
         let mut platform = Platform::new();
         img_op.load_into_platform(&mut platform);
         let cimg = assemble(src).unwrap();
@@ -332,8 +323,8 @@ mod tests {
         let src = ".org 0xE000\nop: eint\n nop\n nop\nop_end: ret\n";
         let img = assemble(src).unwrap();
         let (_, er_max) = img.extent().unwrap();
-        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
-            .unwrap();
+        let cfg =
+            PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX).unwrap();
         let mut platform = Platform::new();
         img.load_into_platform(&mut platform);
         platform.load_words(0xFFE0 + 2 * 9, &[0xF800]);
@@ -354,8 +345,8 @@ mod tests {
         let src = ".org 0xE000\nop: nop\n nop\nop_end: ret\n";
         let img = assemble(src).unwrap();
         let (_, er_max) = img.extent().unwrap();
-        let cfg = PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX)
-            .unwrap();
+        let cfg =
+            PoxConfig::new(ER_MIN, er_max, img.symbol("op_end").unwrap(), OR_MIN, OR_MAX).unwrap();
         let mut platform = Platform::new();
         img.load_into_platform(&mut platform);
         let mut cpu = Cpu::new();
@@ -378,10 +369,7 @@ mod tests {
         let ev = platform.dma_transfer(&msp430::periph::Dma { dst: OR_MIN, data: vec![9] });
         mon.observe_dma(&ev);
         assert!(!mon.exec());
-        assert!(matches!(
-            mon.violation(),
-            Some(Violation::OrWriteOutsideExec { pc: None, .. })
-        ));
+        assert!(matches!(mon.violation(), Some(Violation::OrWriteOutsideExec { pc: None, .. })));
     }
 
     #[test]

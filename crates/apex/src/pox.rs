@@ -147,11 +147,7 @@ impl PoxVerifier {
     /// # Errors
     ///
     /// Returns a human-readable reason on failure.
-    pub fn verify(
-        &self,
-        proof: &PoxProof,
-        challenge: &Challenge,
-    ) -> Result<Vec<u8>, &'static str> {
+    pub fn verify(&self, proof: &PoxProof, challenge: &Challenge) -> Result<Vec<u8>, &'static str> {
         if proof.cfg != self.cfg {
             return Err("region metadata mismatch");
         }
@@ -196,14 +192,8 @@ mod tests {
     fn build(src_op: &str) -> (PoxProver, PoxVerifier, u16) {
         let img = assemble(src_op).unwrap();
         let (er_min, er_max) = img.extent().unwrap();
-        let cfg = PoxConfig::new(
-            er_min,
-            er_max,
-            img.symbol("op_end").unwrap(),
-            0x0600,
-            0x06FE,
-        )
-        .unwrap();
+        let cfg =
+            PoxConfig::new(er_min, er_max, img.symbol("op_end").unwrap(), 0x0600, 0x06FE).unwrap();
         let mut platform = Platform::new();
         img.load_into_platform(&mut platform);
         let caller = assemble(".org 0xF000\n call #0xE000\nhalt: jmp halt\n").unwrap();
@@ -244,7 +234,10 @@ mod tests {
         let (prover, verifier, _) = build(OP);
         let chal = Challenge::derive(b"pox", 1);
         let proof = prover.prove(&chal);
-        assert_eq!(verifier.verify(&proof, &chal), Err("EXEC flag clear: no valid proof of execution"));
+        assert_eq!(
+            verifier.verify(&proof, &chal),
+            Err("EXEC flag clear: no valid proof of execution")
+        );
     }
 
     #[test]

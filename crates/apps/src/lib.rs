@@ -79,11 +79,7 @@ impl Scenario {
 /// The three paper scenarios in figure order.
 #[must_use]
 pub fn scenarios() -> Vec<Scenario> {
-    vec![
-        syringe_pump::scenario(),
-        fire_sensor::scenario(),
-        ultrasonic_ranger::scenario(),
-    ]
+    vec![syringe_pump::scenario(), fire_sensor::scenario(), ultrasonic_ranger::scenario()]
 }
 
 #[cfg(test)]

@@ -288,10 +288,7 @@ mod tests {
             .unwrap()
     }
 
-    fn verify_run(
-        op: InstrumentedOp,
-        feed: impl FnOnce(&mut Platform),
-    ) -> (Report, DialedDevice) {
+    fn verify_run(op: InstrumentedOp, feed: impl FnOnce(&mut Platform)) -> (Report, DialedDevice) {
         let ks = KeyStore::from_seed(21);
         let mut dev = DialedDevice::new(op.clone(), ks.clone());
         feed(dev.platform_mut());

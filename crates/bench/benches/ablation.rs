@@ -5,8 +5,8 @@
 //!    stack locals;
 //! 3. the cost of the always-log-8-argument-registers entry block.
 
-use apps::app_build_options;
 use apex::pox::StopReason;
+use apps::app_build_options;
 use dialed::pipeline::{InstrumentMode, InstrumentedOp};
 use dialed::prelude::*;
 use dialed::ReadCheckPolicy;
@@ -55,7 +55,8 @@ fn main() {
     println!("{}", "-".repeat(70));
     // Include the Fig. 1 pump variant: its parse_commands buffer is read
     // through `0(sp)`, the exact pattern this ablation targets.
-    let mut rows: Vec<(&str, &str, &str, fn(&mut msp430::platform::Platform))> = Vec::new();
+    type Row = (&'static str, &'static str, &'static str, fn(&mut msp430::platform::Platform));
+    let mut rows: Vec<Row> = Vec::new();
     for s in apps::scenarios() {
         rows.push((s.name, s.source, s.op_label, s.feed));
     }
@@ -79,10 +80,7 @@ fn main() {
         skip.read_policy = ReadCheckPolicy::SkipStackLocals;
         let a = run(InstrumentedOp::build(source, label, &all).unwrap(), &scenario);
         let b = run(InstrumentedOp::build(source, label, &skip).unwrap(), &scenario);
-        println!(
-            "{:<22} {:>7}/{:>6}/{:>5} {:>9}/{:>6}/{:>5}",
-            name, a.0, a.1, a.2, b.0, b.1, b.2
-        );
+        println!("{:<22} {:>7}/{:>6}/{:>5} {:>9}/{:>6}/{:>5}", name, a.0, a.1, a.2, b.0, b.1, b.2);
     }
     println!(
         "\n  Skipping statically in-stack `x(sp)` reads saves code and cycles where\n\

@@ -1,0 +1,93 @@
+//! Batch-verification throughput: sequential `DialedVerifier::verify` vs
+//! the parallel `BatchVerifier`, at 1–1000 proofs, across the three paper
+//! applications (fire sensor, ultrasonic ranger, syringe pump).
+//!
+//! This establishes the perf trajectory for the ROADMAP's server-side
+//! scaling work: the verifier is the hot path when attesting fleets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dialed::pipeline::InstrumentMode;
+use dialed::prelude::*;
+
+/// Distinct base proofs generated per application; larger batches cycle
+/// through them (verification cost is identical for repeated proofs).
+const BASE_PROOFS: usize = 8;
+
+const SIZES: [usize; 4] = [1, 10, 100, 1000];
+
+struct Prepared {
+    name: &'static str,
+    batch: BatchVerifier,
+    jobs: Vec<BatchJob>,
+}
+
+fn verifier_for(scenario: &apps::Scenario, op: &InstrumentedOp, ks: &KeyStore) -> DialedVerifier {
+    let mut verifier = DialedVerifier::new(op.clone(), ks.clone());
+    for p in (scenario.policies)() {
+        verifier = verifier.with_policy(p);
+    }
+    verifier
+}
+
+fn prepare(scenario: &apps::Scenario) -> Prepared {
+    let op = scenario.build(InstrumentMode::Full);
+    let ks = KeyStore::from_seed(0xBA7C);
+    let base: Vec<(DialedProof, Challenge)> = (0..BASE_PROOFS)
+        .map(|i| {
+            let mut dev = DialedDevice::new(op.clone(), ks.clone());
+            (scenario.feed)(dev.platform_mut());
+            let info = dev.invoke(&scenario.args);
+            assert_eq!(info.stop, apex::pox::StopReason::ReachedStop, "{}", scenario.name);
+            let chal = Challenge::derive(scenario.name.as_bytes(), i as u64);
+            (dev.prove(&chal), chal)
+        })
+        .collect();
+    let jobs = (0..*SIZES.iter().max().unwrap())
+        .map(|i| {
+            let (proof, chal) = &base[i % BASE_PROOFS];
+            BatchJob::new(i as u64, proof.clone(), *chal)
+        })
+        .collect();
+    let batch = BatchVerifier::new(verifier_for(scenario, &op, &ks));
+    Prepared { name: scenario.name, batch, jobs }
+}
+
+fn bench_scenario(c: &mut Criterion, p: &Prepared) {
+    for n in SIZES {
+        let jobs = &p.jobs[..n];
+        let group_name = format!("{}/{n}", p.name);
+        let mut group = c.benchmark_group(&group_name);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_function("sequential", |b| {
+            let mut ws = EmuWorkspace::new();
+            b.iter(|| {
+                for job in jobs {
+                    std::hint::black_box(p.batch.verifier().verify_with(
+                        &mut ws,
+                        &job.proof,
+                        &job.challenge,
+                    ));
+                }
+            });
+        });
+
+        group.bench_function("batch", |b| {
+            b.iter(|| std::hint::black_box(p.batch.verify_batch(jobs)));
+        });
+        group.finish();
+    }
+}
+
+fn bench_batch(c: &mut Criterion) {
+    for s in apps::scenarios() {
+        let p = prepare(&s);
+        // Sanity: every base job verifies clean before we measure it.
+        let smoke = p.batch.verify_batch(&p.jobs[..BASE_PROOFS]);
+        assert!(smoke.all_clean(), "{}: {smoke}", p.name);
+        bench_scenario(c, &p);
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

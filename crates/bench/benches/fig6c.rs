@@ -6,21 +6,12 @@ use dialed_bench::{measure, pct};
 
 fn main() {
     println!("\nFig. 6(c) — attestation log size in OR (bytes)\n");
-    println!(
-        "{:<18} {:>12} {:>12} {:>16}",
-        "Application", "Tiny-CFA", "DIALED", "DIALED vs CFA"
-    );
+    println!("{:<18} {:>12} {:>12} {:>16}", "Application", "Tiny-CFA", "DIALED", "DIALED vs CFA");
     println!("{}", "-".repeat(62));
     for s in apps::scenarios() {
         let cfa = measure(&s, InstrumentMode::CfaOnly).log_bytes;
         let full = measure(&s, InstrumentMode::Full).log_bytes;
-        println!(
-            "{:<18} {:>12} {:>12} {:>16}",
-            s.name,
-            cfa,
-            full,
-            pct(full as f64, cfa as f64),
-        );
+        println!("{:<18} {:>12} {:>12} {:>16}", s.name, cfa, full, pct(full as f64, cfa as f64),);
     }
     println!(
         "\nShape check: the I-Log adds a modest increment over CF-Log because\n\

@@ -67,11 +67,5 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulator,
-    bench_crypto,
-    bench_instrumentation,
-    bench_end_to_end
-);
+criterion_group!(benches, bench_simulator, bench_crypto, bench_instrumentation, bench_end_to_end);
 criterion_main!(benches);

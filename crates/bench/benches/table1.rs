@@ -13,19 +13,14 @@ fn main() {
     let rows = table1_rows();
     for r in &rows {
         let (luts, ffs, ovl, ovf) = match (r.modeled, r.overhead_pct) {
-            (Some(a), Some((l, f))) => (
-                format!("{} (+{:.0}%)", a.luts, l),
-                format!("{} (+{:.0}%)", a.ffs, f),
-                l,
-                f,
-            ),
+            (Some(a), Some((l, f))) => {
+                (format!("{} (+{:.0}%)", a.luts, l), format!("{} (+{:.0}%)", a.ffs, f), l, f)
+            }
             (Some(a), None) => (a.luts.to_string(), a.ffs.to_string(), 0.0, 0.0),
             (None, _) => ("n/a".into(), "n/a".into(), 0.0, 0.0),
         };
         let _ = (ovl, ovf);
-        let published = r
-            .published
-            .map_or("–".to_string(), |(l, f)| format!("{l} / {f}"));
+        let published = r.published.map_or("–".to_string(), |(l, f)| format!("{l} / {f}"));
         println!(
             "{:<18} {:>10} {:>10} {:>16} {:>16} {:>20}",
             r.design.name(),

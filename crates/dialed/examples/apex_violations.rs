@@ -25,23 +25,16 @@ fn fresh(key: &KeyStore) -> (InstrumentedOp, DialedDevice) {
 fn main() {
     let key = KeyStore::from_seed(3);
     let mut round = 0u64;
-    println!(
-        "{:<44} {:<6} {:<26} {}",
-        "scenario", "EXEC", "monitor violation", "verdict"
-    );
+    println!("{:<44} {:<6} {:<26} verdict", "scenario", "EXEC", "monitor violation");
     println!("{}", "-".repeat(96));
     let mut check = |name: &str, op: InstrumentedOp, dev: &DialedDevice| {
         round += 1;
         let chal = Challenge::derive(b"tour", round);
         let proof = dev.prove(&chal);
         let report = DialedVerifier::new(op, key.clone()).verify(&proof, &chal);
-        let violation = dev
-            .violation()
-            .map_or("-".to_string(), |v| v.to_string().chars().take(26).collect());
-        println!(
-            "{name:<44} {:<6} {:<26} {:?}",
-            proof.pox.exec, violation, report.verdict
-        );
+        let violation =
+            dev.violation().map_or("-".to_string(), |v| v.to_string().chars().take(26).collect());
+        println!("{name:<44} {:<6} {:<26} {:?}", proof.pox.exec, violation, report.verdict);
     };
 
     // Honest run.

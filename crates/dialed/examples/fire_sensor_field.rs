@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (site, temp_c) in [("atrium", 21i16), ("kitchen", 38), ("server-room", 55), ("furnace", 92)]
     {
         let mut device = DialedDevice::new(op.clone(), key.clone());
-        device
-            .platform_mut()
-            .adc
-            .feed(&[fire_sensor::raw_for_temp(temp_c), 0x0600]);
+        device.platform_mut().adc.feed(&[fire_sensor::raw_for_temp(temp_c), 0x0600]);
         device.invoke(&[0; 8]);
 
         let challenge = Challenge::derive(site.as_bytes(), u64::from(temp_c as u16));

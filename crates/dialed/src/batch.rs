@@ -1,0 +1,305 @@
+//! Parallel batch verification — the server-side hot path at fleet scale.
+//!
+//! A deployment attesting millions of devices verifies vast numbers of
+//! *independent* [`DialedProof`]s against the same instrumented operation.
+//! Each verification is CPU-bound (abstract execution + OR recomputation)
+//! and shares nothing with its neighbours except the read-only verifier
+//! state, so the batch engine:
+//!
+//! * spawns one worker per core (configurable) under [`std::thread::scope`]
+//!   — no detached threads, no `'static` bounds on the job slice;
+//! * distributes jobs round-robin into per-worker queues and lets idle
+//!   workers **steal** from the busiest tail, so a batch of wildly uneven
+//!   proofs (a livelocked log next to a two-instruction op) still saturates
+//!   every core;
+//! * gives each worker one long-lived [`EmuWorkspace`], so the 64 KiB RAM
+//!   image, the step trace and the OR snapshot are allocated once per
+//!   worker instead of once per proof;
+//! * returns a [`BatchReport`] with the per-proof verdicts (identical to
+//!   sequential [`DialedVerifier::verify`]) plus throughput statistics.
+
+use crate::attest::DialedProof;
+use crate::report::{BatchOutcome, BatchReport, BatchStats, Report};
+use crate::verifier::{DialedVerifier, EmuWorkspace};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use vrased::Challenge;
+
+/// One unit of batch work: a proof and the challenge it must answer.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Caller-assigned device identifier, echoed into the outcome.
+    pub device_id: u64,
+    /// The attestation response to verify.
+    pub proof: DialedProof,
+    /// The challenge the verifier issued to this device.
+    pub challenge: Challenge,
+}
+
+impl BatchJob {
+    /// A job for `device_id`.
+    #[must_use]
+    pub fn new(device_id: u64, proof: DialedProof, challenge: Challenge) -> Self {
+        Self { device_id, proof, challenge }
+    }
+}
+
+/// Verifies batches of independent proofs of one operation across cores.
+#[derive(Debug)]
+pub struct BatchVerifier {
+    verifier: DialedVerifier,
+    workers: usize,
+}
+
+impl BatchVerifier {
+    /// Wraps `verifier`, defaulting to one worker per available core.
+    #[must_use]
+    pub fn new(verifier: DialedVerifier) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Self { verifier, workers }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The wrapped sequential verifier.
+    #[must_use]
+    pub fn verifier(&self) -> &DialedVerifier {
+        &self.verifier
+    }
+
+    /// Verifies every job, returning per-proof verdicts in submission order
+    /// plus aggregate throughput statistics.
+    ///
+    /// Verdicts are bit-identical to calling [`DialedVerifier::verify`] on
+    /// each job sequentially; only the schedule is parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (i.e. verification itself
+    /// panicked — never expected for well-formed jobs).
+    #[must_use]
+    pub fn verify_batch(&self, jobs: &[BatchJob]) -> BatchReport {
+        let started = Instant::now();
+        let workers = self.workers.min(jobs.len()).max(1);
+
+        // Round-robin initial distribution into per-worker deques.
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for idx in 0..jobs.len() {
+            queues[idx % workers].push_back(idx);
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = queues.into_iter().map(Mutex::new).collect();
+        let steals = AtomicUsize::new(0);
+
+        let mut outcomes: Vec<BatchOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let queues = &queues;
+                    let steals = &steals;
+                    let verifier = &self.verifier;
+                    scope.spawn(move || {
+                        let mut ws = EmuWorkspace::new();
+                        let mut done: Vec<(usize, Report)> = Vec::new();
+                        while let Some(idx) = next_job(queues, me, steals) {
+                            let job = &jobs[idx];
+                            done.push((
+                                idx,
+                                verifier.verify_with(&mut ws, &job.proof, &job.challenge),
+                            ));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .map(|(index, report)| BatchOutcome {
+                    index,
+                    device_id: jobs[index].device_id,
+                    report,
+                })
+                .collect()
+        });
+        outcomes.sort_unstable_by_key(|o| o.index);
+
+        let wall = started.elapsed();
+        let mut stats = BatchStats {
+            total: jobs.len(),
+            workers,
+            steals: steals.into_inner(),
+            wall,
+            proofs_per_sec: jobs.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+            ..BatchStats::default()
+        };
+        for o in &outcomes {
+            match o.report.verdict {
+                crate::report::Verdict::Clean => stats.clean += 1,
+                crate::report::Verdict::Rejected => stats.rejected += 1,
+                crate::report::Verdict::Attack => stats.attacks += 1,
+            }
+            stats.emulated_insns += o.report.stats.emulated_insns;
+        }
+
+        BatchReport { outcomes, stats }
+    }
+}
+
+/// Pops the next job for worker `me`: own queue first (front, FIFO), then a
+/// steal from another worker's tail (LIFO from the victim's perspective,
+/// minimising contention on the victim's hot end).
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize, steals: &AtomicUsize) -> Option<usize> {
+    if let Some(idx) = lock(&queues[me]).pop_front() {
+        return Some(idx);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        if let Some(idx) = lock(&queues[(me + off) % n]).pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Locks a queue, tolerating poison: a panicked worker cannot leave a queue
+/// logically inconsistent (every operation is a single pop).
+fn lock<'q>(q: &'q Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'q, VecDeque<usize>> {
+    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::DialedDevice;
+    use crate::pipeline::{BuildOptions, InstrumentedOp};
+    use crate::policy::GlobalWriteBounds;
+    use vrased::KeyStore;
+
+    const OP: &str = "\
+        .org 0xE000\nop:\n mov r15, r10\n add r14, r10\n mov r10, &0x0060\n ret\n";
+
+    /// Builds one op and produces `n` proofs with per-device args and
+    /// challenges (device i computes i + 100·i).
+    fn make_jobs(n: usize, ks: &KeyStore, op: &InstrumentedOp) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| {
+                let mut dev = DialedDevice::new(op.clone(), ks.clone());
+                let mut args = [0u16; 8];
+                args[6] = i as u16;
+                args[7] = 100 * i as u16;
+                let info = dev.invoke(&args);
+                assert_eq!(info.stop, apex::pox::StopReason::ReachedStop);
+                let chal = Challenge::derive(b"batch", i as u64);
+                BatchJob::new(i as u64, dev.prove(&chal), chal)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_verdicts() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(21);
+        let mut jobs = make_jobs(12, &ks, &op);
+        // Sabotage two jobs: one OR corruption (Attack or Rejected), one
+        // wrong challenge (Rejected).
+        jobs[3].proof.pox.or_data[7] ^= 0x40;
+        jobs[9].challenge = Challenge::derive(b"wrong", 9);
+
+        let verifier = DialedVerifier::new(op.clone(), ks.clone());
+        let sequential: Vec<Report> =
+            jobs.iter().map(|j| verifier.verify(&j.proof, &j.challenge)).collect();
+
+        let batch = BatchVerifier::new(DialedVerifier::new(op, ks)).with_workers(4);
+        let report = batch.verify_batch(&jobs);
+
+        assert_eq!(report.stats.total, 12);
+        assert_eq!(report.outcomes.len(), 12);
+        for (i, (outcome, seq)) in report.outcomes.iter().zip(&sequential).enumerate() {
+            assert_eq!(outcome.index, i, "outcomes must be in submission order");
+            assert_eq!(outcome.device_id, i as u64);
+            assert_eq!(&outcome.report, seq, "job {i} diverged from sequential");
+        }
+        assert!(!report.all_clean());
+        assert_eq!(report.stats.clean + report.stats.attacks + report.stats.rejected, 12);
+        assert_eq!(report.flagged().count(), 2);
+        assert!(report.stats.proofs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn eight_proofs_verify_concurrently_clean() {
+        // The ISSUE's smoke test: ≥ 8 proofs, concurrent verdicts identical
+        // to sequential `DialedVerifier::verify`.
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(22);
+        let jobs = make_jobs(8, &ks, &op);
+        let batch = BatchVerifier::new(DialedVerifier::new(op.clone(), ks.clone())).with_workers(8);
+        let report = batch.verify_batch(&jobs);
+        assert!(report.all_clean(), "{report}");
+        assert_eq!(report.stats.clean, 8);
+        assert_eq!(report.stats.workers, 8);
+        let verifier = DialedVerifier::new(op, ks);
+        for (job, outcome) in jobs.iter().zip(&report.outcomes) {
+            assert_eq!(outcome.report, verifier.verify(&job.proof, &job.challenge));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_observationally_pure() {
+        // One workspace pushed through clean, corrupted and clean-again
+        // proofs must give the same reports as fresh workspaces.
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(23);
+        let mut jobs = make_jobs(3, &ks, &op);
+        jobs[1].proof.pox.or_data[5] ^= 0xFF;
+        let verifier = DialedVerifier::new(op, ks);
+        let mut ws = EmuWorkspace::new();
+        for job in &jobs {
+            let reused = verifier.verify_with(&mut ws, &job.proof, &job.challenge);
+            let fresh = verifier.verify(&job.proof, &job.challenge);
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_clean() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(24);
+        let batch = BatchVerifier::new(DialedVerifier::new(op, ks));
+        let report = batch.verify_batch(&[]);
+        assert!(report.all_clean());
+        assert_eq!(report.stats.total, 0);
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn policies_apply_across_workers() {
+        // A policy that rejects the op's global store must flag *every*
+        // proof, from whichever worker verifies it.
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(25);
+        let jobs = make_jobs(9, &ks, &op);
+        let verifier =
+            DialedVerifier::new(op, ks).with_policy(Box::new(GlobalWriteBounds::new(vec![])));
+        let report = BatchVerifier::new(verifier).with_workers(3).verify_batch(&jobs);
+        assert_eq!(report.stats.attacks, 9, "{report}");
+    }
+
+    #[test]
+    fn single_worker_degrades_to_sequential() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(26);
+        let jobs = make_jobs(5, &ks, &op);
+        let report =
+            BatchVerifier::new(DialedVerifier::new(op, ks)).with_workers(1).verify_batch(&jobs);
+        assert!(report.all_clean());
+        assert_eq!(report.stats.workers, 1);
+        assert_eq!(report.stats.steals, 0, "a lone worker has nobody to steal from");
+    }
+}

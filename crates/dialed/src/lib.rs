@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod attest;
+pub mod batch;
 pub mod ilog;
 pub mod pass;
 pub mod pipeline;
@@ -68,17 +69,19 @@ pub mod report;
 pub mod verifier;
 
 pub use attest::{DialedDevice, DialedProof, RunInfo};
+pub use batch::{BatchJob, BatchVerifier};
 pub use pass::{DfaConfig, ReadCheckPolicy};
 pub use pipeline::{BuildOptions, InstrumentedOp};
-pub use report::{Finding, Report, Verdict};
-pub use verifier::DialedVerifier;
+pub use report::{BatchOutcome, BatchReport, BatchStats, Finding, Report, Verdict};
+pub use verifier::{DialedVerifier, EmuWorkspace};
 
 /// Convenient re-exports for end-to-end users.
 pub mod prelude {
     pub use crate::attest::{DialedDevice, DialedProof};
+    pub use crate::batch::{BatchJob, BatchVerifier};
     pub use crate::pipeline::{BuildOptions, InstrumentedOp};
     pub use crate::policy::{ActuationPulse, GlobalWriteBounds, Policy};
-    pub use crate::report::{Finding, Report, Verdict};
-    pub use crate::verifier::DialedVerifier;
+    pub use crate::report::{BatchOutcome, BatchReport, BatchStats, Finding, Report, Verdict};
+    pub use crate::verifier::{DialedVerifier, EmuWorkspace};
     pub use vrased::{Challenge, KeyStore};
 }

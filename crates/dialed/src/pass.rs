@@ -132,9 +132,7 @@ pub fn instrument(
                 let preserve = msp430_asm::ast::flags_live_from(&program.lines, idx);
                 let reads: Vec<TOperand> = t.memory_reads().into_iter().cloned().collect();
                 for op in &reads {
-                    if let Some(text) =
-                        read_block_text(op, t, &mut n, cfg, line.line, preserve)?
-                    {
+                    if let Some(text) = read_block_text(op, t, &mut n, cfg, line.line, preserve)? {
                         out.lines.extend(snip(&text)?);
                     }
                 }
@@ -154,18 +152,17 @@ pub fn instrument(
 /// Recognises the two lines of Tiny-CFA's entry check: `cmp #K, r4` and the
 /// abort spin `jne $`.
 fn is_entry_check_line(item: &Item) -> bool {
-    match item {
+    matches!(
+        item,
         Item::Stmt(Stmt::Insn(Template::Two {
             op: msp430::isa::Op2::Cmp,
             dst: TOperand::Reg(Reg::R4),
             ..
-        })) => true,
-        Item::Stmt(Stmt::Insn(Template::Jcc {
+        })) | Item::Stmt(Stmt::Insn(Template::Jcc {
             cond: msp430::isa::Cond::Nz,
             target: Expr::Here,
-        })) => true,
-        _ => false,
-    }
+        }))
+    )
 }
 
 /// The F3 entry block: optional `r4` check, save SP base at `[R_TOP]`, then
@@ -177,9 +174,7 @@ fn entry_block_text(cfg: &DfaConfig) -> String {
     }
     let or_min = cfg.or_min;
     // Save the stack pointer to [R_TOP] (the slot r4 points at on entry).
-    s.push_str(&format!(
-        "__dfa_arg_sp:\n mov r1, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
-    ));
+    s.push_str(&format!("__dfa_arg_sp:\n mov r1, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"));
     for (i, reg) in (8..16).enumerate() {
         s.push_str(&format!(
             "{ARG_SITE_PREFIX}{i}:\n mov r{reg}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
@@ -219,11 +214,7 @@ fn read_block_text(
             let body = format!(
                 " cmp &{r_top}, {r}\n jhs __dfa{i}_log\n cmp r1, {r}\n jhs __dfa{i}_skip\n__dfa{i}_log:\n{INPUT_SITE_PREFIX}{i}:\n mov @{r}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n__dfa{i}_skip:\n"
             );
-            Ok(Some(if preserve {
-                format!(" push sr\n{body} pop sr\n")
-            } else {
-                body
-            }))
+            Ok(Some(if preserve { format!(" push sr\n{body} pop sr\n") } else { body }))
         }
         TOperand::Indexed(e, r) => {
             if expr_uses_here(e) {
@@ -262,11 +253,7 @@ fn read_block_text(
             let body = format!(
                 " push {scratch}\n{ea_setup} cmp &{r_top}, {scratch}\n jhs __dfa{i}_log\n cmp r1, {scratch}\n jhs __dfa{i}_skip\n__dfa{i}_log:\n{INPUT_SITE_PREFIX}{i}:\n mov @{scratch}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n__dfa{i}_skip:\n pop {scratch}\n"
             );
-            Ok(Some(if preserve {
-                format!(" push sr\n{body} pop sr\n")
-            } else {
-                body
-            }))
+            Ok(Some(if preserve { format!(" push sr\n{body} pop sr\n") } else { body }))
         }
         // Static addresses (globals, peripherals, constant tables) are by
         // definition outside the operation's stack: unconditional log.
@@ -286,11 +273,7 @@ fn read_block_text(
             let body = format!(
                 "{INPUT_SITE_PREFIX}{i}:\n mov {src}, 0(r4)\n decd r4\n cmp #{or_min}, r4\n jn $\n"
             );
-            Ok(Some(if preserve {
-                format!(" push sr\n{body} pop sr\n")
-            } else {
-                body
-            }))
+            Ok(Some(if preserve { format!(" push sr\n{body} pop sr\n") } else { body }))
         }
         TOperand::Reg(_) | TOperand::Imm(_) => Ok(None),
     }
@@ -444,10 +427,7 @@ mod tests {
     #[test]
     fn pc_based_reads_rejected() {
         let p = parse_program(".org 0xE000\nop:\n mov @r0, r5\n ret\n").unwrap();
-        assert!(matches!(
-            instrument(&p, "op", &cfg()),
-            Err(PassError::Unsupported { .. })
-        ));
+        assert!(matches!(instrument(&p, "op", &cfg()), Err(PassError::Unsupported { .. })));
     }
 
     #[test]

@@ -234,8 +234,7 @@ mod tests {
 
     #[test]
     fn builds_all_three_modes_with_increasing_size() {
-        let mut opts = BuildOptions::default();
-        opts.mode = InstrumentMode::Original;
+        let mut opts = BuildOptions { mode: InstrumentMode::Original, ..Default::default() };
         let orig = InstrumentedOp::build(OP, "op", &opts).unwrap();
         opts.mode = InstrumentMode::CfaOnly;
         let cfa = InstrumentedOp::build(OP, "op", &opts).unwrap();
@@ -263,8 +262,9 @@ mod tests {
 
     #[test]
     fn missing_label_rejected() {
-        let err = InstrumentedOp::build(".org 0xE000\nother:\n ret\n", "op", &BuildOptions::default())
-            .unwrap_err();
+        let err =
+            InstrumentedOp::build(".org 0xE000\nother:\n ret\n", "op", &BuildOptions::default())
+                .unwrap_err();
         assert!(matches!(err, BuildError::Pass(_) | BuildError::Convention(_)));
     }
 

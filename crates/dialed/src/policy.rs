@@ -12,7 +12,10 @@ use crate::verifier::Emulation;
 use std::fmt;
 
 /// A verifier-side predicate over a reconstructed execution.
-pub trait Policy: fmt::Debug {
+///
+/// Policies are `Send + Sync` so one [`crate::verifier::DialedVerifier`]
+/// can be shared by the batch-verification worker threads.
+pub trait Policy: fmt::Debug + Send + Sync {
     /// Human-readable policy name (appears in findings).
     fn name(&self) -> &str;
     /// Evaluates the policy; returns findings (empty when satisfied).
@@ -151,7 +154,7 @@ impl<F: Fn(&Emulation) -> Vec<Finding>> Custom<F> {
     }
 }
 
-impl<F: Fn(&Emulation) -> Vec<Finding>> Policy for Custom<F> {
+impl<F: Fn(&Emulation) -> Vec<Finding> + Send + Sync> Policy for Custom<F> {
     fn name(&self) -> &str {
         &self.name
     }

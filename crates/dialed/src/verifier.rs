@@ -70,11 +70,58 @@ pub struct Emulation {
 /// Default abstract-execution step budget.
 pub const DEFAULT_EMU_BUDGET: usize = 4_000_000;
 
+/// Reusable per-verifier (or per-worker) emulation buffers.
+///
+/// Abstract execution needs a 64 KiB RAM image, a step trace and an OR
+/// snapshot per proof. Allocating those per proof dominates the fixed cost
+/// of verifying small operations, so batch verification keeps one workspace
+/// per worker thread and recycles the allocations across proofs (see
+/// [`crate::batch::BatchVerifier`]).
+#[derive(Debug, Default)]
+pub struct EmuWorkspace {
+    /// Lazily allocated so constructing a workspace is free: a proof that
+    /// fails the cryptographic check never pays for the 64 KiB image.
+    ram: Option<Ram>,
+    trace: Trace,
+    shadow: Vec<u16>,
+    or_emulated: Vec<u8>,
+}
+
+impl EmuWorkspace {
+    /// A fresh workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns an [`Emulation`]'s large buffers to the workspace so the
+    /// next proof reuses their allocations.
+    pub fn reclaim(&mut self, emu: Emulation) {
+        self.trace = emu.trace;
+        self.or_emulated = emu.or_emulated;
+    }
+}
+
 /// Abstractly executes `op` against the device's attested OR bytes.
 ///
 /// `device_or` must span exactly `or_min..=or_max`.
 #[must_use]
 pub fn abstract_execute(op: &InstrumentedOp, device_or: &[u8], budget: usize) -> Emulation {
+    abstract_execute_in(&mut EmuWorkspace::new(), op, device_or, budget)
+}
+
+/// [`abstract_execute`] reusing `ws`'s buffers instead of allocating.
+///
+/// The returned [`Emulation`] owns the workspace's trace and OR buffers;
+/// hand them back with [`EmuWorkspace::reclaim`] once the emulation has
+/// been consumed.
+#[must_use]
+pub fn abstract_execute_in(
+    ws: &mut EmuWorkspace,
+    op: &InstrumentedOp,
+    device_or: &[u8],
+    budget: usize,
+) -> Emulation {
     let pox = op.pox;
     let or_stack = OrStack::new(device_or, pox.or_min, pox.or_max);
     let r_top = or_stack.r_top();
@@ -90,12 +137,20 @@ pub fn abstract_execute(op: &InstrumentedOp, device_or: &[u8], budget: usize) ->
     }
     cpu.set_pc(op.options.caller_site);
 
-    let mut ram = Ram::new();
-    op.image.load_into_ram(&mut ram);
+    let ram = match &mut ws.ram {
+        Some(ram) => {
+            ram.clear();
+            ram
+        }
+        none => none.insert(Ram::new()),
+    };
+    op.image.load_into_ram(ram);
 
-    let mut trace = Trace::new();
+    let mut trace = std::mem::take(&mut ws.trace);
+    trace.clear();
     let mut findings = Vec::new();
-    let mut shadow: Vec<u16> = Vec::new();
+    let shadow = &mut ws.shadow;
+    shadow.clear();
     let mut min_sp = cpu.reg(Reg::SP);
     let mut outcome = EmuOutcome::Budget;
     let (mut cf_n, mut in_n, mut arg_n) = (0usize, 0usize, 0usize);
@@ -112,10 +167,10 @@ pub fn abstract_execute(op: &InstrumentedOp, device_or: &[u8], budget: usize) ->
         // Input injection: before an input-log instruction executes, place
         // the device's logged word at the read's effective address.
         if input_sites.binary_search(&pc).is_ok() {
-            inject(&mut cpu, &mut ram, &or_stack, pox.or_min);
+            inject(&mut cpu, ram, &or_stack, pox.or_min);
         }
 
-        let step = match cpu.step(&mut ram) {
+        let step = match cpu.step(&mut *ram) {
             Ok(s) => s,
             Err(CpuFault::Halted | CpuFault::Decode { .. }) => {
                 outcome = EmuOutcome::Fault;
@@ -169,10 +224,10 @@ pub fn abstract_execute(op: &InstrumentedOp, device_or: &[u8], budget: usize) ->
     }
 
     let final_r4 = cpu.reg(Reg::R4);
-    let mut or_emulated = vec![0u8; usize::from(pox.or_max - pox.or_min) + 1];
-    for (i, byte) in or_emulated.iter_mut().enumerate() {
-        *byte = ram.as_slice()[usize::from(pox.or_min) + i];
-    }
+    let mut or_emulated = std::mem::take(&mut ws.or_emulated);
+    or_emulated.clear();
+    or_emulated
+        .extend_from_slice(&ram.as_slice()[usize::from(pox.or_min)..=usize::from(pox.or_max)]);
 
     Emulation {
         trace,
@@ -258,6 +313,21 @@ impl DialedVerifier {
     /// Full verification of a proof under `challenge`.
     #[must_use]
     pub fn verify(&self, proof: &DialedProof, challenge: &Challenge) -> Report {
+        self.verify_with(&mut EmuWorkspace::new(), proof, challenge)
+    }
+
+    /// [`DialedVerifier::verify`] reusing `ws`'s emulation buffers.
+    ///
+    /// Semantically identical to `verify`; batch workers call this with a
+    /// long-lived per-thread workspace so RAM/trace allocations amortise
+    /// across proofs.
+    #[must_use]
+    pub fn verify_with(
+        &self,
+        ws: &mut EmuWorkspace,
+        proof: &DialedProof,
+        challenge: &Challenge,
+    ) -> Report {
         // 1. Cryptographic proof of execution (code + OR + EXEC).
         let or = match self.pox_verifier.verify(&proof.pox, challenge) {
             Ok(or) => or,
@@ -267,12 +337,14 @@ impl DialedVerifier {
             return Report::rejected("operation was not built with full DIALED instrumentation");
         }
 
-        // 2. Abstract execution with input injection.
-        let emu = abstract_execute(&self.op, &or, self.emu_budget);
-        let mut findings = emu.findings.clone();
+        // 2. Abstract execution with input injection. Findings stay on the
+        //    emulation until policies (which may inspect `emu.findings`)
+        //    have run; verification-stage findings accumulate separately.
+        let mut emu = abstract_execute_in(ws, &self.op, &or, self.emu_budget);
+        let mut extra = Vec::new();
 
         if emu.outcome != EmuOutcome::Completed {
-            findings.push(Finding::EmulationStuck);
+            extra.push(Finding::EmulationStuck);
         }
 
         // 3. The recomputed OR must match the attested OR over the used
@@ -285,7 +357,7 @@ impl DialedVerifier {
             let dev = u16::from(or[off]) | (u16::from(or[off + 1]) << 8);
             let emul = u16::from(emu.or_emulated[off]) | (u16::from(emu.or_emulated[off + 1]) << 8);
             if dev != emul {
-                findings.push(Finding::LogDivergence { addr: slot, device: dev, emulated: emul });
+                extra.push(Finding::LogDivergence { addr: slot, device: dev, emulated: emul });
                 break;
             }
             if slot < 2 {
@@ -294,10 +366,14 @@ impl DialedVerifier {
             slot -= 2;
         }
 
-        // 4. Application policies on the reconstructed execution.
+        // 4. Application policies on the reconstructed execution (with the
+        //    shadow-stack findings still visible on `emu`).
         for policy in &self.policies {
-            findings.extend(policy.check(&emu));
+            extra.extend(policy.check(&emu));
         }
+
+        let mut findings = std::mem::take(&mut emu.findings);
+        findings.append(&mut extra);
 
         let (cf_entries, input_entries, arg_entries) = emu.log_counts;
         let stats = VerifyStats {
@@ -307,6 +383,9 @@ impl DialedVerifier {
             input_entries,
             arg_entries,
         };
+
+        // The emulation is fully consumed: recycle its buffers.
+        ws.reclaim(emu);
 
         if findings.is_empty() {
             Report::clean(stats)
@@ -391,9 +470,11 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         let emu = verifier.reconstruct(&proof.pox.or_data);
         // The reconstructed trace contains the store of 0xA7 to 0x0300.
-        let wrote = emu.trace.steps().iter().any(|s| {
-            s.writes().any(|w| w.addr == 0x0300 && w.value == 0xA7)
-        });
+        let wrote = emu
+            .trace
+            .steps()
+            .iter()
+            .any(|s| s.writes().any(|w| w.addr == 0x0300 && w.value == 0xA7));
         assert!(wrote, "verifier must reconstruct the device's data flow");
     }
 

@@ -58,9 +58,7 @@ impl Estimator {
             // One LUT per bit with fast-carry.
             Component::Adder { bits } => Area { luts: bits, ffs: 0 },
             // A 6-LUT implements a 4:1 mux slice.
-            Component::Mux { bits, inputs } => {
-                Area { luts: bits * inputs.div_ceil(4), ffs: 0 }
-            }
+            Component::Mux { bits, inputs } => Area { luts: bits * inputs.div_ceil(4), ffs: 0 },
             // ~3 gate-equivalents per LUT on average for random logic.
             Component::Logic { gates } => Area { luts: gates.div_ceil(3), ffs: 0 },
             // 64 ROM bits per LUT (LUT-as-ROM).
@@ -71,10 +69,7 @@ impl Estimator {
     /// Estimates a whole module tree.
     #[must_use]
     pub fn module(&self, m: &Module) -> Area {
-        m.flatten()
-            .iter()
-            .map(|(_, c)| self.component(c))
-            .fold(Area::default(), Add::add)
+        m.flatten().iter().map(|(_, c)| self.component(c)).fold(Area::default(), Add::add)
     }
 }
 

@@ -158,9 +158,18 @@ pub fn apex_monitor() -> Module {
             // PC vs ER_min/ER_max/exit/entry, data addr vs ER and OR
             // bounds, DMA addr vs ER and OR bounds: 12 × 16-bit.
             for (i, label) in [
-                "pc_ge_ermin", "pc_le_ermax", "pc_eq_ermin", "pc_eq_exit",
-                "da_ge_ormin", "da_le_ormax", "da_ge_ermin", "da_le_ermax",
-                "dma_ge_ormin", "dma_le_ormax", "dma_ge_ermin", "dma_le_ermax",
+                "pc_ge_ermin",
+                "pc_le_ermax",
+                "pc_eq_ermin",
+                "pc_eq_exit",
+                "da_ge_ormin",
+                "da_le_ormax",
+                "da_ge_ermin",
+                "da_le_ermax",
+                "dma_ge_ormin",
+                "dma_le_ormax",
+                "dma_ge_ermin",
+                "dma_le_ermax",
             ]
             .iter()
             .enumerate()
@@ -185,7 +194,7 @@ pub fn lofat_monitor() -> Module {
     Module::new("lofat")
         .with_sub(
             Module::new("hash_engine")
-                .with("sponge_state", Component::Register { bits: 512 },)
+                .with("sponge_state", Component::Register { bits: 512 })
                 .with("round_function", Component::Logic { gates: 5_200 })
                 .with("absorb_mux", Component::Mux { bits: 64, inputs: 4 }),
         )
@@ -233,16 +242,14 @@ pub fn atrium_monitor() -> Module {
                 .with("round_function", Component::Logic { gates: 8_200 }),
         );
     }
-    Module::new("atrium")
-        .with_sub(lanes)
-        .with_sub(
-            Module::new("fetch_monitor")
-                .with("insn_buffer", Component::Register { bits: 8_192 })
-                .with("metadata_regs", Component::Register { bits: 4_576 })
-                .with("ctrl_logic", Component::Logic { gates: 6_300 })
-                .with("cmp_a", Component::Comparator { bits: 32 })
-                .with("cmp_b", Component::Comparator { bits: 32 }),
-        )
+    Module::new("atrium").with_sub(lanes).with_sub(
+        Module::new("fetch_monitor")
+            .with("insn_buffer", Component::Register { bits: 8_192 })
+            .with("metadata_regs", Component::Register { bits: 4_576 })
+            .with("ctrl_logic", Component::Logic { gates: 6_300 })
+            .with("cmp_a", Component::Comparator { bits: 32 })
+            .with("cmp_b", Component::Comparator { bits: 32 }),
+    )
 }
 
 /// One row of Table I.
@@ -311,8 +318,7 @@ mod tests {
     /// the structural descriptions.
     #[test]
     fn monitors_within_tolerance_of_published() {
-        for d in [Design::Atrium, Design::LoFat, Design::LiteHax, Design::TinyCfa, Design::Dialed]
-        {
+        for d in [Design::Atrium, Design::LoFat, Design::LiteHax, Design::TinyCfa, Design::Dialed] {
             let a = d.estimate().unwrap();
             let (l, f) = d.published().unwrap();
             let lut_err = (f64::from(a.luts) - f64::from(l)).abs() / f64::from(l);
@@ -343,15 +349,12 @@ mod tests {
     #[test]
     fn functionality_matrix() {
         let rows = table1_rows();
-        let dfa: Vec<_> = rows
-            .iter()
-            .filter(|r| r.dfa != Support::No)
-            .map(|r| r.design.name())
-            .collect();
+        let dfa: Vec<_> =
+            rows.iter().filter(|r| r.dfa != Support::No).map(|r| r.design.name()).collect();
         assert_eq!(dfa, vec!["OAT", "LiteHAX", "DIALED"]);
         let affordable_dfa: Vec<_> = rows
             .iter()
-            .filter(|r| r.dfa == Support::Hardware && r.modeled.map_or(false, |a| a.luts < 500))
+            .filter(|r| r.dfa == Support::Hardware && r.modeled.is_some_and(|a| a.luts < 500))
             .map(|r| r.design.name())
             .collect();
         assert_eq!(affordable_dfa, vec!["DIALED"]);

@@ -115,13 +115,11 @@ mod tests {
 
     #[test]
     fn builder_and_flatten() {
-        let m = Module::new("top")
-            .with("state", Component::Register { bits: 3 })
-            .with_sub(
-                Module::new("cmp_bank")
-                    .with("pc_lo", Component::Comparator { bits: 16 })
-                    .with("pc_hi", Component::Comparator { bits: 16 }),
-            );
+        let m = Module::new("top").with("state", Component::Register { bits: 3 }).with_sub(
+            Module::new("cmp_bank")
+                .with("pc_lo", Component::Comparator { bits: 16 })
+                .with("pc_hi", Component::Comparator { bits: 16 }),
+        );
         assert_eq!(m.flatten().len(), 3);
         assert_eq!(m.register_bits(), 3);
         let text = m.to_string();

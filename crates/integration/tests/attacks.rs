@@ -59,10 +59,9 @@ fn fig2_data_only_attack_needs_no_annotation() {
     dev.invoke(&[0; 8]);
     let report = verify(&op, &dev, &ks, 2);
     assert_eq!(report.verdict, Verdict::Attack);
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| matches!(f, Finding::OutOfBoundsWrite { addr, .. } if *addr == syringe_pump::SET_ADDR)));
+    assert!(report.findings.iter().any(
+        |f| matches!(f, Finding::OutOfBoundsWrite { addr, .. } if *addr == syringe_pump::SET_ADDR)
+    ));
 }
 
 #[test]
@@ -161,10 +160,7 @@ op:
     let chal = Challenge::derive(b"f5", 1);
     let proof = dev.prove(&chal);
     let verifier = DialedVerifier::new(op, ks)
-        .with_policy(Box::new(GlobalWriteBounds::new(vec![
-            (0x0300, 0x0301),
-            (0x0066, 0x0067),
-        ])));
+        .with_policy(Box::new(GlobalWriteBounds::new(vec![(0x0300, 0x0301), (0x0066, 0x0067)])));
     assert!(verifier.verify(&proof, &chal).is_clean());
 }
 

@@ -5,10 +5,7 @@ use apex::pox::StopReason;
 use dialed::pipeline::{InstrumentMode, InstrumentedOp};
 use dialed::prelude::*;
 
-fn build_and_run(
-    scenario: &apps::Scenario,
-    seed: u64,
-) -> (InstrumentedOp, DialedDevice, KeyStore) {
+fn build_and_run(scenario: &apps::Scenario, seed: u64) -> (InstrumentedOp, DialedDevice, KeyStore) {
     let op = scenario.build(InstrumentMode::Full);
     let ks = KeyStore::from_seed(seed);
     let mut dev = DialedDevice::new(op.clone(), ks.clone());

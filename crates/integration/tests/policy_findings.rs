@@ -1,0 +1,41 @@
+//! Regression: application policies must observe the verifier's
+//! shadow-stack findings on the `Emulation` they are handed — the verifier
+//! may only drain `emu.findings` *after* policies have run.
+
+use apps::{app_build_options, syringe_pump};
+use dialed::pipeline::InstrumentMode;
+use dialed::policy::Custom;
+use dialed::prelude::*;
+use dialed::verifier::Emulation;
+
+#[test]
+fn policies_observe_shadow_stack_findings() {
+    // Stage the paper's Fig. 1 hijack so reconstruction yields a
+    // ReturnHijack finding, then escalate on it from a custom policy.
+    let opts = app_build_options(InstrumentMode::Full);
+    let op = InstrumentedOp::build(syringe_pump::SOURCE_VULN_CF, "syringe_op", &opts).unwrap();
+    let inject = op.image.symbol("spc_inject").unwrap();
+    let ks = KeyStore::from_seed(31);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    dev.platform_mut().uart.feed(&syringe_pump::attack_packet_cf(inject));
+    dev.invoke(&[0; 8]);
+    let chal = Challenge::derive(b"pol", 0);
+    let proof = dev.prove(&chal);
+
+    let escalate = Custom::new("escalate-hijack", |emu: &Emulation| {
+        if emu.findings.iter().any(|f| matches!(f, Finding::ReturnHijack { .. })) {
+            vec![Finding::PolicyViolation {
+                policy: "escalate-hijack".into(),
+                detail: "reconstructed hijack".into(),
+            }]
+        } else {
+            Vec::new()
+        }
+    });
+    let report = DialedVerifier::new(op, ks).with_policy(Box::new(escalate)).verify(&proof, &chal);
+    assert!(report.findings.iter().any(|f| matches!(f, Finding::ReturnHijack { .. })), "{report}");
+    assert!(
+        report.findings.iter().any(|f| matches!(f, Finding::PolicyViolation { .. })),
+        "policy must have seen the shadow-stack finding: {report}"
+    );
+}

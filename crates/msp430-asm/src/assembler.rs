@@ -217,9 +217,9 @@ fn eval_word(
     here: u16,
     line: usize,
 ) -> Result<u16, AsmError> {
-    let v = e.eval(symbols, here).ok_or_else(|| {
-        AsmError::new(line, format!("undefined symbol in expression `{e}`"))
-    })?;
+    let v = e
+        .eval(symbols, here)
+        .ok_or_else(|| AsmError::new(line, format!("undefined symbol in expression `{e}`")))?;
     to_u16(v, line)
 }
 
@@ -238,7 +238,7 @@ fn size_of(t: &Template, symbols: &BTreeMap<String, u16>, here: u16) -> (u16, bo
             TOperand::Reg(_) | TOperand::Indirect(_) | TOperand::IndirectInc(_) => 0,
             TOperand::Indexed(..) | TOperand::Symbolic(_) | TOperand::Absolute(_) => 1,
             TOperand::Imm(e) => match e.eval(symbols, here) {
-                Some(v) if matches!(v, 0 | 1 | 2 | 4 | 8 | -1) => 0,
+                Some(0 | 1 | 2 | 4 | 8 | -1) => 0,
                 _ => {
                     *long_imm = true;
                     1
@@ -281,17 +281,13 @@ fn resolve(
     };
     match t {
         Template::One { op, size, sd } => Ok(Insn::One { op: *op, size: *size, sd: operand(sd)? }),
-        Template::Two { op, size, src, dst } => Ok(Insn::Two {
-            op: *op,
-            size: *size,
-            src: operand(src)?,
-            dst: operand(dst)?,
-        }),
+        Template::Two { op, size, src, dst } => {
+            Ok(Insn::Two { op: *op, size: *size, src: operand(src)?, dst: operand(dst)? })
+        }
         Template::Jcc { cond, target } => {
             let tgt = eval_word(target, symbols, addr, line)?;
-            Insn::jump_to(*cond, addr, tgt).map_err(|e| {
-                AsmError::new(line, format!("jump to {tgt:#06x}: {e}"))
-            })
+            Insn::jump_to(*cond, addr, tgt)
+                .map_err(|e| AsmError::new(line, format!("jump to {tgt:#06x}: {e}")))
         }
     }
 }
@@ -305,11 +301,7 @@ pub fn insn_size_bytes(t: &Template) -> u16 {
 }
 
 /// Internal sizing probe shared with the listing generator.
-pub(crate) fn size_probe(
-    t: &Template,
-    symbols: &BTreeMap<String, u16>,
-    here: u16,
-) -> (u16, bool) {
+pub(crate) fn size_probe(t: &Template, symbols: &BTreeMap<String, u16>, here: u16) -> (u16, bool) {
     size_of(t, symbols, here)
 }
 

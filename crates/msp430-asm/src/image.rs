@@ -86,11 +86,7 @@ impl Image {
     pub fn words_at(&self, addr: u16) -> Vec<u16> {
         let mut out = Vec::new();
         let mut a = addr;
-        loop {
-            let (Some(lo), Some(hi)) = (self.bytes.get(&a), self.bytes.get(&a.wrapping_add(1)))
-            else {
-                break;
-            };
+        while let (Some(lo), Some(hi)) = (self.bytes.get(&a), self.bytes.get(&a.wrapping_add(1))) {
             out.push(u16::from(*lo) | (u16::from(*hi) << 8));
             a = a.wrapping_add(2);
         }

@@ -99,24 +99,53 @@ pub fn lex_line(line: &str) -> Result<Vec<Tok>, LexError> {
         match c {
             ';' => break,
             ' ' | '\t' | '\r' => i += 1,
-            '#' => { toks.push(Tok::Hash); i += 1; }
-            '&' => { toks.push(Tok::Amp); i += 1; }
-            '@' => { toks.push(Tok::At); i += 1; }
-            '+' => { toks.push(Tok::Plus); i += 1; }
-            '-' => { toks.push(Tok::Minus); i += 1; }
-            '(' => { toks.push(Tok::LParen); i += 1; }
-            ')' => { toks.push(Tok::RParen); i += 1; }
-            ',' => { toks.push(Tok::Comma); i += 1; }
-            ':' => { toks.push(Tok::Colon); i += 1; }
-            '$' => { toks.push(Tok::Dollar); i += 1; }
+            '#' => {
+                toks.push(Tok::Hash);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '@' => {
+                toks.push(Tok::At);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '$' => {
+                toks.push(Tok::Dollar);
+                i += 1;
+            }
             '\'' => {
                 // Character literal 'c'.
                 let rest = &line[i + 1..];
                 let mut chars = rest.chars();
-                let ch = chars.next().ok_or(LexError {
-                    col: i,
-                    msg: "unterminated character literal".into(),
-                })?;
+                let ch = chars
+                    .next()
+                    .ok_or(LexError { col: i, msg: "unterminated character literal".into() })?;
                 if chars.next() != Some('\'') {
                     return Err(LexError { col: i, msg: "unterminated character literal".into() });
                 }
@@ -125,16 +154,12 @@ pub fn lex_line(line: &str) -> Result<Vec<Tok>, LexError> {
             }
             '0'..='9' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &line[start..i];
-                let n = parse_number(text).ok_or(LexError {
-                    col: start,
-                    msg: format!("bad number literal `{text}`"),
-                })?;
+                let n = parse_number(text)
+                    .ok_or(LexError { col: start, msg: format!("bad number literal `{text}`") })?;
                 toks.push(Tok::Num(n));
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
@@ -199,8 +224,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(lex_line("0x10 0b101 42 'A'").unwrap(),
-            vec![Tok::Num(16), Tok::Num(5), Tok::Num(42), Tok::Num(65)]);
+        assert_eq!(
+            lex_line("0x10 0b101 42 'A'").unwrap(),
+            vec![Tok::Num(16), Tok::Num(5), Tok::Num(42), Tok::Num(65)]
+        );
     }
 
     #[test]

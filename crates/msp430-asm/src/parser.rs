@@ -253,10 +253,7 @@ impl<'a> P<'a> {
         let lower = name.to_ascii_lowercase();
         let (base, size) = match lower.strip_suffix(".b") {
             Some(b) => (b.to_string(), Size::Byte),
-            None => (
-                lower.strip_suffix(".w").map_or(lower.clone(), |w| w.to_string()),
-                Size::Word,
-            ),
+            None => (lower.strip_suffix(".w").map_or(lower.clone(), |w| w.to_string()), Size::Word),
         };
 
         // Jumps.
@@ -312,11 +309,7 @@ impl<'a> P<'a> {
             _ => None,
         };
         if let Some(op) = op1 {
-            let sd = if op == Op1::Reti {
-                TOperand::Reg(Reg::CG2)
-            } else {
-                self.parse_operand()?
-            };
+            let sd = if op == Op1::Reti { TOperand::Reg(Reg::CG2) } else { self.parse_operand()? };
             return Ok(Stmt::Insn(Template::One { op, size, sd }));
         }
 
@@ -329,9 +322,7 @@ impl<'a> P<'a> {
     fn fix_dst(&self, dst: TOperand) -> Result<TOperand, ParseError> {
         match dst {
             TOperand::Indirect(r) => Ok(TOperand::Indexed(Expr::Num(0), r)),
-            TOperand::IndirectInc(_) => {
-                Err(self.err("`@Rn+` is not a valid destination"))
-            }
+            TOperand::IndirectInc(_) => Err(self.err("`@Rn+` is not a valid destination")),
             TOperand::Imm(_) => Err(self.err("immediate is not a valid destination")),
             other => Ok(other),
         }
@@ -349,11 +340,7 @@ impl<'a> P<'a> {
         };
         match base {
             "nop" => two(Op2::Mov, TOperand::Imm(Expr::Num(0)), TOperand::Reg(Reg::CG2)),
-            "ret" => two(
-                Op2::Mov,
-                TOperand::IndirectInc(Reg::SP),
-                TOperand::Reg(Reg::PC),
-            ),
+            "ret" => two(Op2::Mov, TOperand::IndirectInc(Reg::SP), TOperand::Reg(Reg::PC)),
             "pop" => {
                 let raw = self.parse_operand()?;
                 let dst = self.fix_dst(raw)?;
@@ -445,7 +432,9 @@ impl<'a> P<'a> {
 /// of the destination operand.
 fn same_as_dst(dst: &TOperand, p: &P<'_>) -> Result<TOperand, ParseError> {
     match dst {
-        TOperand::Reg(_) | TOperand::Indexed(..) | TOperand::Symbolic(_)
+        TOperand::Reg(_)
+        | TOperand::Indexed(..)
+        | TOperand::Symbolic(_)
         | TOperand::Absolute(_) => Ok(dst.clone()),
         _ => Err(p.err("rla/rlc destination must be register or memory")),
     }
@@ -503,10 +492,7 @@ mod tests {
             one_insn("jhs done"),
             Template::Jcc { cond: Cond::C, target: Expr::sym("done") }
         );
-        assert_eq!(
-            one_insn("jmp $"),
-            Template::Jcc { cond: Cond::Always, target: Expr::Here }
-        );
+        assert_eq!(one_insn("jmp $"), Template::Jcc { cond: Cond::Always, target: Expr::Here });
     }
 
     #[test]
@@ -545,22 +531,28 @@ mod tests {
         assert_eq!(
             one_insn("inc r5"),
             Template::Two {
-                op: Op2::Add, size: Size::Word,
-                src: TOperand::Imm(Expr::Num(1)), dst: TOperand::Reg(Reg::R5)
+                op: Op2::Add,
+                size: Size::Word,
+                src: TOperand::Imm(Expr::Num(1)),
+                dst: TOperand::Reg(Reg::R5)
             }
         );
         assert_eq!(
             one_insn("tst r9"),
             Template::Two {
-                op: Op2::Cmp, size: Size::Word,
-                src: TOperand::Imm(Expr::Num(0)), dst: TOperand::Reg(Reg::R9)
+                op: Op2::Cmp,
+                size: Size::Word,
+                src: TOperand::Imm(Expr::Num(0)),
+                dst: TOperand::Reg(Reg::R9)
             }
         );
         assert_eq!(
             one_insn("nop"),
             Template::Two {
-                op: Op2::Mov, size: Size::Word,
-                src: TOperand::Imm(Expr::Num(0)), dst: TOperand::Reg(Reg::CG2)
+                op: Op2::Mov,
+                size: Size::Word,
+                src: TOperand::Imm(Expr::Num(0)),
+                dst: TOperand::Reg(Reg::CG2)
             }
         );
     }
@@ -572,7 +564,8 @@ mod tests {
         assert_eq!(
             t,
             Template::Two {
-                op: Op2::Mov, size: Size::Word,
+                op: Op2::Mov,
+                size: Size::Word,
                 src: TOperand::Reg(Reg::R8),
                 dst: TOperand::Indexed(Expr::Num(0), Reg::R4)
             }

@@ -32,16 +32,29 @@ fn dst_operand() -> impl Strategy<Value = Operand> {
 
 fn op2() -> impl Strategy<Value = Op2> {
     prop_oneof![
-        Just(Op2::Mov), Just(Op2::Add), Just(Op2::Addc), Just(Op2::Subc),
-        Just(Op2::Sub), Just(Op2::Cmp), Just(Op2::Dadd), Just(Op2::Bit),
-        Just(Op2::Bic), Just(Op2::Bis), Just(Op2::Xor), Just(Op2::And),
+        Just(Op2::Mov),
+        Just(Op2::Add),
+        Just(Op2::Addc),
+        Just(Op2::Subc),
+        Just(Op2::Sub),
+        Just(Op2::Cmp),
+        Just(Op2::Dadd),
+        Just(Op2::Bit),
+        Just(Op2::Bic),
+        Just(Op2::Bis),
+        Just(Op2::Xor),
+        Just(Op2::And),
     ]
 }
 
 fn op1() -> impl Strategy<Value = Op1> {
     prop_oneof![
-        Just(Op1::Rrc), Just(Op1::Swpb), Just(Op1::Rra),
-        Just(Op1::Sxt), Just(Op1::Push), Just(Op1::Call),
+        Just(Op1::Rrc),
+        Just(Op1::Swpb),
+        Just(Op1::Rra),
+        Just(Op1::Sxt),
+        Just(Op1::Push),
+        Just(Op1::Call),
     ]
 }
 

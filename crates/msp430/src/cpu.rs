@@ -165,7 +165,12 @@ impl Cpu {
                 self.regs.set(Reg::SR, sr & flags::SCG0);
                 let vaddr = 0xFFE0u16.wrapping_add(u16::from(vec) * 2);
                 let target = bus.read_word(vaddr);
-                accesses.push(Access { addr: vaddr, kind: AccessKind::Read, value: target, word: true });
+                accesses.push(Access {
+                    addr: vaddr,
+                    kind: AccessKind::Read,
+                    value: target,
+                    word: true,
+                });
                 self.regs.set(Reg::PC, target);
                 return Ok(Step {
                     pc: pc0,
@@ -192,14 +197,7 @@ impl Cpu {
         let cycles = insn_cycles(&insn);
         self.execute(bus, &insn, &mut accesses);
 
-        Ok(Step {
-            pc: pc0,
-            next_pc: self.regs.pc(),
-            insn: Some(insn),
-            cycles,
-            accesses,
-            irq: None,
-        })
+        Ok(Step { pc: pc0, next_pc: self.regs.pc(), insn: Some(insn), cycles, accesses, irq: None })
     }
 
     /// Runs until the PC reaches `stop_pc`, the CPU halts/faults, or
@@ -268,9 +266,7 @@ impl Cpu {
                 let ea = self.regs.get(r).wrapping_add(x);
                 (self.load(bus, ea, size, acc), Some(ea))
             }
-            Operand::Symbolic(a) | Operand::Absolute(a) => {
-                (self.load(bus, a, size, acc), Some(a))
-            }
+            Operand::Symbolic(a) | Operand::Absolute(a) => (self.load(bus, a, size, acc), Some(a)),
             Operand::Indirect(r) => {
                 let ea = self.regs.get(r);
                 (self.load(bus, ea, size, acc), Some(ea))
@@ -365,8 +361,12 @@ impl Cpu {
             Op2::Dadd => (flags::dadd(d, s, carry, size), true),
             Op2::Bit | Op2::And => (flags::logic(d & s, size), false),
             Op2::Xor => (flags::xor(d, s, size), false),
-            Op2::Bic => (flags::AluOut { value: d & !s, c: false, z: false, n: false, v: false }, false),
-            Op2::Bis => (flags::AluOut { value: d | s, c: false, z: false, n: false, v: false }, false),
+            Op2::Bic => {
+                (flags::AluOut { value: d & !s, c: false, z: false, n: false, v: false }, false)
+            }
+            Op2::Bis => {
+                (flags::AluOut { value: d | s, c: false, z: false, n: false, v: false }, false)
+            }
         };
 
         if op.writes_dst() {
@@ -443,7 +443,7 @@ impl Cpu {
                         };
                         (o.value, Some(o))
                     }
-                    Op1::Swpb => ((v >> 8) | (v << 8), None),
+                    Op1::Swpb => (v.rotate_left(8), None),
                     Op1::Sxt => {
                         let r = if v & 0x80 != 0 { v | 0xFF00 } else { v & 0x00FF };
                         (r, Some(flags::logic(r, Size::Word)))
@@ -541,9 +541,9 @@ mod tests {
     fn conditional_jump_taken_and_not() {
         // mov #1, r5 ; cmp #1, r5 ; jz +4 (skip next) ; mov #0xDEAD, r6 ; mov #7, r7
         let prog = [
-            0x4315,         // mov #1, r5
-            0x9315,         // cmp #1, r5
-            0x2402,         // jz skip two words
+            0x4315, // mov #1, r5
+            0x9315, // cmp #1, r5
+            0x2402, // jz skip two words
             0x4036, 0xDEAD, // mov #0xDEAD, r6
             0x4037, 0x0007, // mov #7, r7
         ];
@@ -711,10 +711,10 @@ mod tests {
     fn dadd_bcd() {
         // clrc? use mov #0, sr ; mov #0x0199, r5 ; mov #0x0001, r6 ; dadd r5, r6
         let prog = [
-            0x4302,         // mov #0, sr
+            0x4302, // mov #0, sr
             0x4035, 0x0199, // mov #0x0199, r5
-            0x4316,         // mov #1, r6
-            0xA506,         // dadd r5, r6
+            0x4316, // mov #1, r6
+            0xA506, // dadd r5, r6
         ];
         let (cpu, _) = run(&prog, 4);
         assert_eq!(cpu.reg(Reg::R6), 0x0200);

@@ -80,10 +80,28 @@ fn format1_cycles(op: Op2, src: &Operand, dst: &Operand) -> u32 {
     let dst_is_pc = matches!(dst, Operand::Reg(Reg::R0));
     let dst_is_reg = matches!(dst, Operand::Reg(_));
     let base = match (src_class(src), dst_is_reg) {
-        (SrcClass::Reg, true) => if dst_is_pc { 2 } else { 1 },
+        (SrcClass::Reg, true) => {
+            if dst_is_pc {
+                2
+            } else {
+                1
+            }
+        }
         (SrcClass::Indirect, true) => 2,
-        (SrcClass::IndirectInc, true) => if dst_is_pc { 3 } else { 2 },
-        (SrcClass::Imm, true) => if dst_is_pc { 3 } else { 2 },
+        (SrcClass::IndirectInc, true) => {
+            if dst_is_pc {
+                3
+            } else {
+                2
+            }
+        }
+        (SrcClass::Imm, true) => {
+            if dst_is_pc {
+                3
+            } else {
+                2
+            }
+        }
         (SrcClass::Mem, true) => 3,
         (SrcClass::Reg, false) => 4,
         (SrcClass::Indirect, false) => 5,
@@ -128,24 +146,15 @@ mod tests {
         // constant-generator #1 → Rm times like a register op: 1
         assert_eq!(insn_cycles(&two(Op2::Add, Imm(1), Reg(crate::Reg::R6))), 1);
         // x(Rn) → Rm: 3
-        assert_eq!(
-            insn_cycles(&two(Op2::Mov, Indexed(crate::Reg::R5, 2), Reg(crate::Reg::R6))),
-            3
-        );
+        assert_eq!(insn_cycles(&two(Op2::Mov, Indexed(crate::Reg::R5, 2), Reg(crate::Reg::R6))), 3);
         // Rn → x(Rm): 4
-        assert_eq!(
-            insn_cycles(&two(Op2::Mov, Reg(crate::Reg::R5), Indexed(crate::Reg::R6, 2))),
-            4
-        );
+        assert_eq!(insn_cycles(&two(Op2::Mov, Reg(crate::Reg::R5), Indexed(crate::Reg::R6, 2))), 4);
         // #N → &EDE: 5
         assert_eq!(insn_cycles(&two(Op2::Mov, Imm(0x1234), Absolute(0x200))), 5);
         // &EDE → &EDE: 6
         assert_eq!(insn_cycles(&two(Op2::Mov, Absolute(0x200), Absolute(0x202))), 6);
         // cmp #imm, x(Rm): one fewer (no write-back)
-        assert_eq!(
-            insn_cycles(&two(Op2::Cmp, Imm(0x1234), Indexed(crate::Reg::R6, 2))),
-            4
-        );
+        assert_eq!(insn_cycles(&two(Op2::Cmp, Imm(0x1234), Indexed(crate::Reg::R6, 2))), 4);
     }
 
     #[test]

@@ -130,13 +130,7 @@ pub fn dadd(a: u16, b: u16, carry_in: bool, size: Size) -> AluOut {
         value |= (sum & 0xF) << (4 * d);
     }
     let value = value & mask(size);
-    AluOut {
-        value,
-        c: carry != 0,
-        z: value == 0,
-        n: value & sign_bit(size) != 0,
-        v: false,
-    }
+    AluOut { value, c: carry != 0, z: value == 0, n: value & sign_bit(size) != 0, v: false }
 }
 
 /// Packs condition codes into SR bits (leaving the rest of `sr` intact).

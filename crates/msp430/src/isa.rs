@@ -57,9 +57,8 @@ pub enum Op1 {
 }
 
 impl Op1 {
-    const TABLE: [Op1; 7] = [
-        Op1::Rrc, Op1::Swpb, Op1::Rra, Op1::Sxt, Op1::Push, Op1::Call, Op1::Reti,
-    ];
+    const TABLE: [Op1; 7] =
+        [Op1::Rrc, Op1::Swpb, Op1::Rra, Op1::Sxt, Op1::Push, Op1::Call, Op1::Reti];
 
     fn code(self) -> u16 {
         self as u16
@@ -106,8 +105,18 @@ pub enum Op2 {
 
 impl Op2 {
     const TABLE: [Op2; 12] = [
-        Op2::Mov, Op2::Add, Op2::Addc, Op2::Subc, Op2::Sub, Op2::Cmp,
-        Op2::Dadd, Op2::Bit, Op2::Bic, Op2::Bis, Op2::Xor, Op2::And,
+        Op2::Mov,
+        Op2::Add,
+        Op2::Addc,
+        Op2::Subc,
+        Op2::Sub,
+        Op2::Cmp,
+        Op2::Dadd,
+        Op2::Bit,
+        Op2::Bic,
+        Op2::Bis,
+        Op2::Xor,
+        Op2::And,
     ];
 
     fn code(self) -> u16 {
@@ -168,9 +177,8 @@ pub enum Cond {
 }
 
 impl Cond {
-    const TABLE: [Cond; 8] = [
-        Cond::Nz, Cond::Z, Cond::Nc, Cond::C, Cond::N, Cond::Ge, Cond::L, Cond::Always,
-    ];
+    const TABLE: [Cond; 8] =
+        [Cond::Nz, Cond::Z, Cond::Nc, Cond::C, Cond::N, Cond::Ge, Cond::L, Cond::Always];
 
     fn code(self) -> u16 {
         self as u16
@@ -408,11 +416,7 @@ impl Insn {
                 let cond = Cond::TABLE[usize::from((first >> 10) & 0x7)];
                 let raw = first & 0x3FF;
                 // Sign-extend the 10-bit word offset.
-                let offset = if raw & 0x200 != 0 {
-                    (raw | 0xFC00) as i16
-                } else {
-                    raw as i16
-                };
+                let offset = if raw & 0x200 != 0 { (raw | 0xFC00) as i16 } else { raw as i16 };
                 Ok(Insn::Jump { cond, offset })
             }
             _ => {
@@ -493,9 +497,8 @@ impl Insn {
                 let dst_ext_at = src_ext_at.wrapping_add(2 * src_ext.len() as u16);
                 let (dreg, ad, dst_ext) = encode_dst(dst, dst_ext_at)?;
                 let bw = if size == Size::Byte { 0x0040 } else { 0 };
-                let mut out = vec![
-                    (op.code() << 12) | (sreg << 8) | (ad << 7) | bw | (as_mode << 4) | dreg,
-                ];
+                let mut out =
+                    vec![(op.code() << 12) | (sreg << 8) | (ad << 7) | bw | (as_mode << 4) | dreg];
                 out.extend(src_ext);
                 out.extend(dst_ext);
                 Ok(out)
@@ -553,9 +556,7 @@ impl Insn {
         match self {
             Insn::Jump { .. } => true,
             Insn::One { op, .. } => matches!(op, Op1::Call | Op1::Reti),
-            Insn::Two { op, dst, .. } => {
-                op.writes_dst() && matches!(dst, Operand::Reg(Reg::R0))
-            }
+            Insn::Two { op, dst, .. } => op.writes_dst() && matches!(dst, Operand::Reg(Reg::R0)),
         }
     }
 }
@@ -579,12 +580,7 @@ impl fmt::Display for Insn {
 
 /// Decodes a source operand given register + As mode, resolving constant
 /// generators and PC-relative addressing.
-fn decode_src(
-    reg: Reg,
-    as_mode: u16,
-    ext_at: u16,
-    fetch: &mut impl FnMut() -> u16,
-) -> Operand {
+fn decode_src(reg: Reg, as_mode: u16, ext_at: u16, fetch: &mut impl FnMut() -> u16) -> Operand {
     match (reg, as_mode) {
         (Reg::R2, 0) => Operand::Reg(Reg::SR),
         (Reg::R2, 1) => Operand::Absolute(fetch()),
@@ -675,26 +671,54 @@ mod tests {
     fn known_encodings_from_ti_toolchain() {
         // mov #21, r10
         assert_eq!(
-            enc(Insn::Two { op: Op2::Mov, size: Size::Word,
-                            src: Operand::Imm(21), dst: Operand::Reg(Reg::R10) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Mov,
+                    size: Size::Word,
+                    src: Operand::Imm(21),
+                    dst: Operand::Reg(Reg::R10)
+                },
+                0
+            ),
             vec![0x403A, 0x0015]
         );
         // add r10, r10
         assert_eq!(
-            enc(Insn::Two { op: Op2::Add, size: Size::Word,
-                            src: Operand::Reg(Reg::R10), dst: Operand::Reg(Reg::R10) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Add,
+                    size: Size::Word,
+                    src: Operand::Reg(Reg::R10),
+                    dst: Operand::Reg(Reg::R10)
+                },
+                0
+            ),
             vec![0x5A0A]
         );
         // clr r5 == mov #0, r5 (constant generator r3)
         assert_eq!(
-            enc(Insn::Two { op: Op2::Mov, size: Size::Word,
-                            src: Operand::Imm(0), dst: Operand::Reg(Reg::R5) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Mov,
+                    size: Size::Word,
+                    src: Operand::Imm(0),
+                    dst: Operand::Reg(Reg::R5)
+                },
+                0
+            ),
             vec![0x4305]
         );
         // ret == mov @sp+, pc
         assert_eq!(
-            enc(Insn::Two { op: Op2::Mov, size: Size::Word,
-                            src: Operand::IndirectInc(Reg::SP), dst: Operand::Reg(Reg::PC) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Mov,
+                    size: Size::Word,
+                    src: Operand::IndirectInc(Reg::SP),
+                    dst: Operand::Reg(Reg::PC)
+                },
+                0
+            ),
             vec![0x4130]
         );
         // push r15
@@ -727,14 +751,28 @@ mod tests {
         );
         // mov &0x0172, r6
         assert_eq!(
-            enc(Insn::Two { op: Op2::Mov, size: Size::Word,
-                            src: Operand::Absolute(0x0172), dst: Operand::Reg(Reg::R6) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Mov,
+                    size: Size::Word,
+                    src: Operand::Absolute(0x0172),
+                    dst: Operand::Reg(Reg::R6)
+                },
+                0
+            ),
             vec![0x4216, 0x0172]
         );
         // mov.b @r15, r14 (the read instrumented in the paper's Fig. 5)
         assert_eq!(
-            enc(Insn::Two { op: Op2::Mov, size: Size::Byte,
-                            src: Operand::Indirect(Reg::R15), dst: Operand::Reg(Reg::R14) }, 0),
+            enc(
+                Insn::Two {
+                    op: Op2::Mov,
+                    size: Size::Byte,
+                    src: Operand::Indirect(Reg::R15),
+                    dst: Operand::Reg(Reg::R14)
+                },
+                0
+            ),
             vec![0x4F6E]
         );
         // jmp . (self loop): offset −1
@@ -747,15 +785,19 @@ mod tests {
     fn constant_generator_immediates_have_no_ext_word() {
         for v in [0u16, 1, 2, 4, 8, 0xFFFF] {
             let i = Insn::Two {
-                op: Op2::Mov, size: Size::Word,
-                src: Operand::Imm(v), dst: Operand::Reg(Reg::R5),
+                op: Op2::Mov,
+                size: Size::Word,
+                src: Operand::Imm(v),
+                dst: Operand::Reg(Reg::R5),
             };
             assert_eq!(i.len_words(), 1, "#{v}");
             assert_eq!(enc(i, 0).len(), 1, "#{v}");
         }
         let i = Insn::Two {
-            op: Op2::Mov, size: Size::Word,
-            src: Operand::Imm(3), dst: Operand::Reg(Reg::R5),
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Imm(3),
+            dst: Operand::Reg(Reg::R5),
         };
         assert_eq!(i.len_words(), 2);
     }
@@ -764,20 +806,36 @@ mod tests {
     fn decode_recovers_const_generators() {
         // mov #4, r5 via r2 As=10.
         let i = dec(0, &[0x4225]);
-        assert_eq!(i, Insn::Two { op: Op2::Mov, size: Size::Word,
-                                  src: Operand::Imm(4), dst: Operand::Reg(Reg::R5) });
+        assert_eq!(
+            i,
+            Insn::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: Operand::Imm(4),
+                dst: Operand::Reg(Reg::R5)
+            }
+        );
         // mov #-1, r5 via r3 As=11.
         let i = dec(0, &[0x4335]);
-        assert_eq!(i, Insn::Two { op: Op2::Mov, size: Size::Word,
-                                  src: Operand::Imm(0xFFFF), dst: Operand::Reg(Reg::R5) });
+        assert_eq!(
+            i,
+            Insn::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: Operand::Imm(0xFFFF),
+                dst: Operand::Reg(Reg::R5)
+            }
+        );
     }
 
     #[test]
     fn symbolic_round_trips_position_dependently() {
         let at = 0xE010;
         let i = Insn::Two {
-            op: Op2::Mov, size: Size::Word,
-            src: Operand::Symbolic(0xE100), dst: Operand::Reg(Reg::R7),
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Symbolic(0xE100),
+            dst: Operand::Reg(Reg::R7),
         };
         let w = enc(i, at);
         assert_eq!(w.len(), 2);
@@ -795,8 +853,10 @@ mod tests {
     fn symbolic_destination_round_trips() {
         let at = 0xC000;
         let i = Insn::Two {
-            op: Op2::Add, size: Size::Word,
-            src: Operand::Imm(100), dst: Operand::Symbolic(0xC200),
+            op: Op2::Add,
+            size: Size::Word,
+            src: Operand::Imm(100),
+            dst: Operand::Symbolic(0xC200),
         };
         let w = enc(i, at);
         assert_eq!(w.len(), 3);
@@ -805,10 +865,7 @@ mod tests {
 
     #[test]
     fn invalid_opcodes_rejected() {
-        assert!(matches!(
-            Insn::decode(0, 0x0000, || 0),
-            Err(DecodeError::InvalidOpcode(_))
-        ));
+        assert!(matches!(Insn::decode(0, 0x0000, || 0), Err(DecodeError::InvalidOpcode(_))));
         // Format II code 111 (beyond RETI).
         assert!(matches!(
             Insn::decode(0, 0x1380 | 0x0080, || 0),
@@ -830,8 +887,10 @@ mod tests {
     #[test]
     fn indirect_dst_is_rejected() {
         let i = Insn::Two {
-            op: Op2::Mov, size: Size::Word,
-            src: Operand::Reg(Reg::R8), dst: Operand::Indirect(Reg::R4),
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Reg(Reg::R8),
+            dst: Operand::Indirect(Reg::R4),
         };
         assert!(matches!(i.encode(0), Err(EncodeError::BadOperand(_))));
     }
@@ -848,28 +907,48 @@ mod tests {
 
     #[test]
     fn alters_control_flow_classification() {
-        let ret = Insn::Two { op: Op2::Mov, size: Size::Word,
-                              src: Operand::IndirectInc(Reg::SP), dst: Operand::Reg(Reg::PC) };
+        let ret = Insn::Two {
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::IndirectInc(Reg::SP),
+            dst: Operand::Reg(Reg::PC),
+        };
         assert!(ret.alters_control_flow());
-        let br = Insn::Two { op: Op2::Mov, size: Size::Word,
-                             src: Operand::Reg(Reg::R11), dst: Operand::Reg(Reg::PC) };
+        let br = Insn::Two {
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Reg(Reg::R11),
+            dst: Operand::Reg(Reg::PC),
+        };
         assert!(br.alters_control_flow());
         // cmp to PC does not write the PC.
-        let cmp = Insn::Two { op: Op2::Cmp, size: Size::Word,
-                              src: Operand::Imm(0), dst: Operand::Reg(Reg::PC) };
+        let cmp = Insn::Two {
+            op: Op2::Cmp,
+            size: Size::Word,
+            src: Operand::Imm(0),
+            dst: Operand::Reg(Reg::PC),
+        };
         assert!(!cmp.alters_control_flow());
         let call = Insn::One { op: Op1::Call, size: Size::Word, sd: Operand::Imm(0xF000) };
         assert!(call.alters_control_flow());
-        let mov = Insn::Two { op: Op2::Mov, size: Size::Word,
-                              src: Operand::Reg(Reg::R5), dst: Operand::Reg(Reg::R6) };
+        let mov = Insn::Two {
+            op: Op2::Mov,
+            size: Size::Word,
+            src: Operand::Reg(Reg::R5),
+            dst: Operand::Reg(Reg::R6),
+        };
         assert!(!mov.alters_control_flow());
         assert!(Insn::Jump { cond: Cond::N, offset: 3 }.alters_control_flow());
     }
 
     #[test]
     fn display_forms() {
-        let i = Insn::Two { op: Op2::Mov, size: Size::Byte,
-                            src: Operand::Indirect(Reg::R15), dst: Operand::Reg(Reg::R14) };
+        let i = Insn::Two {
+            op: Op2::Mov,
+            size: Size::Byte,
+            src: Operand::Indirect(Reg::R15),
+            dst: Operand::Reg(Reg::R14),
+        };
         assert_eq!(i.to_string(), "mov.b @r15, r14");
         let j = Insn::Jump { cond: Cond::Always, offset: -1 };
         assert_eq!(j.to_string(), "jmp +0");
@@ -878,10 +957,18 @@ mod tests {
     #[test]
     fn len_words_matches_encoding() {
         let cases = [
-            Insn::Two { op: Op2::Mov, size: Size::Word,
-                        src: Operand::Indexed(Reg::R5, 4), dst: Operand::Indexed(Reg::R6, 8) },
-            Insn::Two { op: Op2::Cmp, size: Size::Word,
-                        src: Operand::Imm(0x1234), dst: Operand::Absolute(0x200) },
+            Insn::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: Operand::Indexed(Reg::R5, 4),
+                dst: Operand::Indexed(Reg::R6, 8),
+            },
+            Insn::Two {
+                op: Op2::Cmp,
+                size: Size::Word,
+                src: Operand::Imm(0x1234),
+                dst: Operand::Absolute(0x200),
+            },
             Insn::One { op: Op1::Push, size: Size::Word, sd: Operand::Imm(300) },
             Insn::One { op: Op1::Reti, size: Size::Word, sd: Operand::Reg(Reg::CG2) },
             Insn::Jump { cond: Cond::C, offset: 5 },

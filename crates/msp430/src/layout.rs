@@ -87,12 +87,7 @@ pub struct MemoryMap {
 
 impl Default for MemoryMap {
     fn default() -> Self {
-        Self {
-            data_start: 0x0200,
-            data_end: 0x11FF,
-            prog_start: 0xA000,
-            prog_end: 0xFFDF,
-        }
+        Self { data_start: 0x0200, data_end: 0x11FF, prog_start: 0xA000, prog_end: 0xFFDF }
     }
 }
 

@@ -118,6 +118,12 @@ impl Ram {
     pub fn as_slice(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Zeroes all of memory in place, reusing the allocation (for callers
+    /// that recycle one `Ram` across many runs, e.g. batch verification).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
 }
 
 impl Bus for Ram {

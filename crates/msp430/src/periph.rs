@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn timer_wraps_and_latches() {
-        let mut t = Timer::default();
-        t.counter = 0xFFFE;
+        let mut t = Timer { counter: 0xFFFE, ..Default::default() };
         t.advance(4);
         assert_eq!(t.counter, 2);
         assert_eq!(t.latched, 0, "latch unchanged by advance");

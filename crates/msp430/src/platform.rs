@@ -103,7 +103,12 @@ impl Platform {
         for (i, b) in dma.data.iter().enumerate() {
             let addr = dma.dst.wrapping_add(i as u16);
             self.write_byte(addr, *b);
-            events.push(Access { addr, kind: AccessKind::Write, value: u16::from(*b), word: false });
+            events.push(Access {
+                addr,
+                kind: AccessKind::Write,
+                value: u16::from(*b),
+                word: false,
+            });
         }
         events
     }
@@ -147,11 +152,7 @@ impl Platform {
                 // Ack: advance the RX FIFO.
                 let _ = self.uart.pop_rx();
             }
-            mmio::ADC_CTL => {
-                if v & 1 != 0 {
-                    self.adc.convert();
-                }
-            }
+            mmio::ADC_CTL if v & 1 != 0 => self.adc.convert(),
             mmio::TA_CTL => {
                 if v == 0 {
                     self.timer.clear();

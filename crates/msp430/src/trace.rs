@@ -26,6 +26,12 @@ impl Trace {
         self.steps.push(step);
     }
 
+    /// Drops all recorded steps but keeps the allocation, so a recycled
+    /// trace does not pay the buffer growth cost again.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
     /// All recorded steps in order.
     #[must_use]
     pub fn steps(&self) -> &[Step] {
@@ -79,12 +85,7 @@ impl FromIterator<Step> for Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (r, w) = self.rw_counts();
-        write!(
-            f,
-            "{} insns, {} cycles, {r} reads, {w} writes",
-            self.insn_count(),
-            self.cycles()
-        )
+        write!(f, "{} insns, {} cycles, {r} reads, {w} writes", self.insn_count(), self.cycles())
     }
 }
 

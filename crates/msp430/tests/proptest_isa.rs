@@ -3,7 +3,7 @@
 use msp430::cpu::Cpu;
 use msp430::flags;
 use msp430::isa::{Cond, Insn, Op1, Op2, Operand, Size};
-use msp430::mem::{Bus, Ram};
+use msp430::mem::Ram;
 use msp430::regs::Reg;
 use proptest::prelude::*;
 
@@ -42,23 +42,42 @@ fn dst_operand() -> impl Strategy<Value = Operand> {
 
 fn op2() -> impl Strategy<Value = Op2> {
     prop_oneof![
-        Just(Op2::Mov), Just(Op2::Add), Just(Op2::Addc), Just(Op2::Subc),
-        Just(Op2::Sub), Just(Op2::Cmp), Just(Op2::Dadd), Just(Op2::Bit),
-        Just(Op2::Bic), Just(Op2::Bis), Just(Op2::Xor), Just(Op2::And),
+        Just(Op2::Mov),
+        Just(Op2::Add),
+        Just(Op2::Addc),
+        Just(Op2::Subc),
+        Just(Op2::Sub),
+        Just(Op2::Cmp),
+        Just(Op2::Dadd),
+        Just(Op2::Bit),
+        Just(Op2::Bic),
+        Just(Op2::Bis),
+        Just(Op2::Xor),
+        Just(Op2::And),
     ]
 }
 
 fn op1() -> impl Strategy<Value = Op1> {
     prop_oneof![
-        Just(Op1::Rrc), Just(Op1::Swpb), Just(Op1::Rra),
-        Just(Op1::Sxt), Just(Op1::Push), Just(Op1::Call),
+        Just(Op1::Rrc),
+        Just(Op1::Swpb),
+        Just(Op1::Rra),
+        Just(Op1::Sxt),
+        Just(Op1::Push),
+        Just(Op1::Call),
     ]
 }
 
 fn cond() -> impl Strategy<Value = Cond> {
     prop_oneof![
-        Just(Cond::Nz), Just(Cond::Z), Just(Cond::Nc), Just(Cond::C),
-        Just(Cond::N), Just(Cond::Ge), Just(Cond::L), Just(Cond::Always),
+        Just(Cond::Nz),
+        Just(Cond::Z),
+        Just(Cond::Nc),
+        Just(Cond::C),
+        Just(Cond::N),
+        Just(Cond::Ge),
+        Just(Cond::L),
+        Just(Cond::Always),
     ]
 }
 

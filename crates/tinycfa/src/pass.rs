@@ -97,7 +97,9 @@ fn expr_uses_here(e: &Expr) -> bool {
 
 fn operand_uses_reg(o: &TOperand, r: Reg) -> bool {
     match o {
-        TOperand::Reg(x) | TOperand::Indexed(_, x) | TOperand::Indirect(x)
+        TOperand::Reg(x)
+        | TOperand::Indexed(_, x)
+        | TOperand::Indirect(x)
         | TOperand::IndirectInc(x) => *x == r,
         _ => false,
     }
@@ -189,16 +191,11 @@ pub fn instrument(
         match &line.item {
             Item::Label(l) if l == op_label => {
                 out.lines.push(line.clone());
-                out.lines.extend(snip(&format!(
-                    " cmp #{}, r4\n jne $\n",
-                    cfg.r_top()
-                ))?);
+                out.lines.extend(snip(&format!(" cmp #{}, r4\n jne $\n", cfg.r_top()))?);
                 found = true;
             }
             Item::Stmt(Stmt::Insn(t))
-                if !line.synthetic
-                    && t.alters_control_flow()
-                    && cfg.policy.wants(t) =>
+                if !line.synthetic && t.alters_control_flow() && cfg.policy.wants(t) =>
             {
                 n += 1;
                 emit_cf(&mut out, program, idx, t, n, cfg, &snip)?;
@@ -300,11 +297,7 @@ fn write_check_text(
             let body = format!(
                 " push {scratch}\n{ea_setup} cmp r4, {scratch}\n jlo __wc{i}_ok\n cmp #{above}, {scratch}\n jhs __wc{i}_ok\n jmp $\n__wc{i}_ok:\n pop {scratch}\n"
             );
-            Ok(Some(if preserve {
-                format!(" push sr\n{body} pop sr\n")
-            } else {
-                body
-            }))
+            Ok(Some(if preserve { format!(" push sr\n{body} pop sr\n") } else { body }))
         }
         _ => Ok(None),
     }
@@ -583,20 +576,14 @@ mod tests {
     #[test]
     fn missing_label_rejected() {
         let program = parse_program(".org 0xE000\nother:\n ret\n").unwrap();
-        assert!(matches!(
-            instrument(&program, "op", &cfg()),
-            Err(PassError::OpLabelNotFound(_))
-        ));
+        assert!(matches!(instrument(&program, "op", &cfg()), Err(PassError::OpLabelNotFound(_))));
     }
 
     #[test]
     fn computed_branch_rejected() {
         let src = ".org 0xE000\nop:\n add r5, pc\n ret\n";
         let program = parse_program(src).unwrap();
-        assert!(matches!(
-            instrument(&program, "op", &cfg()),
-            Err(PassError::Unsupported { .. })
-        ));
+        assert!(matches!(instrument(&program, "op", &cfg()), Err(PassError::Unsupported { .. })));
     }
 
     #[test]
@@ -656,10 +643,7 @@ mod tests {
     fn static_store_into_or_rejected_at_instrumentation() {
         let src = ".org 0xE000\nop:\n mov #1, &0x0680\n ret\n";
         let program = parse_program(src).unwrap();
-        assert!(matches!(
-            instrument(&program, "op", &cfg()),
-            Err(PassError::Unsupported { .. })
-        ));
+        assert!(matches!(instrument(&program, "op", &cfg()), Err(PassError::Unsupported { .. })));
     }
 
     #[test]

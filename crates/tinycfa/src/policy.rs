@@ -68,11 +68,8 @@ mod tests {
         assert!(!p.wants(&call_imm()));
         assert!(!p.wants(&Template::Jcc { cond: Cond::Z, target: Expr::sym("l") }));
         assert!(p.wants(&ret()));
-        let call_reg = Template::One {
-            op: Op1::Call,
-            size: Size::Word,
-            sd: TOperand::Reg(Reg::R11),
-        };
+        let call_reg =
+            Template::One { op: Op1::Call, size: Size::Word, sd: TOperand::Reg(Reg::R11) };
         assert!(p.wants(&call_reg));
     }
 }

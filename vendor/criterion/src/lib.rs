@@ -1,0 +1,155 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with simple
+//! wall-clock measurement: a short warm-up, then timed batches until a
+//! fixed measurement budget elapses, reporting the mean time per iteration
+//! (and derived throughput when declared).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(750);
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Drives the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean wall-clock cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also establishes a per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measurement: batches sized so each batch costs roughly 10 ms.
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).max(1);
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = measure_start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} time: [{}]", format_ns(mean_ns));
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  thrpt: [{per_sec:.0} elem/s]"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  thrpt: [{:.2} MiB/s]", per_sec / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, b.mean_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by each iteration in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

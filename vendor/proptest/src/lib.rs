@@ -1,0 +1,556 @@
+//! Offline mini stand-in for the `proptest` property-testing crate.
+//!
+//! Implements exactly the subset of proptest's API this workspace uses:
+//! the [`proptest!`] test macro with `arg in strategy` bindings, the
+//! [`Strategy`] trait with `prop_map`/`boxed`, integer-range and tuple
+//! strategies, [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`],
+//! [`collection::vec`], [`array::uniform8`], and the `prop_assert*!` /
+//! [`prop_assume!`] macros.
+//!
+//! Generation is driven by a deterministic SplitMix64 PRNG seeded from the
+//! test name and case index, so failures are reproducible run-to-run. There
+//! is no shrinking: a failing case panics with its case number and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options`; panics if empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((*self.start() as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (S0 0);
+        (S0 0, S1 1);
+        (S0 0, S1 1, S2 2);
+        (S0 0, S1 1, S2 2, S3 3);
+        (S0 0, S1 1, S2 2, S3 3, S4 4);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the [`Arbitrary`] trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size band for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: u64,
+        hi: u64,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n as u64, hi: n as u64 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            Self { lo: r.start as u64, hi: (r.end - 1) as u64 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.end() >= r.start(), "empty size range");
+            Self { lo: *r.start() as u64, hi: *r.end() as u64 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a band.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]` drawing each element from `S`.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.new_value(rng))
+        }
+    }
+
+    /// A strategy for arrays of eight values drawn from `element`.
+    #[must_use]
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArrayStrategy<S, 8> {
+        UniformArrayStrategy { element }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner behind [`crate::proptest!`].
+
+    use crate::strategy::Strategy;
+
+    /// Runner configuration (`ProptestConfig` in real proptest).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 128 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property failed.
+        Fail(String),
+        /// The case was rejected by [`crate::prop_assume!`] (does not count).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with `message`.
+        #[must_use]
+        pub fn fail(message: String) -> Self {
+            Self::Fail(message)
+        }
+
+        /// A rejection with `message`.
+        #[must_use]
+        pub fn reject(message: String) -> Self {
+            Self::Reject(message)
+        }
+    }
+
+    /// Per-case verdict.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded with `seed`.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Runs one property over many generated cases.
+    #[derive(Clone, Copy, Debug)]
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with `config`.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            Self { config }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs; panics on
+        /// the first failure with the case number and seed.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the property fails or when rejections starve the run.
+        pub fn run<S, F>(&mut self, name: &str, strategy: &S, test: F)
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let base = fnv1a(name.as_bytes());
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+            let mut attempt = 0u64;
+            while passed < self.config.cases {
+                let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+                attempt += 1;
+                let mut rng = TestRng::new(seed);
+                let value = strategy.new_value(&mut rng);
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "property `{name}`: too many prop_assume! rejections \
+                             ({rejected} after {passed} passes)"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{name}` failed at case {passed} \
+                             (seed {seed:#018x}): {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run(stringify!($name), &strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// the whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                lhs, rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}: `{:?}` == `{:?}`",
+                format!($($fmt)+),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                lhs, rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its report and
+//! metadata types so they are wire-format-ready, but nothing serializes in
+//! this offline build. See `vendor/README.md` for how to swap in real serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

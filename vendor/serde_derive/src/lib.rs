@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only *derives* these traits (for future wire formats); no
+//! code path serializes today, so the derives expand to nothing. See
+//! `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
