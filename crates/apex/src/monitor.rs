@@ -173,11 +173,11 @@ impl ApexMonitor {
     }
 
     fn check_writes(&mut self, step: &Step, attested_writer: bool) {
-        let writes: Vec<Access> = step.writes().copied().collect();
-        for w in writes {
-            if self.touches_er(&w) {
+        // Iterates the step's inline access buffer directly — no temporary.
+        for w in step.writes() {
+            if self.touches_er(w) {
                 self.violate(Violation::WriteToEr { addr: w.addr });
-            } else if self.touches_or(&w) && !attested_writer {
+            } else if self.touches_or(w) && !attested_writer {
                 self.violate(Violation::OrWriteOutsideExec { addr: w.addr, pc: Some(step.pc) });
             }
         }

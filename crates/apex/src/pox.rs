@@ -5,7 +5,7 @@ use crate::metadata::PoxConfig;
 use crate::monitor::ApexMonitor;
 use crate::violation::Violation;
 use hacl::Digest;
-use msp430::cpu::{Cpu, CpuFault};
+use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::platform::Platform;
 use msp430::trace::Trace;
 use vrased::{Challenge, KeyStore, RaVerifier, SwAtt};
@@ -71,12 +71,14 @@ impl PoxProver {
     /// and advancing time-based peripherals.
     pub fn run_to(&mut self, stop_pc: u16, max_steps: usize) -> RunOutcome {
         let mut trace = Trace::new();
+        // One Step reused across the run; only the trace copy survives.
+        let mut step = Step::default();
         for _ in 0..max_steps {
             if self.cpu.pc() == stop_pc {
                 return RunOutcome { trace, stop: StopReason::ReachedStop };
             }
-            match self.cpu.step(&mut self.platform) {
-                Ok(step) => {
+            match self.cpu.step_into(&mut self.platform, &mut step) {
+                Ok(()) => {
                     self.monitor.observe_step(&step);
                     self.platform.advance(step.cycles);
                     trace.push(step);
@@ -105,9 +107,9 @@ impl PoxProver {
     pub fn prove(&self, challenge: &Challenge) -> PoxProof {
         let cfg = *self.monitor.config();
         let exec = self.monitor.exec();
-        let mut extra = Vec::with_capacity(11);
-        extra.extend_from_slice(&cfg.to_metadata_bytes());
-        extra.push(u8::from(exec));
+        let mut extra = [0u8; 11];
+        extra[..10].copy_from_slice(&cfg.to_metadata_bytes());
+        extra[10] = u8::from(exec);
         let tag = self.swatt.attest_with_extra(
             &self.platform,
             challenge,
@@ -142,12 +144,17 @@ impl PoxVerifier {
     }
 
     /// Checks a proof: correct code, correct regions, EXEC set, and an
-    /// authentic OR. Returns the verified OR bytes on success.
+    /// authentic OR. Returns a borrow of the verified OR bytes on success
+    /// (no per-proof copy — verification is the fleet-scale hot path).
     ///
     /// # Errors
     ///
     /// Returns a human-readable reason on failure.
-    pub fn verify(&self, proof: &PoxProof, challenge: &Challenge) -> Result<Vec<u8>, &'static str> {
+    pub fn verify<'p>(
+        &self,
+        proof: &'p PoxProof,
+        challenge: &Challenge,
+    ) -> Result<&'p [u8], &'static str> {
         if proof.cfg != self.cfg {
             return Err("region metadata mismatch");
         }
@@ -161,22 +168,22 @@ impl PoxVerifier {
         if proof.or_data.len() != self.cfg.or_len() {
             return Err("OR snapshot length mismatch");
         }
-        // Rebuild the memory the tag must have covered.
-        let mut expected = Platform::new();
-        expected.load_bytes(self.cfg.er_min, &self.expected_er);
-        expected.load_bytes(self.cfg.or_min, &proof.or_data);
-        let mut extra = Vec::with_capacity(11);
-        extra.extend_from_slice(&self.cfg.to_metadata_bytes());
-        extra.push(1u8);
-        let ok = self.ra.check_with_extra(
-            &expected,
+        // Check the tag directly against the expected region bytes — no
+        // 64 KiB expected-memory image is rebuilt per proof.
+        let mut extra = [0u8; 11];
+        extra[..10].copy_from_slice(&self.cfg.to_metadata_bytes());
+        extra[10] = 1;
+        let ok = self.ra.check_region_bytes(
             challenge,
-            &[(self.cfg.er_min, self.cfg.er_max), (self.cfg.or_min, self.cfg.or_max)],
+            &[
+                (self.cfg.er_min, self.cfg.er_max, self.expected_er.as_slice()),
+                (self.cfg.or_min, self.cfg.or_max, proof.or_data.as_slice()),
+            ],
             &extra,
             &proof.tag,
         );
         if ok {
-            Ok(proof.or_data.clone())
+            Ok(&proof.or_data)
         } else {
             Err("MAC verification failed (code or output tampered)")
         }

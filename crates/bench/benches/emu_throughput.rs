@@ -1,0 +1,129 @@
+//! Emulation and crypto throughput — the two raw feeds of verification
+//! cost, tracked so the fast-path speedups (predecoded icache,
+//! zero-allocation `step_into`, multi-block SHA-256, reusable HMAC keys)
+//! stay visible in the perf trajectory.
+//!
+//! Reported units: steps/sec for the simulator (cached vs forced-decode),
+//! MiB/s for hashing, MACs/sec for the keyed-context HMAC path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hacl::{HmacKey, HmacSha256, Sha256};
+use msp430::cpu::{Cpu, Step};
+use msp430::mem::Ram;
+use msp430::regs::Reg;
+
+const LOOP_STEPS: usize = 10_000;
+
+/// A self-contained busy loop: add, store, load, jump back.
+fn busy_loop_ram() -> Ram {
+    let mut ram = Ram::new();
+    ram.load_words(0xE000, &[0x5A0A, 0x4A82, 0x0200, 0x4211, 0x0200, 0x3FFA]);
+    ram
+}
+
+/// A long straight-line program (the worst case for an icache within one
+/// pass — every PC executes once — and the best across passes).
+fn straight_line_ram() -> (Ram, u16) {
+    let mut ram = Ram::new();
+    let mut at = 0xA000u16;
+    for _ in 0..2000 {
+        ram.load_words(at, &[0x5A0A]); // add r10, r10
+        at = at.wrapping_add(2);
+    }
+    ram.load_words(at, &[0x3FFF]); // jmp . (stop marker)
+    (ram, at)
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emu_throughput/steps");
+    group.throughput(Throughput::Elements(LOOP_STEPS as u64));
+
+    group.bench_function("cached_10k", |b| {
+        let mut ram = busy_loop_ram();
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        b.iter(|| {
+            for _ in 0..LOOP_STEPS {
+                cpu.step_into(&mut ram, &mut step).unwrap();
+            }
+            std::hint::black_box(step.pc);
+        });
+    });
+
+    group.bench_function("forced_decode_10k", |b| {
+        let mut ram = busy_loop_ram();
+        let mut cpu = Cpu::new();
+        cpu.set_icache_enabled(false);
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        b.iter(|| {
+            for _ in 0..LOOP_STEPS {
+                cpu.step_into(&mut ram, &mut step).unwrap();
+            }
+            std::hint::black_box(step.pc);
+        });
+    });
+    group.finish();
+
+    // Repeated replay of a straight-line operation — the batch-verification
+    // shape: every proof re-executes the same linear code.
+    let mut group = c.benchmark_group("emu_throughput/replay");
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("straight_line_2k_warm", |b| {
+        let (mut ram, stop) = straight_line_ram();
+        let mut cpu = Cpu::new();
+        let mut step = Step::default();
+        b.iter(|| {
+            cpu.set_pc(0xA000);
+            cpu.set_reg(Reg::R10, 1);
+            while cpu.pc() != stop {
+                cpu.step_into(&mut ram, &mut step).unwrap();
+            }
+            std::hint::black_box(cpu.reg(Reg::R10));
+        });
+    });
+    group.bench_function("straight_line_2k_forced_decode", |b| {
+        let (mut ram, stop) = straight_line_ram();
+        let mut cpu = Cpu::new();
+        cpu.set_icache_enabled(false);
+        let mut step = Step::default();
+        b.iter(|| {
+            cpu.set_pc(0xA000);
+            cpu.set_reg(Reg::R10, 1);
+            while cpu.pc() != stop {
+                cpu.step_into(&mut ram, &mut step).unwrap();
+            }
+            std::hint::black_box(cpu.reg(Reg::R10));
+        });
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1 << 20];
+    let mut group = c.benchmark_group("emu_throughput/sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("digest_1mib", |b| {
+        b.iter(|| std::hint::black_box(Sha256::digest(&data)));
+    });
+    group.finish();
+
+    // HMAC over a proof-sized message: keyed context reuse vs re-deriving
+    // the pads for every MAC (what BatchVerifier workers used to do).
+    let msg = vec![0xC3u8; 2048];
+    let key_bytes = [0x42u8; 32];
+    let mut group = c.benchmark_group("emu_throughput/hmac_2k");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("reused_key_context", |b| {
+        let key = HmacKey::new(&key_bytes);
+        b.iter(|| std::hint::black_box(key.mac(&msg)));
+    });
+    group.bench_function("fresh_key_per_mac", |b| {
+        b.iter(|| std::hint::black_box(HmacSha256::mac(&key_bytes, &msg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_hashing);
+criterion_main!(benches);

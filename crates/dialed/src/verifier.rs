@@ -23,7 +23,7 @@ use crate::pipeline::InstrumentedOp;
 use crate::policy::Policy;
 use crate::report::{Finding, Report, VerifyStats};
 use apex::{PoxConfig, PoxVerifier};
-use msp430::cpu::{Cpu, CpuFault};
+use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::isa::{Insn, Op1, Op2, Operand};
 use msp430::mem::{Bus, Ram};
 use msp430::regs::Reg;
@@ -70,6 +70,46 @@ pub struct Emulation {
 /// Default abstract-execution step budget.
 pub const DEFAULT_EMU_BUDGET: usize = 4_000_000;
 
+/// O(1) membership bitmaps over the instrumentation log sites.
+///
+/// The emulation loop asks "is this PC an input-log site?" on **every**
+/// step and classifies every OR write against both site lists; binary
+/// searches there were a measurable slice of per-step cost. One bit per
+/// address (8 KiB per class) turns each query into a mask test. Built once
+/// per [`DialedVerifier`], not per proof.
+#[derive(Debug)]
+pub(crate) struct SiteIndex {
+    input: Box<[u8; 0x2000]>,
+    args: Box<[u8; 0x2000]>,
+    /// The operation image as contiguous runs, so per-proof re-imaging is
+    /// a handful of bulk copies instead of a walk over the sparse byte map.
+    image_runs: Vec<(u16, Vec<u8>)>,
+}
+
+impl SiteIndex {
+    pub(crate) fn new(op: &InstrumentedOp) -> Self {
+        let mut input = Box::new([0u8; 0x2000]);
+        let mut args = Box::new([0u8; 0x2000]);
+        for &a in &op.sites.input {
+            input[usize::from(a >> 3)] |= 1 << (a & 7);
+        }
+        for &a in &op.sites.args {
+            args[usize::from(a >> 3)] |= 1 << (a & 7);
+        }
+        Self { input, args, image_runs: op.image.runs() }
+    }
+
+    #[inline]
+    fn is_input(&self, addr: u16) -> bool {
+        self.input[usize::from(addr >> 3)] & (1 << (addr & 7)) != 0
+    }
+
+    #[inline]
+    fn is_arg(&self, addr: u16) -> bool {
+        self.args[usize::from(addr >> 3)] & (1 << (addr & 7)) != 0
+    }
+}
+
 /// Reusable per-verifier (or per-worker) emulation buffers.
 ///
 /// Abstract execution needs a 64 KiB RAM image, a step trace and an OR
@@ -82,6 +122,12 @@ pub struct EmuWorkspace {
     /// Lazily allocated so constructing a workspace is free: a proof that
     /// fails the cryptographic check never pays for the 64 KiB image.
     ram: Option<Ram>,
+    /// Reused across proofs so the predecoded instruction cache stays warm:
+    /// every batch proof replays the same operation, and cache hits are
+    /// validated against live memory, so reuse is observationally pure.
+    cpu: Cpu,
+    /// Scratch [`Step`] for the allocation-free `step_into` loop.
+    step: Step,
     trace: Trace,
     shadow: Vec<u16>,
     or_emulated: Vec<u8>,
@@ -122,13 +168,29 @@ pub fn abstract_execute_in(
     device_or: &[u8],
     budget: usize,
 ) -> Emulation {
+    let sites = SiteIndex::new(op);
+    abstract_execute_indexed(ws, op, &sites, device_or, budget)
+}
+
+/// The innermost emulation loop; `sites` is prebuilt by the verifier so
+/// repeated proofs of one operation share it.
+fn abstract_execute_indexed(
+    ws: &mut EmuWorkspace,
+    op: &InstrumentedOp,
+    sites: &SiteIndex,
+    device_or: &[u8],
+    budget: usize,
+) -> Emulation {
     let pox = op.pox;
     let or_stack = OrStack::new(device_or, pox.or_min, pox.or_max);
     let r_top = or_stack.r_top();
 
-    // Log head: SP base then r8..r15 (entry block order).
+    // Log head: SP base then r8..r15 (entry block order). The workspace
+    // CPU is recycled (warm instruction cache); only its architectural
+    // state is reset.
     let sp_base = or_stack.entry(0).unwrap_or(0);
-    let mut cpu = Cpu::new();
+    let cpu = &mut ws.cpu;
+    cpu.reset_regs();
     cpu.set_reg(Reg::SP, sp_base.wrapping_add(2)); // caller's SP before `call`
     cpu.set_reg(Reg::R4, r_top);
     for i in 0..8u16 {
@@ -144,7 +206,9 @@ pub fn abstract_execute_in(
         }
         none => none.insert(Ram::new()),
     };
-    op.image.load_into_ram(ram);
+    for (start, bytes) in &sites.image_runs {
+        ram.load_bytes(*start, bytes);
+    }
 
     let mut trace = std::mem::take(&mut ws.trace);
     trace.clear();
@@ -154,9 +218,8 @@ pub fn abstract_execute_in(
     let mut min_sp = cpu.reg(Reg::SP);
     let mut outcome = EmuOutcome::Budget;
     let (mut cf_n, mut in_n, mut arg_n) = (0usize, 0usize, 0usize);
-    let input_sites = &op.sites.input;
-    let arg_sites = &op.sites.args;
 
+    let step = &mut ws.step;
     for _ in 0..budget {
         let pc = cpu.pc();
         if pc == op.return_addr {
@@ -166,17 +229,19 @@ pub fn abstract_execute_in(
 
         // Input injection: before an input-log instruction executes, place
         // the device's logged word at the read's effective address.
-        if input_sites.binary_search(&pc).is_ok() {
-            inject(&mut cpu, ram, &or_stack, pox.or_min);
+        if sites.is_input(pc) {
+            inject(cpu, ram, &or_stack, pox.or_min);
         }
 
-        let step = match cpu.step(&mut *ram) {
-            Ok(s) => s,
+        // Allocation-free: the scratch Step is refilled in place; only the
+        // flat copy appended to the trace below touches the trace buffer.
+        match cpu.step_into(&mut *ram, step) {
+            Ok(()) => {}
             Err(CpuFault::Halted | CpuFault::Decode { .. }) => {
                 outcome = EmuOutcome::Fault;
                 break;
             }
-        };
+        }
 
         min_sp = min_sp.min(cpu.reg(Reg::SP));
 
@@ -210,9 +275,9 @@ pub fn abstract_execute_in(
         // Classify OR log writes for the statistics.
         for w in step.writes() {
             if w.addr >= pox.or_min && w.addr <= pox.or_max {
-                if input_sites.binary_search(&step.pc).is_ok() {
+                if sites.is_input(step.pc) {
                     in_n += 1;
-                } else if arg_sites.binary_search(&step.pc).is_ok() {
+                } else if sites.is_arg(step.pc) {
                     arg_n += 1;
                 } else {
                     cf_n += 1;
@@ -220,7 +285,7 @@ pub fn abstract_execute_in(
             }
         }
 
-        trace.push(step);
+        trace.push(*step);
     }
 
     let final_r4 = cpu.reg(Reg::R4);
@@ -279,6 +344,8 @@ pub struct DialedVerifier {
     pox_verifier: PoxVerifier,
     policies: Vec<Box<dyn Policy>>,
     emu_budget: usize,
+    /// Prebuilt log-site bitmaps shared by every proof of this op.
+    sites: SiteIndex,
 }
 
 impl DialedVerifier {
@@ -286,7 +353,8 @@ impl DialedVerifier {
     #[must_use]
     pub fn new(op: InstrumentedOp, keystore: KeyStore) -> Self {
         let pox_verifier = PoxVerifier::new(keystore, op.pox, op.er_bytes.clone());
-        Self { op, pox_verifier, policies: Vec::new(), emu_budget: DEFAULT_EMU_BUDGET }
+        let sites = SiteIndex::new(&op);
+        Self { op, pox_verifier, policies: Vec::new(), emu_budget: DEFAULT_EMU_BUDGET, sites }
     }
 
     /// Registers an application policy evaluated on every reconstruction.
@@ -307,7 +375,13 @@ impl DialedVerifier {
     /// callers must have verified the OR's authenticity themselves.
     #[must_use]
     pub fn reconstruct(&self, device_or: &[u8]) -> Emulation {
-        abstract_execute(&self.op, device_or, self.emu_budget)
+        abstract_execute_indexed(
+            &mut EmuWorkspace::new(),
+            &self.op,
+            &self.sites,
+            device_or,
+            self.emu_budget,
+        )
     }
 
     /// Full verification of a proof under `challenge`.
@@ -340,7 +414,7 @@ impl DialedVerifier {
         // 2. Abstract execution with input injection. Findings stay on the
         //    emulation until policies (which may inspect `emu.findings`)
         //    have run; verification-stage findings accumulate separately.
-        let mut emu = abstract_execute_in(ws, &self.op, &or, self.emu_budget);
+        let mut emu = abstract_execute_indexed(ws, &self.op, &self.sites, or, self.emu_budget);
         let mut extra = Vec::new();
 
         if emu.outcome != EmuOutcome::Completed {
@@ -348,22 +422,35 @@ impl DialedVerifier {
         }
 
         // 3. The recomputed OR must match the attested OR over the used
-        //    span [final_r4 + 2, r_top + 1].
+        //    span [final_r4 + 2, r_top + 1]. One slice comparison covers
+        //    the clean case; the word-by-word walk only runs to locate the
+        //    topmost divergence for the finding.
         let r_top = self.op.r_top();
         let used_lo = emu.final_r4.wrapping_add(2).max(self.op.pox.or_min);
-        let mut slot = r_top;
-        while slot >= used_lo {
-            let off = usize::from(slot - self.op.pox.or_min);
-            let dev = u16::from(or[off]) | (u16::from(or[off + 1]) << 8);
-            let emul = u16::from(emu.or_emulated[off]) | (u16::from(emu.or_emulated[off + 1]) << 8);
-            if dev != emul {
-                extra.push(Finding::LogDivergence { addr: slot, device: dev, emulated: emul });
-                break;
+        if used_lo <= r_top {
+            let lo = usize::from(used_lo - self.op.pox.or_min);
+            let hi = usize::from(r_top - self.op.pox.or_min) + 2;
+            if or[lo..hi] != emu.or_emulated[lo..hi] {
+                let mut slot = r_top;
+                while slot >= used_lo {
+                    let off = usize::from(slot - self.op.pox.or_min);
+                    let dev = u16::from(or[off]) | (u16::from(or[off + 1]) << 8);
+                    let emul = u16::from(emu.or_emulated[off])
+                        | (u16::from(emu.or_emulated[off + 1]) << 8);
+                    if dev != emul {
+                        extra.push(Finding::LogDivergence {
+                            addr: slot,
+                            device: dev,
+                            emulated: emul,
+                        });
+                        break;
+                    }
+                    if slot < 2 {
+                        break;
+                    }
+                    slot -= 2;
+                }
             }
-            if slot < 2 {
-                break;
-            }
-            slot -= 2;
         }
 
         // 4. Application policies on the reconstructed execution (with the

@@ -11,6 +11,79 @@ const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
 
+/// A precomputed HMAC-SHA-256 key context.
+///
+/// Deriving the RFC 2104 pads costs two SHA-256 compressions (plus a key
+/// hash for long keys); a long-lived verifier MACing under one device key
+/// pays that once here and then [`HmacKey::begin`]s each message with a
+/// flat state copy. This is what keeps batch-verification workers from
+/// re-deriving pads on every proof.
+///
+/// # Examples
+///
+/// ```
+/// use hacl::{HmacKey, HmacSha256};
+///
+/// let key = HmacKey::new(b"device-key");
+/// assert_eq!(key.mac(b"m"), HmacSha256::mac(b"device-key", b"m"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacKey {
+    /// Hash state after absorbing `key ⊕ ipad`.
+    inner: Sha256,
+    /// Hash state after absorbing `key ⊕ opad`.
+    outer: Sha256,
+}
+
+impl HmacKey {
+    /// Precomputes the keyed pads for `key`.
+    ///
+    /// Keys longer than the 64-byte SHA-256 block are first hashed, per
+    /// RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            k[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ IPAD;
+            opad[i] = k[i] ^ OPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// Starts a MAC computation under this key (a flat state copy — no
+    /// hashing happens until data arrives).
+    #[must_use]
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 { inner: self.inner.clone(), outer: self.outer.clone() }
+    }
+
+    /// One-shot MAC of `msg` under this key.
+    #[must_use]
+    pub fn mac(&self, msg: &[u8]) -> Digest {
+        let mut h = self.begin();
+        h.update(msg);
+        h.finalize()
+    }
+
+    /// Verifies `tag` over `msg` in constant time.
+    #[must_use]
+    pub fn verify(&self, msg: &[u8], tag: &Digest) -> bool {
+        let mut h = self.begin();
+        h.update(msg);
+        h.verify(tag)
+    }
+}
+
 /// Incremental HMAC-SHA-256.
 ///
 /// # Examples
@@ -33,26 +106,11 @@ pub struct HmacSha256 {
 impl HmacSha256 {
     /// Creates a MAC instance keyed with `key`.
     ///
-    /// Keys longer than the 64-byte SHA-256 block are first hashed, per
-    /// RFC 2104.
+    /// Callers MACing many messages under one key should hold an
+    /// [`HmacKey`] and [`HmacKey::begin`] instead, skipping the per-message
+    /// pad derivation.
     pub fn new(key: &[u8]) -> Self {
-        let mut k = [0u8; BLOCK_LEN];
-        if key.len() > BLOCK_LEN {
-            k[..32].copy_from_slice(&Sha256::digest(key));
-        } else {
-            k[..key.len()].copy_from_slice(key);
-        }
-        let mut ipad = [0u8; BLOCK_LEN];
-        let mut opad = [0u8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad[i] = k[i] ^ IPAD;
-            opad[i] = k[i] ^ OPAD;
-        }
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
-        let mut outer = Sha256::new();
-        outer.update(&opad);
-        Self { inner, outer }
+        HmacKey::new(key).begin()
     }
 
     /// One-shot MAC of `msg` under `key`.

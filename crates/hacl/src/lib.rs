@@ -35,7 +35,7 @@ pub mod constant_time;
 pub mod hmac;
 pub mod sha256;
 
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use sha256::Sha256;
 
 /// Length in bytes of a SHA-256 digest (and therefore of an HMAC-SHA-256 tag).

@@ -74,6 +74,11 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Whole blocks are compressed directly from `data` in a single
+    /// multi-block [`Sha256::compress_blocks`] call — no per-block copy
+    /// through the internal buffer; only a trailing partial block is
+    /// buffered.
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -84,15 +89,14 @@ impl Sha256 {
             rest = &rest[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+        let whole = rest.len() & !63;
+        if whole > 0 {
+            let (blocks, tail) = rest.split_at(whole);
+            self.compress_blocks(blocks);
             rest = tail;
         }
         if !rest.is_empty() {
@@ -107,13 +111,18 @@ impl Sha256 {
         let bit_len = self.len.wrapping_mul(8);
         // Padding: 0x80, then zeros to 56 mod 64, then the 64-bit length.
         self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0x00]);
+        if self.buf_len > 56 {
+            // No room for the length field: pad out this block first.
+            self.buf[self.buf_len..].fill(0);
+            let block = self.buf;
+            self.compress_blocks(&block);
+            self.buf_len = 0;
         }
+        self.buf[self.buf_len..56].fill(0);
         // Do not route the length through update(): it would perturb self.len.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
-        self.compress(&block);
+        self.compress_blocks(&block);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
@@ -121,43 +130,91 @@ impl Sha256 {
         out
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for t in 16..64 {
-            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
-            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
-            w[t] = w[t - 16].wrapping_add(s0).wrapping_add(w[t - 7]).wrapping_add(s1);
-        }
+    /// Compresses a whole span of 64-byte blocks in one call.
+    ///
+    /// The working variables live in registers across the entire span and
+    /// the message schedule array is filled straight from the input, so
+    /// hashing large regions (SW-Att attests multi-kilobyte ER images per
+    /// proof) pays the state load/store once per span instead of once per
+    /// block.
+    fn compress_blocks(&mut self, data: &[u8]) {
+        debug_assert_eq!(data.len() % 64, 0);
+        let mut state = self.state;
+        for block in data.chunks_exact(64) {
+            // Rolling 16-word message schedule: w[t mod 16] is expanded in
+            // place as the rounds consume it, so the schedule lives in
+            // registers/L1 instead of a 64-word array, and the `& 15`
+            // indexing needs no bounds checks.
+            let mut w = [0u32; 16];
+            for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+                *wi = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for t in 0..64 {
-            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[t]).wrapping_add(w[t]);
-            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = big_s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
+            // Eight rounds per iteration with rotated variable roles: the
+            // compiler keeps the working variables in registers instead of
+            // shuffling h←g←f←… every round.
+            macro_rules! round {
+                ($a:ident, $b:ident, $c:ident, $d:ident,
+                 $e:ident, $f:ident, $g:ident, $h:ident, $t:expr, $wt:expr) => {
+                    let big_s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                    let ch = ($e & $f) ^ (!$e & $g);
+                    let t1 = $h
+                        .wrapping_add(big_s1)
+                        .wrapping_add(ch)
+                        .wrapping_add(K[$t])
+                        .wrapping_add($wt);
+                    let big_s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                    let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                    $d = $d.wrapping_add(t1);
+                    $h = t1.wrapping_add(big_s0.wrapping_add(maj));
+                };
+            }
+            /// Expands the schedule word for round `t` (t ≥ 16) in place.
+            macro_rules! expand {
+                ($w:ident, $t:expr) => {{
+                    let w15 = $w[($t + 1) & 15];
+                    let w2 = $w[($t + 14) & 15];
+                    let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                    let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                    $w[$t & 15] = $w[$t & 15]
+                        .wrapping_add(s0)
+                        .wrapping_add($w[($t + 9) & 15])
+                        .wrapping_add(s1);
+                    $w[$t & 15]
+                }};
+            }
+            for t0 in (0..16).step_by(8) {
+                round!(a, b, c, d, e, f, g, h, t0, w[t0 & 15]);
+                round!(h, a, b, c, d, e, f, g, t0 + 1, w[(t0 + 1) & 15]);
+                round!(g, h, a, b, c, d, e, f, t0 + 2, w[(t0 + 2) & 15]);
+                round!(f, g, h, a, b, c, d, e, t0 + 3, w[(t0 + 3) & 15]);
+                round!(e, f, g, h, a, b, c, d, t0 + 4, w[(t0 + 4) & 15]);
+                round!(d, e, f, g, h, a, b, c, t0 + 5, w[(t0 + 5) & 15]);
+                round!(c, d, e, f, g, h, a, b, t0 + 6, w[(t0 + 6) & 15]);
+                round!(b, c, d, e, f, g, h, a, t0 + 7, w[(t0 + 7) & 15]);
+            }
+            for t0 in (16..64).step_by(8) {
+                round!(a, b, c, d, e, f, g, h, t0, expand!(w, t0));
+                round!(h, a, b, c, d, e, f, g, t0 + 1, expand!(w, t0 + 1));
+                round!(g, h, a, b, c, d, e, f, t0 + 2, expand!(w, t0 + 2));
+                round!(f, g, h, a, b, c, d, e, t0 + 3, expand!(w, t0 + 3));
+                round!(e, f, g, h, a, b, c, d, t0 + 4, expand!(w, t0 + 4));
+                round!(d, e, f, g, h, a, b, c, t0 + 5, expand!(w, t0 + 5));
+                round!(c, d, e, f, g, h, a, b, t0 + 6, expand!(w, t0 + 6));
+                round!(b, c, d, e, f, g, h, a, t0 + 7, expand!(w, t0 + 7));
+            }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+            state[0] = state[0].wrapping_add(a);
+            state[1] = state[1].wrapping_add(b);
+            state[2] = state[2].wrapping_add(c);
+            state[3] = state[3].wrapping_add(d);
+            state[4] = state[4].wrapping_add(e);
+            state[5] = state[5].wrapping_add(f);
+            state[6] = state[6].wrapping_add(g);
+            state[7] = state[7].wrapping_add(h);
+        }
+        self.state = state;
     }
 }
 

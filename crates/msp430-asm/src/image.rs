@@ -102,9 +102,28 @@ impl Image {
 
     /// Loads into a [`msp430::mem::Ram`].
     pub fn load_into_ram(&self, ram: &mut msp430::mem::Ram) {
-        for (a, b) in &self.bytes {
-            ram.load_bytes(*a, &[*b]);
+        for (start, bytes) in self.runs() {
+            ram.load_bytes(start, &bytes);
         }
+    }
+
+    /// The image as maximal contiguous `(start, bytes)` runs.
+    ///
+    /// Repeated loading (the DIALED verifier re-images its RAM for every
+    /// proof) should go through precomputed runs — bulk copies — rather
+    /// than walking the sparse byte map each time.
+    #[must_use]
+    pub fn runs(&self) -> Vec<(u16, Vec<u8>)> {
+        let mut runs: Vec<(u16, Vec<u8>)> = Vec::new();
+        for (&a, &b) in &self.bytes {
+            match runs.last_mut() {
+                Some((start, bytes)) if u32::from(*start) + bytes.len() as u32 == u32::from(a) => {
+                    bytes.push(b);
+                }
+                _ => runs.push((a, vec![b])),
+            }
+        }
+        runs
     }
 
     /// Loads into a [`msp430::platform::Platform`].

@@ -4,17 +4,33 @@
 //! interrupt) and returns a [`Step`] describing everything that happened on
 //! the bus. Hardware monitors — the APEX FSM in particular — consume the
 //! `Step` stream; nothing about attestation lives in this module.
+//!
+//! # The zero-allocation fast path
+//!
+//! Replay-heavy callers (the DIALED verifier, batch verification workers)
+//! drive the core through [`Cpu::step_into`], which fills a caller-owned
+//! [`Step`] instead of returning a fresh one. Because a `Step` embeds its
+//! bus accesses in an inline [`AccessBuf`], a steady-state
+//! `step_into` loop performs **zero heap allocations**. Decoding is served
+//! from a lazily built [predecoded instruction cache](crate::icache) that
+//! is validated against the live instruction words on every hit, so writes
+//! into code memory — from any bus master — force a re-decode without
+//! explicit invalidation hooks.
 
 use crate::cycles::{insn_cycles, IRQ_CYCLES};
 use crate::flags;
+use crate::icache::{ICache, ICacheStats, Stamp, MAX_INSN_WORDS};
 use crate::isa::{Cond, DecodeError, Insn, Op1, Op2, Operand, Size};
 use crate::layout::RESET_VECTOR;
-use crate::mem::{Access, AccessKind, Bus};
+use crate::mem::{Access, AccessBuf, AccessKind, Bus};
 use crate::regs::{Reg, RegFile};
 use std::fmt;
 
 /// Everything one [`Cpu::step`] did, for consumption by monitors and traces.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Contains no heap-owned data: it is `Copy` (a flat ~48-byte copy), and
+/// one `Step` can be reused across an entire run via [`Cpu::step_into`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Step {
     /// PC at the start of the step (address of the executed instruction).
     pub pc: u16,
@@ -24,8 +40,13 @@ pub struct Step {
     pub insn: Option<Insn>,
     /// Cycles consumed.
     pub cycles: u32,
-    /// Ordered bus accesses (fetches, reads, writes).
-    pub accesses: Vec<Access>,
+    /// Ordered *data* bus accesses (reads and writes).
+    ///
+    /// Instruction fetches are not recorded: they are fully implied by
+    /// [`Step::pc`] and [`Step::insn`] (address, count and values follow
+    /// from the executed instruction), and no monitor consumes them — the
+    /// APEX FSM, the VRASED rules and all policies filter to data traffic.
+    pub accesses: AccessBuf,
     /// Vector number when this step was an interrupt entry.
     pub irq: Option<u8>,
 }
@@ -39,6 +60,16 @@ impl Step {
     /// Iterator over only the data reads of this step.
     pub fn reads(&self) -> impl Iterator<Item = &Access> {
         self.accesses.iter().filter(|a| a.kind == AccessKind::Read)
+    }
+
+    /// Resets all fields, preparing the step for reuse.
+    pub fn clear(&mut self) {
+        self.pc = 0;
+        self.next_pc = 0;
+        self.insn = None;
+        self.cycles = 0;
+        self.accesses.clear();
+        self.irq = None;
     }
 }
 
@@ -68,11 +99,24 @@ impl fmt::Display for CpuFault {
 impl std::error::Error for CpuFault {}
 
 /// The MSP430 CPU core.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Cpu {
     /// Architectural register file.
     pub regs: RegFile,
     pending_irq: Option<u8>,
+    icache: ICache,
+    icache_enabled: bool,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self {
+            regs: RegFile::new(),
+            pending_irq: None,
+            icache: ICache::default(),
+            icache_enabled: true,
+        }
+    }
 }
 
 impl Cpu {
@@ -80,6 +124,46 @@ impl Cpu {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the predecoded instruction cache.
+    ///
+    /// The cache is semantically transparent (validated against live memory
+    /// on every hit); disabling it forces the decode-every-step slow path,
+    /// which differential tests and benchmarks use as the reference.
+    pub fn set_icache_enabled(&mut self, enabled: bool) {
+        self.icache_enabled = enabled;
+    }
+
+    /// Is the predecoded instruction cache in use?
+    #[must_use]
+    pub fn icache_enabled(&self) -> bool {
+        self.icache_enabled
+    }
+
+    /// Drops every cached decode (the table allocation is kept).
+    ///
+    /// Never required for correctness — entries are validated on hit — but
+    /// lets long-lived cores shed entries for code that will not run again.
+    pub fn flush_icache(&mut self) {
+        self.icache.flush();
+    }
+
+    /// Instruction-cache hit/miss counters since construction.
+    #[must_use]
+    pub fn icache_stats(&self) -> ICacheStats {
+        self.icache.stats()
+    }
+
+    /// Re-initialises the architectural state (registers and pending IRQ)
+    /// while keeping the warm instruction cache.
+    ///
+    /// This is the batch-verification reuse hook: one core replays many
+    /// proofs of the same operation, and the cached decodes stay valid
+    /// across proofs because every hit is validated against live memory.
+    pub fn reset_regs(&mut self) {
+        self.regs = RegFile::new();
+        self.pending_irq = None;
     }
 
     /// Loads the PC from the reset vector, like a power-on reset.
@@ -142,62 +226,146 @@ impl Cpu {
     /// [`CpuFault::Halted`] when CPUOFF is set; [`CpuFault::Decode`] on an
     /// invalid opcode (PC is left pointing at the bad instruction).
     pub fn step(&mut self, bus: &mut impl Bus) -> Result<Step, CpuFault> {
+        let mut step = Step::default();
+        self.step_into(bus, &mut step)?;
+        Ok(step)
+    }
+
+    /// Executes one instruction (or takes one interrupt) into a
+    /// caller-owned [`Step`], the allocation-free form of [`Cpu::step`].
+    ///
+    /// Replay loops keep one `Step` for the whole run; it is cleared and
+    /// refilled on every call. On error its contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuFault::Halted`] when CPUOFF is set; [`CpuFault::Decode`] on an
+    /// invalid opcode (PC is left pointing at the bad instruction).
+    pub fn step_into(&mut self, bus: &mut impl Bus, step: &mut Step) -> Result<(), CpuFault> {
+        // Only the fields a success path does not overwrite are reset here;
+        // on error the step's contents are unspecified.
+        step.accesses.clear();
+        step.irq = None;
+        step.insn = None;
         if self.halted() {
             return Err(CpuFault::Halted);
         }
 
         let pc0 = self.regs.pc();
-        let mut accesses: Vec<Access> = Vec::with_capacity(6);
+        step.pc = pc0;
 
         // Interrupt entry: push PC, push SR, clear SR (keep SCG0), vector.
         if let Some(vec) = self.pending_irq {
             if self.flag(flags::GIE) {
                 self.pending_irq = None;
+                let acc = &mut step.accesses;
                 let mut sp = self.regs.sp();
                 sp = sp.wrapping_sub(2);
                 bus.write_word(sp, pc0);
-                accesses.push(Access { addr: sp, kind: AccessKind::Write, value: pc0, word: true });
+                acc.push(Access { addr: sp, kind: AccessKind::Write, value: pc0, word: true });
                 sp = sp.wrapping_sub(2);
                 let sr = self.regs.sr();
                 bus.write_word(sp, sr);
-                accesses.push(Access { addr: sp, kind: AccessKind::Write, value: sr, word: true });
+                acc.push(Access { addr: sp, kind: AccessKind::Write, value: sr, word: true });
                 self.regs.set(Reg::SP, sp);
                 self.regs.set(Reg::SR, sr & flags::SCG0);
                 let vaddr = 0xFFE0u16.wrapping_add(u16::from(vec) * 2);
                 let target = bus.read_word(vaddr);
-                accesses.push(Access {
-                    addr: vaddr,
-                    kind: AccessKind::Read,
-                    value: target,
-                    word: true,
-                });
+                acc.push(Access { addr: vaddr, kind: AccessKind::Read, value: target, word: true });
                 self.regs.set(Reg::PC, target);
-                return Ok(Step {
-                    pc: pc0,
-                    next_pc: target,
-                    insn: None,
-                    cycles: IRQ_CYCLES,
-                    accesses,
-                    irq: Some(vec),
-                });
+                step.next_pc = target;
+                step.cycles = IRQ_CYCLES;
+                step.irq = Some(vec);
+                return Ok(());
             }
         }
 
-        // Fetch + decode. A local PC cursor advances over extension words and
-        // records fetch events; the architectural PC is committed after
-        // decode so the instruction sees PC already past its full encoding.
-        let mut cursor = pc0;
-        let insn = {
-            let first = fetch_word(&mut cursor, &mut accesses, bus);
-            Insn::decode(pc0, first, || fetch_word(&mut cursor, &mut accesses, bus))
-                .map_err(|err| CpuFault::Decode { at: pc0, err })?
-        };
-        self.regs.set(Reg::PC, cursor);
+        // Fetch + decode, through the predecoded cache when possible.
+        let (insn, cycles) = self.fetch_decode(bus, pc0)?;
+        self.execute(bus, &insn, &mut step.accesses);
+        step.next_pc = self.regs.pc();
+        step.insn = Some(insn);
+        step.cycles = cycles;
+        Ok(())
+    }
 
+    /// Resolves the instruction at `pc0` via a two-tier cache check:
+    ///
+    /// 1. **Generation fast path** — if the bus's page write-generations
+    ///    still match the entry's stamp, the encoding bytes are provably
+    ///    unchanged and the hit is accepted with no memory reads at all.
+    /// 2. **Validation path** — otherwise the cached words are compared
+    ///    against the live words (read exactly as the decoder would read
+    ///    them); a match re-stamps the entry, a mismatch (or a miss) runs
+    ///    the decoder and caches the result.
+    fn fetch_decode(&mut self, bus: &mut impl Bus, pc0: u16) -> Result<(Insn, u32), CpuFault> {
+        let mut live = [0u16; MAX_INSN_WORDS];
+        let mut prefetched = 0usize;
+        if self.icache_enabled {
+            if let Some(entry) = self.icache.lookup(pc0) {
+                let len = usize::from(entry.len_words);
+                let last = pc0.wrapping_add((entry.len_words - 1) as u16 * 2);
+                if let Some(stamp) = entry.stamp {
+                    let fresh = match bus.page_generation(pc0) {
+                        Some((id, lo)) if id == stamp.id && lo == stamp.lo => {
+                            same_gen_page(pc0, last)
+                                || bus.page_generation(last) == Some((stamp.id, stamp.hi))
+                        }
+                        _ => false,
+                    };
+                    if fresh {
+                        self.icache.note_hit();
+                        self.regs.set(Reg::PC, pc0.wrapping_add(len as u16 * 2));
+                        return Ok((entry.insn, entry.cycles));
+                    }
+                }
+                let mut matched = true;
+                for (i, cached) in entry.words.iter().enumerate().take(len) {
+                    let w = bus.read_word(pc0.wrapping_add(i as u16 * 2));
+                    live[i] = w;
+                    prefetched = i + 1;
+                    if w != *cached {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.icache.note_hit();
+                    self.regs.set(Reg::PC, pc0.wrapping_add(len as u16 * 2));
+                    self.icache.restamp(pc0, encoding_stamp(bus, pc0, last));
+                    return Ok((entry.insn, entry.cycles));
+                }
+            }
+        }
+        self.decode_slow(bus, pc0, live, prefetched)
+    }
+
+    /// The decode-every-step path. `words[..prefetched]` were already read
+    /// by a failed cache validation; instruction length is a function of
+    /// the first word alone, so the decoder always consumes at least the
+    /// prefetched words and the bus-read sequence stays identical to a pure
+    /// uncached decode.
+    fn decode_slow(
+        &mut self,
+        bus: &mut impl Bus,
+        pc0: u16,
+        words: [u16; MAX_INSN_WORDS],
+        prefetched: usize,
+    ) -> Result<(Insn, u32), CpuFault> {
+        self.icache.note_miss();
+        let mut cursor = FetchCursor { bus, pc0, words, prefetched, n: 0 };
+        let first = cursor.next_word();
+        let insn = Insn::decode(pc0, first, || cursor.next_word())
+            .map_err(|err| CpuFault::Decode { at: pc0, err })?;
+        let (n, words) = (cursor.n, cursor.words);
+        self.regs.set(Reg::PC, pc0.wrapping_add(n as u16 * 2));
         let cycles = insn_cycles(&insn);
-        self.execute(bus, &insn, &mut accesses);
-
-        Ok(Step { pc: pc0, next_pc: self.regs.pc(), insn: Some(insn), cycles, accesses, irq: None })
+        if self.icache_enabled && n > 0 && n <= MAX_INSN_WORDS {
+            let last = pc0.wrapping_add((n as u16 - 1) * 2);
+            let stamp = encoding_stamp(bus, pc0, last);
+            self.icache.insert(pc0, words, n, insn, cycles, stamp);
+        }
+        Ok((insn, cycles))
     }
 
     /// Runs until the PC reaches `stop_pc`, the CPU halts/faults, or
@@ -220,7 +388,7 @@ impl Cpu {
         Ok(steps)
     }
 
-    fn execute(&mut self, bus: &mut impl Bus, insn: &Insn, acc: &mut Vec<Access>) {
+    fn execute(&mut self, bus: &mut impl Bus, insn: &Insn, acc: &mut AccessBuf) {
         match *insn {
             Insn::Jump { cond, offset } => {
                 if self.cond_true(cond) {
@@ -257,7 +425,7 @@ impl Cpu {
         bus: &mut impl Bus,
         op: Operand,
         size: Size,
-        acc: &mut Vec<Access>,
+        acc: &mut AccessBuf,
     ) -> (u16, Option<u16>) {
         match op {
             Operand::Reg(r) => (self.regs.get(r) & flags::mask(size), None),
@@ -280,7 +448,7 @@ impl Cpu {
         }
     }
 
-    fn load(&mut self, bus: &mut impl Bus, ea: u16, size: Size, acc: &mut Vec<Access>) -> u16 {
+    fn load(&mut self, bus: &mut impl Bus, ea: u16, size: Size, acc: &mut AccessBuf) -> u16 {
         let (v, word) = match size {
             Size::Word => (bus.read_word(ea), true),
             Size::Byte => (u16::from(bus.read_byte(ea)), false),
@@ -289,7 +457,7 @@ impl Cpu {
         v
     }
 
-    fn store(&mut self, bus: &mut impl Bus, ea: u16, v: u16, size: Size, acc: &mut Vec<Access>) {
+    fn store(&mut self, bus: &mut impl Bus, ea: u16, v: u16, size: Size, acc: &mut AccessBuf) {
         match size {
             Size::Word => bus.write_word(ea, v),
             Size::Byte => bus.write_byte(ea, v as u8),
@@ -310,7 +478,7 @@ impl Cpu {
         ea: Option<u16>,
         v: u16,
         size: Size,
-        acc: &mut Vec<Access>,
+        acc: &mut AccessBuf,
     ) {
         match dst {
             // Writes to r3 (CG2) are architecturally discarded.
@@ -333,27 +501,29 @@ impl Cpu {
         size: Size,
         src: Operand,
         dst: Operand,
-        acc: &mut Vec<Access>,
+        acc: &mut AccessBuf,
     ) {
         let (s, _) = self.read_operand(bus, src, size, acc);
-        // Destination EA is computed after source side effects (@Rn+).
-        let (d, ea) = if op == Op2::Mov {
-            // MOV does not read the destination; still resolve the EA.
+        // MOV fast path: no destination read, no ALU, no flags — and it is
+        // the most frequent instruction in instrumented code (every log
+        // entry is a store via MOV).
+        if op == Op2::Mov {
             let ea = match dst {
                 Operand::Reg(_) => None,
                 Operand::Indexed(r, x) => Some(self.regs.get(r).wrapping_add(x)),
                 Operand::Symbolic(a) | Operand::Absolute(a) => Some(a),
                 _ => None,
             };
-            (0, ea)
-        } else {
-            self.read_operand(bus, dst, size, acc)
-        };
+            self.write_dst(bus, dst, ea, s, size, acc);
+            return;
+        }
+        // Destination EA is computed after source side effects (@Rn+).
+        let (d, ea) = self.read_operand(bus, dst, size, acc);
 
         let sr = self.regs.sr();
         let carry = sr & flags::C != 0;
         let (out, keep_v) = match op {
-            Op2::Mov => (flags::AluOut { value: s, c: false, z: false, n: false, v: false }, false),
+            Op2::Mov => unreachable!("handled by the fast path above"),
             Op2::Add => (flags::add(d, s, false, size), false),
             Op2::Addc => (flags::add(d, s, carry, size), false),
             Op2::Sub | Op2::Cmp => (flags::sub(d, s, true, size), false),
@@ -385,7 +555,7 @@ impl Cpu {
         op: Op1,
         size: Size,
         sd: Operand,
-        acc: &mut Vec<Access>,
+        acc: &mut AccessBuf,
     ) {
         match op {
             Op1::Reti => {
@@ -474,12 +644,54 @@ impl Cpu {
     }
 }
 
-/// Fetches one instruction-stream word, recording the bus event.
-fn fetch_word<B: Bus>(cursor: &mut u16, acc: &mut Vec<Access>, bus: &mut B) -> u16 {
-    let w = bus.read_word(*cursor);
-    acc.push(Access { addr: *cursor, kind: AccessKind::Fetch, value: w, word: true });
-    *cursor = cursor.wrapping_add(2);
-    w
+/// True when `a` and `b` fall in the same bus write-generation page.
+#[inline]
+fn same_gen_page(a: u16, b: u16) -> bool {
+    usize::from(a) / crate::mem::GEN_PAGE_BYTES == usize::from(b) / crate::mem::GEN_PAGE_BYTES
+}
+
+/// Builds the generation stamp covering an encoding spanning `pc0..=last`
+/// (inclusive of `last`'s word), or `None` when the bus tracks no
+/// generations for either end.
+#[inline]
+fn encoding_stamp(bus: &impl Bus, pc0: u16, last: u16) -> Option<Stamp> {
+    let (id, lo) = bus.page_generation(pc0)?;
+    let hi = if same_gen_page(pc0, last) {
+        lo
+    } else {
+        let (id2, hi) = bus.page_generation(last)?;
+        if id2 != id {
+            return None;
+        }
+        hi
+    };
+    Some(Stamp { id, lo, hi })
+}
+
+/// Instruction-stream word source for the slow decode path: replays words
+/// already read by a failed cache validation, then fetches further words
+/// from the bus.
+struct FetchCursor<'a, B: Bus> {
+    bus: &'a mut B,
+    pc0: u16,
+    words: [u16; MAX_INSN_WORDS],
+    prefetched: usize,
+    n: usize,
+}
+
+impl<B: Bus> FetchCursor<'_, B> {
+    fn next_word(&mut self) -> u16 {
+        let i = self.n;
+        self.n += 1;
+        if i < self.prefetched {
+            return self.words[i];
+        }
+        let w = self.bus.read_word(self.pc0.wrapping_add(i as u16 * 2));
+        if i < MAX_INSN_WORDS {
+            self.words[i] = w;
+        }
+        w
+    }
 }
 
 #[cfg(test)]
@@ -736,13 +948,165 @@ mod tests {
         let mut cpu = Cpu::new();
         cpu.set_pc(0xE000);
         let s = cpu.step(&mut ram).unwrap();
-        let fetches: Vec<_> = s.accesses.iter().filter(|a| a.kind == AccessKind::Fetch).collect();
-        assert_eq!(fetches.len(), 3);
+        let fetches = s.accesses.iter().filter(|a| a.kind == AccessKind::Fetch).count();
+        assert_eq!(fetches, 0, "fetches are implied by pc+insn, not recorded");
         let writes: Vec<_> = s.writes().collect();
         assert_eq!(writes.len(), 1);
         assert_eq!(writes[0].addr, 0x0200);
         assert_eq!(writes[0].value, 0xAA55);
         assert_eq!(s.cycles, 5);
+    }
+
+    #[test]
+    fn icache_hits_on_reexecution() {
+        // add r10, r10 executed twice from the same address: miss then hit.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.icache_stats().hits, 0);
+        assert_eq!(cpu.icache_stats().misses, 1);
+        cpu.set_pc(0xE000);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.icache_stats().hits, 1);
+        assert_eq!(s.cycles, 1);
+        assert!(s.accesses.is_empty(), "register-only insn performs no data access");
+    }
+
+    #[test]
+    fn self_modifying_code_forces_redecode() {
+        // Cache `mov #1, r5` at 0xE006, then execute the store at 0xE000
+        // that overwrites it with `mov #2, r6`; re-running 0xE006 must
+        // execute the *new* instruction.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x40B2, 0x4326, 0xE006]); // mov #0x4326, &0xE006
+        ram.load_words(0xE006, &[0x4315]); // mov #1, r5
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE006);
+        cpu.step(&mut ram).unwrap(); // caches 0xE006 as `mov #1, r5`
+        assert_eq!(cpu.reg(Reg::R5), 1);
+
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap(); // the CPU itself patches 0xE006
+        assert_eq!(ram.read_word(0xE006), 0x4326);
+
+        let misses_before = cpu.icache_stats().misses;
+        cpu.set_pc(0xE006);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R6), 2, "new instruction must execute");
+        assert_eq!(
+            s.insn,
+            Some(Insn::Two {
+                op: Op2::Mov,
+                size: Size::Word,
+                src: Operand::Imm(2),
+                dst: Operand::Reg(Reg::R6),
+            })
+        );
+        assert!(cpu.icache_stats().misses > misses_before, "stale entry must re-decode");
+    }
+
+    #[test]
+    fn external_write_to_code_forces_redecode() {
+        // Mutation that bypasses the CPU entirely (DMA / debugger / image
+        // reload): validation on hit still catches it.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A]); // add r10, r10
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::R10, 21);
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R10), 42);
+        ram.load_words(0xE000, &[0x4A0B]); // mov r10, r11
+        cpu.set_pc(0xE000);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.reg(Reg::R10), 42, "old add must not run again");
+        assert_eq!(cpu.reg(Reg::R11), 42);
+        assert!(matches!(s.insn, Some(Insn::Two { op: Op2::Mov, .. })));
+    }
+
+    #[test]
+    fn write_straddling_last_byte_of_cached_insn_forces_redecode() {
+        // `mov #0xAA55, &0x0200` is three words (0xE000..=0xE005). After
+        // caching it, rewrite only its LAST byte (0xE005, the high byte of
+        // the destination address): re-execution must store to the new
+        // destination, not the cached one.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x40B2, 0xAA55, 0x0200]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(ram.read_word(0x0200), 0xAA55);
+
+        ram.load_bytes(0xE005, &[0x03]); // &0x0200 → &0x0300
+        cpu.set_pc(0xE000);
+        let s = cpu.step(&mut ram).unwrap();
+        assert_eq!(ram.read_word(0x0300), 0xAA55, "store must follow the patched operand");
+        let w: Vec<_> = s.writes().collect();
+        assert_eq!(w[0].addr, 0x0300);
+        assert_eq!(cpu.icache_stats().hits, 0, "a straddled patch can never hit");
+    }
+
+    #[test]
+    fn disabled_icache_never_hits() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A, 0x3FFE]); // add ; jmp -2
+        let mut cpu = Cpu::new();
+        cpu.set_icache_enabled(false);
+        assert!(!cpu.icache_enabled());
+        cpu.set_pc(0xE000);
+        for _ in 0..10 {
+            cpu.step(&mut ram).unwrap();
+        }
+        assert_eq!(cpu.icache_stats().hits, 0);
+        assert_eq!(cpu.icache_stats().misses, 10);
+    }
+
+    #[test]
+    fn flush_icache_drops_entries() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        cpu.flush_icache();
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        assert_eq!(cpu.icache_stats().hits, 0);
+        assert_eq!(cpu.icache_stats().misses, 2);
+    }
+
+    #[test]
+    fn step_into_reuses_one_step() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x403A, 0x0015, 0x5A0A]); // mov #21, r10 ; add r10, r10
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        cpu.step_into(&mut ram, &mut step).unwrap();
+        assert_eq!(step.pc, 0xE000);
+        assert_eq!(step.insn.unwrap().len_words(), 2);
+        cpu.step_into(&mut ram, &mut step).unwrap();
+        assert_eq!(step.pc, 0xE004, "step must be fully refilled");
+        assert!(step.accesses.is_empty(), "stale accesses must be cleared");
+        assert_eq!(cpu.reg(Reg::R10), 42);
+    }
+
+    #[test]
+    fn cloned_cpu_starts_cold_but_behaves_identically() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A]);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::R10, 3);
+        cpu.set_pc(0xE000);
+        cpu.step(&mut ram).unwrap();
+        cpu.set_pc(0xE000);
+        let mut fork = cpu.clone();
+        let a = cpu.step(&mut ram).unwrap();
+        let b = fork.step(&mut ram).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fork.icache_stats().hits, 0, "clone starts with a cold cache");
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod cpu;
 pub mod cycles;
 pub mod flags;
+mod icache;
 pub mod isa;
 pub mod layout;
 pub mod mem;
@@ -59,7 +60,8 @@ pub mod regs;
 pub mod trace;
 
 pub use cpu::{Cpu, CpuFault, Step};
+pub use icache::ICacheStats;
 pub use isa::{Insn, Operand};
-pub use mem::{Access, AccessKind, Bus, Ram};
+pub use mem::{Access, AccessBuf, AccessKind, Bus, Ram};
 pub use platform::Platform;
 pub use regs::Reg;

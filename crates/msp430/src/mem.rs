@@ -1,10 +1,12 @@
 //! Bus abstraction, bus-access records, and flat RAM.
 //!
-//! The CPU talks to any [`Bus`]. Every access the CPU makes is *also*
-//! reported architecturally in the [`crate::cpu::Step`] record as a list of
-//! [`Access`]es — this is the signal stream that the APEX monitor (and any
-//! other "hardware" attached next to the core) observes, mirroring the wires
-//! the real monitor taps on the openMSP430.
+//! The CPU talks to any [`Bus`]. Every *data* access the CPU makes is
+//! *also* reported architecturally in the [`crate::cpu::Step`] record as a
+//! list of [`Access`]es — this is the signal stream that the APEX monitor
+//! (and any other "hardware" attached next to the core) observes,
+//! mirroring the wires the real monitor taps on the openMSP430.
+//! Instruction fetches are implied by `Step::pc`/`Step::insn` and are not
+//! recorded individually.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -12,7 +14,10 @@ use std::fmt;
 /// What kind of bus access occurred.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum AccessKind {
-    /// Instruction-stream fetch (opcode or extension word).
+    /// Instruction-stream fetch (opcode or extension word). The CPU core
+    /// no longer emits these — fetches are implied by the executed
+    /// instruction — but the kind remains for external bus masters and
+    /// wire-format compatibility.
     Fetch,
     /// Data read.
     Read,
@@ -45,6 +50,105 @@ impl fmt::Display for Access {
     }
 }
 
+/// Upper bound on recorded data accesses per instruction.
+///
+/// The worst case is a Format I instruction with memory source and memory
+/// destination (source read, destination read, destination write) or an
+/// interrupt entry (two stack pushes, one vector read) — three accesses.
+/// One slot of headroom is kept for defence.
+pub const MAX_STEP_ACCESSES: usize = 4;
+
+/// An inline, fixed-capacity buffer of the bus accesses of one step.
+///
+/// Replaces the heap-allocated `Vec<Access>` the hot emulation loop used
+/// to allocate per instruction: a [`crate::cpu::Step`] now embeds its
+/// accesses, so steady-state replay via [`crate::cpu::Cpu::step_into`]
+/// performs zero heap allocations. Dereferences to `[Access]`, so all
+/// slice iteration/indexing idioms keep working.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessBuf {
+    len: u8,
+    buf: [Access; MAX_STEP_ACCESSES],
+}
+
+impl Default for AccessBuf {
+    fn default() -> Self {
+        const EMPTY: Access = Access { addr: 0, kind: AccessKind::Fetch, value: 0, word: false };
+        Self { len: 0, buf: [EMPTY; MAX_STEP_ACCESSES] }
+    }
+}
+
+impl AccessBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectural bound [`MAX_STEP_ACCESSES`] is exceeded
+    /// — which would mean the CPU model emitted an impossible bus pattern.
+    #[inline]
+    pub fn push(&mut self, access: Access) {
+        self.buf[usize::from(self.len)] = access;
+        self.len += 1;
+    }
+
+    /// Drops all recorded accesses.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The recorded accesses, in bus order.
+    #[must_use]
+    #[inline]
+    pub fn as_slice(&self) -> &[Access] {
+        &self.buf[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for AccessBuf {
+    type Target = [Access];
+
+    fn deref(&self) -> &[Access] {
+        self.as_slice()
+    }
+}
+
+/// Only the live prefix participates in equality; stale slots are ignored.
+impl PartialEq for AccessBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for AccessBuf {}
+
+impl<'a> IntoIterator for &'a AccessBuf {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// On the wire an `AccessBuf` is just its live accesses; with the offline
+// serde stand-in these are marker impls.
+impl Serialize for AccessBuf {}
+
+impl<'de> Deserialize<'de> for AccessBuf {}
+
+/// Size of one write-generation page (see [`Bus::page_generation`]).
+pub const GEN_PAGE_BYTES: usize = 1024;
+
+/// Number of write-generation pages covering the address space.
+pub const GEN_PAGES: usize = 0x1_0000 / GEN_PAGE_BYTES;
+
 /// A 16-bit little-endian memory bus.
 ///
 /// Word accesses are always even-aligned: implementations must ignore bit 0
@@ -55,13 +159,29 @@ pub trait Bus {
     /// Writes one byte.
     fn write_byte(&mut self, addr: u16, value: u8);
 
+    /// Write-generation stamp `(bus id, generation)` for the 1 KiB page
+    /// containing `addr`, if this bus tracks one.
+    ///
+    /// The contract making stamps sound for caching: the id is unique per
+    /// bus instance for the lifetime of the process, and the generation is
+    /// bumped on **every** mutation of any byte in the page, through any
+    /// path. A matching stamp therefore proves the page's bytes are
+    /// unchanged since the stamp was taken, letting the instruction cache
+    /// accept a hit without re-reading the encoding words. The default —
+    /// `None` — means "untracked": callers must validate by reading.
+    fn page_generation(&self, _addr: u16) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Reads an aligned little-endian word.
+    #[inline]
     fn read_word(&mut self, addr: u16) -> u16 {
         let a = addr & !1;
         u16::from(self.read_byte(a)) | (u16::from(self.read_byte(a.wrapping_add(1))) << 8)
     }
 
     /// Writes an aligned little-endian word.
+    #[inline]
     fn write_word(&mut self, addr: u16, value: u16) {
         let a = addr & !1;
         self.write_byte(a, value as u8);
@@ -72,9 +192,32 @@ pub trait Bus {
 /// Flat 64 KiB RAM with no peripherals — the simplest possible [`Bus`],
 /// useful for ISA tests and fuzzing. Use [`crate::platform::Platform`] for
 /// the full device.
-#[derive(Clone)]
+///
+/// The backing store is a fixed-size boxed array, so indexing with a
+/// `u16`-derived offset is provably in bounds — the emulation fast path
+/// pays no bounds checks on memory traffic. Every mutation bumps the
+/// write-generation of its 1 KiB page (see [`Bus::page_generation`]).
 pub struct Ram {
-    bytes: Vec<u8>,
+    bytes: Box<[u8; 0x1_0000]>,
+    gens: Box<[u64; GEN_PAGES]>,
+    /// Process-unique bus identity; a clone is a *different* bus.
+    id: u64,
+}
+
+/// A cloned RAM is an independent bus: it copies the bytes but gets a
+/// fresh identity, so generation stamps taken against the original can
+/// never validate mutated pages of the clone (or vice versa).
+impl Clone for Ram {
+    fn clone(&self) -> Self {
+        Self { bytes: self.bytes.clone(), gens: self.gens.clone(), id: fresh_bus_id() }
+    }
+}
+
+/// Source of process-unique bus ids for generation stamps.
+static NEXT_BUS_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+pub(crate) fn fresh_bus_id() -> u64 {
+    NEXT_BUS_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl fmt::Debug for Ram {
@@ -93,7 +236,18 @@ impl Ram {
     /// All-zero memory.
     #[must_use]
     pub fn new() -> Self {
-        Self { bytes: vec![0; 0x1_0000] }
+        Self { bytes: Box::new([0; 0x1_0000]), gens: Box::new([0; GEN_PAGES]), id: fresh_bus_id() }
+    }
+
+    #[inline]
+    fn bump(&mut self, addr: u16) {
+        self.gens[usize::from(addr) / GEN_PAGE_BYTES] += 1;
+    }
+
+    fn bump_all(&mut self) {
+        for g in self.gens.iter_mut() {
+            *g += 1;
+        }
     }
 
     /// Copies `words` little-endian starting at `addr`.
@@ -102,37 +256,79 @@ impl Ram {
         for w in words {
             self.bytes[usize::from(a)] = *w as u8;
             self.bytes[usize::from(a.wrapping_add(1))] = (*w >> 8) as u8;
+            self.bump(a);
+            self.bump(a.wrapping_add(1));
             a = a.wrapping_add(2);
         }
     }
 
-    /// Copies raw bytes starting at `addr`.
+    /// Copies raw bytes starting at `addr` (wrapping at the top of memory).
     pub fn load_bytes(&mut self, addr: u16, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.bytes[usize::from(addr.wrapping_add(i as u16))] = *b;
+        let start = usize::from(addr);
+        if let Some(dst) = self.bytes.get_mut(start..start + bytes.len()) {
+            dst.copy_from_slice(bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.bytes[usize::from(addr.wrapping_add(i as u16))] = *b;
+            }
+        }
+        // Stamp every generation page the span touched.
+        for (i, _) in bytes.iter().enumerate().step_by(GEN_PAGE_BYTES) {
+            self.bump(addr.wrapping_add(i as u16));
+        }
+        if let Some(last) = bytes.len().checked_sub(1) {
+            self.bump(addr.wrapping_add(last as u16));
         }
     }
 
     /// Borrow of the full 64 KiB backing store.
     #[must_use]
     pub fn as_slice(&self) -> &[u8] {
-        &self.bytes
+        &self.bytes[..]
     }
 
     /// Zeroes all of memory in place, reusing the allocation (for callers
     /// that recycle one `Ram` across many runs, e.g. batch verification).
     pub fn clear(&mut self) {
         self.bytes.fill(0);
+        self.bump_all();
     }
 }
 
 impl Bus for Ram {
+    #[inline]
     fn read_byte(&mut self, addr: u16) -> u8 {
         self.bytes[usize::from(addr)]
     }
 
+    #[inline]
     fn write_byte(&mut self, addr: u16, value: u8) {
         self.bytes[usize::from(addr)] = value;
+        self.bump(addr);
+    }
+
+    // Word access straight off the backing store: the emulation fast path
+    // is fetch/word-traffic dominated, and the default byte-wise impl costs
+    // two bounds checks and a shift per word.
+    #[inline]
+    fn read_word(&mut self, addr: u16) -> u16 {
+        let a = usize::from(addr & !1);
+        u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]])
+    }
+
+    #[inline]
+    fn write_word(&mut self, addr: u16, value: u16) {
+        let a = usize::from(addr & !1);
+        let [lo, hi] = value.to_le_bytes();
+        self.bytes[a] = lo;
+        self.bytes[a + 1] = hi;
+        // An aligned word never straddles a generation page.
+        self.gens[a / GEN_PAGE_BYTES] += 1;
+    }
+
+    #[inline]
+    fn page_generation(&self, addr: u16) -> Option<(u64, u64)> {
+        Some((self.id, self.gens[usize::from(addr) / GEN_PAGE_BYTES]))
     }
 }
 

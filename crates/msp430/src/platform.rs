@@ -7,13 +7,20 @@
 //! queried, which the APEX monitor uses to classify accesses.
 
 use crate::layout::{mmio, MemoryMap};
-use crate::mem::{Access, AccessKind, Bus};
+use crate::mem::{fresh_bus_id, Access, AccessKind, Bus, GEN_PAGES, GEN_PAGE_BYTES};
 use crate::periph::{Adc, Dma, Gpio, Timer, Uart};
 
 /// A complete MSP430 device (memory + peripherals).
-#[derive(Clone, Debug)]
+///
+/// Like [`crate::mem::Ram`], the backing store is a fixed-size boxed array
+/// so `u16`-indexed access compiles without bounds checks, and every
+/// memory mutation bumps its 1 KiB page's write generation (peripheral
+/// pages report no generation, so cached decodes there always revalidate).
+#[derive(Debug)]
 pub struct Platform {
-    bytes: Vec<u8>,
+    bytes: Box<[u8; 0x1_0000]>,
+    gens: Box<[u64; GEN_PAGES]>,
+    id: u64,
     /// The physical memory map.
     pub map: MemoryMap,
     /// GPIO block.
@@ -24,6 +31,23 @@ pub struct Platform {
     pub adc: Adc,
     /// Timer A.
     pub timer: Timer,
+}
+
+/// A cloned platform is an independent bus: fresh identity, so generation
+/// stamps can never cross instances (see [`Bus::page_generation`]).
+impl Clone for Platform {
+    fn clone(&self) -> Self {
+        Self {
+            bytes: self.bytes.clone(),
+            gens: self.gens.clone(),
+            id: fresh_bus_id(),
+            map: self.map,
+            gpio: self.gpio.clone(),
+            uart: self.uart.clone(),
+            adc: self.adc.clone(),
+            timer: self.timer.clone(),
+        }
+    }
 }
 
 impl Default for Platform {
@@ -37,7 +61,9 @@ impl Platform {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            bytes: vec![0; 0x1_0000],
+            bytes: Box::new([0; 0x1_0000]),
+            gens: Box::new([0; GEN_PAGES]),
+            id: fresh_bus_id(),
             map: MemoryMap::default(),
             gpio: Gpio::default(),
             uart: Uart::default(),
@@ -46,20 +72,39 @@ impl Platform {
         }
     }
 
+    #[inline]
+    fn bump(&mut self, addr: u16) {
+        self.gens[usize::from(addr) / GEN_PAGE_BYTES] += 1;
+    }
+
     /// Copies `words` little-endian starting at `addr` (program loading).
     pub fn load_words(&mut self, addr: u16, words: &[u16]) {
         let mut a = addr;
         for w in words {
             self.bytes[usize::from(a)] = *w as u8;
             self.bytes[usize::from(a.wrapping_add(1))] = (*w >> 8) as u8;
+            self.bump(a);
+            self.bump(a.wrapping_add(1));
             a = a.wrapping_add(2);
         }
     }
 
-    /// Copies raw bytes starting at `addr`.
+    /// Copies raw bytes starting at `addr` (wrapping at the top of memory).
     pub fn load_bytes(&mut self, addr: u16, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.bytes[usize::from(addr.wrapping_add(i as u16))] = *b;
+        let start = usize::from(addr);
+        if let Some(dst) = self.bytes.get_mut(start..start + bytes.len()) {
+            dst.copy_from_slice(bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.bytes[usize::from(addr.wrapping_add(i as u16))] = *b;
+            }
+        }
+        // Stamp every generation page the span touched.
+        for (i, _) in bytes.iter().enumerate().step_by(GEN_PAGE_BYTES) {
+            self.bump(addr.wrapping_add(i as u16));
+        }
+        if let Some(last) = bytes.len().checked_sub(1) {
+            self.bump(addr.wrapping_add(last as u16));
         }
     }
 
@@ -174,12 +219,55 @@ impl Bus for Platform {
         }
     }
 
+    #[inline]
     fn write_byte(&mut self, addr: u16, value: u8) {
         if addr < 0x0200 {
             self.periph_write(addr, value);
         } else {
             self.bytes[usize::from(addr)] = value;
+            self.bump(addr);
         }
+    }
+
+    // Non-peripheral word access straight off the backing store (an aligned
+    // word at ≥ 0x0200 cannot straddle the peripheral window); peripheral
+    // words keep the byte-wise dispatch.
+    #[inline]
+    fn read_word(&mut self, addr: u16) -> u16 {
+        let a = usize::from(addr & !1);
+        if a < 0x0200 {
+            let lo = self.periph_read(a as u16);
+            let hi = self.periph_read(a as u16 + 1);
+            u16::from_le_bytes([lo, hi])
+        } else {
+            u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]])
+        }
+    }
+
+    #[inline]
+    fn write_word(&mut self, addr: u16, value: u16) {
+        let a = usize::from(addr & !1);
+        let [lo, hi] = value.to_le_bytes();
+        if a < 0x0200 {
+            self.periph_write(a as u16, lo);
+            self.periph_write(a as u16 + 1, hi);
+        } else {
+            self.bytes[a] = lo;
+            self.bytes[a + 1] = hi;
+            // An aligned word never straddles a generation page.
+            self.gens[a / GEN_PAGE_BYTES] += 1;
+        }
+    }
+
+    /// Peripheral state (page 0) has no byte-level generation — reads there
+    /// can have device semantics — so only plain-memory pages report one.
+    #[inline]
+    fn page_generation(&self, addr: u16) -> Option<(u64, u64)> {
+        let page = usize::from(addr) / GEN_PAGE_BYTES;
+        if page == 0 {
+            return None;
+        }
+        Some((self.id, self.gens[page]))
     }
 }
 

@@ -122,11 +122,13 @@ impl RegFile {
 
     /// Reads a register.
     #[must_use]
+    #[inline]
     pub fn get(&self, r: Reg) -> u16 {
         self.words[r.index()]
     }
 
     /// Writes a register, forcing PC/SP alignment.
+    #[inline]
     pub fn set(&mut self, r: Reg, v: u16) {
         let v = if r == Reg::PC || r == Reg::SP { v & !1 } else { v };
         self.words[r.index()] = v;

@@ -9,9 +9,17 @@ use crate::mem::AccessKind;
 use std::fmt;
 
 /// An ordered record of executed steps with aggregate statistics.
+///
+/// Instruction and cycle totals are maintained incrementally on
+/// [`Trace::push`] (two adds), so those accessors are O(1) — verification
+/// reads them once per proof and must not pay a full pass over a
+/// multi-thousand-step trace each time. Read/write totals are computed on
+/// demand; they are diagnostic only.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     steps: Vec<Step>,
+    insns: usize,
+    cycles: u64,
 }
 
 impl Trace {
@@ -22,7 +30,10 @@ impl Trace {
     }
 
     /// Appends a step.
+    #[inline]
     pub fn push(&mut self, step: Step) {
+        self.insns += usize::from(step.insn.is_some());
+        self.cycles += u64::from(step.cycles);
         self.steps.push(step);
     }
 
@@ -30,6 +41,8 @@ impl Trace {
     /// trace does not pay the buffer growth cost again.
     pub fn clear(&mut self) {
         self.steps.clear();
+        self.insns = 0;
+        self.cycles = 0;
     }
 
     /// All recorded steps in order.
@@ -41,13 +54,13 @@ impl Trace {
     /// Number of instruction steps (interrupt entries excluded).
     #[must_use]
     pub fn insn_count(&self) -> usize {
-        self.steps.iter().filter(|s| s.insn.is_some()).count()
+        self.insns
     }
 
     /// Total CPU cycles.
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.steps.iter().map(|s| u64::from(s.cycles)).sum()
+        self.cycles
     }
 
     /// Total data reads / data writes across all steps.
@@ -70,7 +83,9 @@ impl Trace {
 
 impl Extend<Step> for Trace {
     fn extend<T: IntoIterator<Item = Step>>(&mut self, iter: T) {
-        self.steps.extend(iter);
+        for step in iter {
+            self.push(step);
+        }
     }
 }
 

@@ -1,0 +1,191 @@
+//! Differential property test for the predecoded instruction cache.
+//!
+//! Random programs are run in lockstep on two cores over identical
+//! memories: one with the cache enabled (the fast path), one forced onto
+//! the decode-every-step slow path. Every [`Step`] — instruction, cycle
+//! count, PCs, and the full ordered bus-access list — must be identical,
+//! as must any fault, the final register file, and the final memory image.
+//!
+//! Programs end in a jump back to their base so the fast core re-executes
+//! cached code (hits), and random absolute/indexed stores occasionally land
+//! inside the program itself (self-modifying code), exercising the
+//! validation-on-hit re-decode path.
+
+use msp430::cpu::{Cpu, Step};
+use msp430::flags;
+use msp430::isa::{Cond, Insn, Op1, Op2, Operand, Size};
+use msp430::mem::Ram;
+use msp430::regs::Reg;
+use proptest::prelude::*;
+
+const BASE: u16 = 0xE000;
+
+/// Registers legal as general-purpose operand bases (no PC/SR/CG2).
+fn gp_reg() -> impl Strategy<Value = Reg> {
+    (4u16..16).prop_map(Reg::from_index)
+}
+
+fn any_size() -> impl Strategy<Value = Size> {
+    prop_oneof![Just(Size::Word), Just(Size::Byte)]
+}
+
+/// Addresses that sometimes overlap the program (self-modifying code) and
+/// sometimes plain data memory.
+fn mem_addr() -> impl Strategy<Value = u16> {
+    prop_oneof![0xE000u16..0xE040, 0x0200u16..0x0400, any::<u16>()]
+}
+
+fn src_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        Just(Operand::Reg(Reg::SP)),
+        (gp_reg(), any::<u16>()).prop_map(|(r, x)| Operand::Indexed(r, x)),
+        mem_addr().prop_map(Operand::Symbolic),
+        mem_addr().prop_map(Operand::Absolute),
+        gp_reg().prop_map(Operand::Indirect),
+        gp_reg().prop_map(Operand::IndirectInc),
+        any::<u16>().prop_map(Operand::Imm),
+    ]
+}
+
+fn dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gp_reg().prop_map(Operand::Reg),
+        (gp_reg(), any::<u16>()).prop_map(|(r, x)| Operand::Indexed(r, x)),
+        mem_addr().prop_map(Operand::Symbolic),
+        mem_addr().prop_map(Operand::Absolute),
+    ]
+}
+
+fn op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![
+        Just(Op2::Mov),
+        Just(Op2::Add),
+        Just(Op2::Addc),
+        Just(Op2::Subc),
+        Just(Op2::Sub),
+        Just(Op2::Cmp),
+        Just(Op2::Dadd),
+        Just(Op2::Bit),
+        Just(Op2::Bic),
+        Just(Op2::Bis),
+        Just(Op2::Xor),
+        Just(Op2::And),
+    ]
+}
+
+fn op1() -> impl Strategy<Value = Op1> {
+    prop_oneof![Just(Op1::Rrc), Just(Op1::Swpb), Just(Op1::Rra), Just(Op1::Sxt), Just(Op1::Push),]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Nz),
+        Just(Cond::Z),
+        Just(Cond::Nc),
+        Just(Cond::C),
+        Just(Cond::Ge),
+        Just(Cond::L),
+    ]
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (op2(), any_size(), src_operand(), dst_operand())
+            .prop_map(|(op, size, src, dst)| Insn::Two { op, size, src, dst }),
+        (op1(), src_operand()).prop_map(|(op, sd)| {
+            let size = if op.allows_byte() { Size::Byte } else { Size::Word };
+            Insn::One { op, size, sd }
+        }),
+        (op1(), src_operand()).prop_map(|(op, sd)| Insn::One { op, size: Size::Word, sd }),
+        // Short forward jumps keep control flow inside the program.
+        (cond(), 0i16..6).prop_map(|(cond, offset)| Insn::Jump { cond, offset }),
+    ]
+}
+
+/// Encodes a random instruction list at `BASE`, closed by a jump back to
+/// `BASE` so re-execution exercises cache hits.
+fn build_program(insns: &[Insn]) -> Vec<u16> {
+    let mut words = Vec::new();
+    let mut at = BASE;
+    for insn in insns {
+        if let Ok(w) = insn.encode(at) {
+            at = at.wrapping_add(2 * w.len() as u16);
+            words.extend(w);
+        }
+    }
+    if let Ok(j) = Insn::jump_to(Cond::Always, at, BASE) {
+        words.extend(j.encode(at).expect("loop jump encodes"));
+    }
+    words
+}
+
+proptest! {
+    /// The cached fast path and the forced decode-every-step slow path
+    /// produce identical step streams, faults, cycle totals, registers and
+    /// memory for random (often self-modifying) programs.
+    #[test]
+    fn cached_and_uncached_step_streams_match(
+        insns in proptest::collection::vec(any_insn(), 1..10),
+        seed_regs in proptest::array::uniform8(any::<u16>()),
+        sp in (0x0280u16..0x04F0).prop_map(|a| a * 2),
+        sr in 0u16..0x0200,
+    ) {
+        let words = build_program(&insns);
+        prop_assume!(!words.is_empty());
+
+        let mut ram_fast = Ram::new();
+        ram_fast.load_words(BASE, &words);
+        let mut ram_slow = ram_fast.clone();
+
+        let mut fast = Cpu::new();
+        let mut slow = Cpu::new();
+        slow.set_icache_enabled(false);
+        prop_assert!(fast.icache_enabled());
+        for cpu in [&mut fast, &mut slow] {
+            cpu.set_pc(BASE);
+            cpu.set_reg(Reg::SP, sp);
+            cpu.set_reg(Reg::SR, sr & (flags::C | flags::Z | flags::N | flags::V));
+            for (i, v) in seed_regs.iter().enumerate() {
+                cpu.set_reg(Reg::from_index(8 + i as u16), *v);
+            }
+        }
+
+        let mut fast_step = Step::default();
+        let mut slow_step = Step::default();
+        let (mut fast_cycles, mut slow_cycles) = (0u64, 0u64);
+        let mut stopped_early = false;
+        for n in 0..500 {
+            let rf = fast.step_into(&mut ram_fast, &mut fast_step);
+            let rs = slow.step_into(&mut ram_slow, &mut slow_step);
+            match (rf, rs) {
+                (Ok(()), Ok(())) => {
+                    prop_assert_eq!(&fast_step, &slow_step, "step {} diverged", n);
+                    fast_cycles += u64::from(fast_step.cycles);
+                    slow_cycles += u64::from(slow_step.cycles);
+                }
+                (Err(ef), Err(es)) => {
+                    prop_assert_eq!(ef, es, "faults diverged at step {}", n);
+                    stopped_early = true;
+                    break;
+                }
+                (rf, rs) => {
+                    return Err(TestCaseError::fail(format!(
+                        "only one path faulted at step {n}: fast={rf:?} slow={rs:?}"
+                    )));
+                }
+            }
+        }
+
+        prop_assert_eq!(fast_cycles, slow_cycles);
+        for r in Reg::ALL {
+            prop_assert_eq!(fast.reg(r), slow.reg(r), "{} diverged", r);
+        }
+        prop_assert_eq!(ram_fast.as_slice(), ram_slow.as_slice(), "memory diverged");
+        // A program that looped for all 500 steps re-executed its body and
+        // must have been served from the cache.
+        if !stopped_early {
+            prop_assert!(fast.icache_stats().hits > 0, "no cache hits in a looping program");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Proof that the steady-state emulation fast path performs **zero heap
+//! allocations** — the ISSUE 2 acceptance criterion for the `step_into`
+//! refactor — measured with a counting global allocator.
+//!
+//! The workspace otherwise denies `unsafe_code`; this test binary opts out
+//! locally because implementing [`GlobalAlloc`] is inherently unsafe. The
+//! implementation is a transparent pass-through to [`System`] that bumps
+//! atomic counters.
+
+#![allow(unsafe_code)]
+
+use msp430::cpu::{Cpu, Step};
+use msp430::mem::Ram;
+use msp430::regs::Reg;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed counter increment
+// with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr/layout/new_size are forwarded unchanged from a caller
+        // holding the same contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout are forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs without the libtest harness (see `Cargo.toml`): the measurement
+/// must be the only thing executing in the process, since harness threads
+/// allocate concurrently and would pollute the counters.
+fn main() {
+    steady_state_step_loop_is_allocation_free();
+    println!("zero_alloc: ok");
+}
+
+fn steady_state_step_loop_is_allocation_free() {
+    // A self-contained busy loop mixing ALU, memory traffic and a jump:
+    //   add r10, r10 ; mov r10, &0x0200 ; mov &0x0200, r11 ; jmp -6
+    let mut ram = Ram::new();
+    ram.load_words(0xE000, &[0x5A0A, 0x4A82, 0x0200, 0x4211, 0x0200, 0x3FFA]);
+
+    let mut cpu = Cpu::new();
+    cpu.set_pc(0xE000);
+    cpu.set_reg(Reg::R10, 1);
+    let mut step = Step::default();
+
+    // Warm-up: the first cached decode lazily allocates the icache table.
+    for _ in 0..64 {
+        cpu.step_into(&mut ram, &mut step).expect("warm-up step");
+    }
+
+    let before = allocations();
+    for _ in 0..100_000 {
+        cpu.step_into(&mut ram, &mut step).expect("steady-state step");
+    }
+    assert_eq!(allocations() - before, 0, "cached fast path must not allocate");
+
+    // The decode-every-step slow path must be allocation-free too: the
+    // icache only changes *when* decoding happens, not its cost model.
+    cpu.set_icache_enabled(false);
+    for _ in 0..64 {
+        cpu.step_into(&mut ram, &mut step).expect("slow-path warm-up");
+    }
+    let before = allocations();
+    for _ in 0..100_000 {
+        cpu.step_into(&mut ram, &mut step).expect("slow-path step");
+    }
+    assert_eq!(allocations() - before, 0, "uncached decode path must not allocate");
+
+    // Sanity: the harness actually counts (one boxed value = ≥1 count).
+    let before = allocations();
+    let boxed = std::hint::black_box(Box::new(0xABu8));
+    assert!(allocations() > before, "counting allocator must observe allocations");
+    drop(boxed);
+}

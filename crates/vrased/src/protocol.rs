@@ -76,6 +76,25 @@ impl RaVerifier {
         let want = self.swatt.attest_with_extra(expected, challenge, regions, extra);
         constant_time::eq(&want, response)
     }
+
+    /// Checks a response against expected region contents given directly
+    /// as `(start, end, bytes)` slices — no 64 KiB expected-memory image is
+    /// materialised, keeping the per-proof verifier path allocation-light.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length does not match its `start..=end` span.
+    #[must_use]
+    pub fn check_region_bytes(
+        &self,
+        challenge: &Challenge,
+        regions: &[(u16, u16, &[u8])],
+        extra: &[u8],
+        response: &Digest,
+    ) -> bool {
+        let want = self.swatt.attest_region_bytes(challenge, regions, extra);
+        constant_time::eq(&want, response)
+    }
 }
 
 #[cfg(test)]

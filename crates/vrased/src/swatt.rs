@@ -2,7 +2,7 @@
 
 use crate::keystore::KeyStore;
 use crate::protocol::Challenge;
-use hacl::{Digest, HmacSha256};
+use hacl::{Digest, HmacKey};
 use msp430::platform::Platform;
 
 /// The device-side attestation routine.
@@ -11,16 +11,21 @@ use msp430::platform::Platform;
 /// MACs it under the protected key together with the verifier's challenge.
 /// Executed atomically (the simulated CPU is not running while it executes,
 /// exactly as VRASED's hardware guarantees non-interruptible execution).
+///
+/// The HMAC pads are derived from the key once at construction
+/// ([`HmacKey`]); each attestation starts from a flat copy of the keyed
+/// state, so high-rate verifiers (batch workers checking thousands of
+/// proofs under one device key) skip the per-MAC key schedule.
 #[derive(Clone, Debug)]
 pub struct SwAtt {
-    keystore: KeyStore,
+    key: HmacKey,
 }
 
 impl SwAtt {
     /// Binds the service to the device key.
     #[must_use]
     pub fn new(keystore: KeyStore) -> Self {
-        Self { keystore }
+        Self { key: HmacKey::new(keystore.key_material()) }
     }
 
     /// Attests `regions` (inclusive `(start, end)` address pairs) of the
@@ -47,12 +52,45 @@ impl SwAtt {
         regions: &[(u16, u16)],
         extra: &[u8],
     ) -> Digest {
-        let mut mac = HmacSha256::new(self.keystore.key_material());
+        let mut mac = self.key.begin();
         mac.update(challenge.as_bytes());
         for (start, end) in regions {
             mac.update(&start.to_le_bytes());
             mac.update(&end.to_le_bytes());
             mac.update(platform.mem_range(*start, *end));
+        }
+        mac.update(extra);
+        mac.finalize()
+    }
+
+    /// Attests regions given directly as `(start, end, bytes)` slices.
+    ///
+    /// Produces exactly the tag [`SwAtt::attest_with_extra`] would for a
+    /// platform holding `bytes` at `start..=end` — but without building a
+    /// 64 KiB memory image first. Verifiers checking many proofs use this
+    /// to reconstruct expected tags allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length does not match its `start..=end` span.
+    #[must_use]
+    pub fn attest_region_bytes(
+        &self,
+        challenge: &Challenge,
+        regions: &[(u16, u16, &[u8])],
+        extra: &[u8],
+    ) -> Digest {
+        let mut mac = self.key.begin();
+        mac.update(challenge.as_bytes());
+        for (start, end, bytes) in regions {
+            assert_eq!(
+                bytes.len(),
+                usize::from(*end - *start) + 1,
+                "region bytes must span start..=end"
+            );
+            mac.update(&start.to_le_bytes());
+            mac.update(&end.to_le_bytes());
+            mac.update(bytes);
         }
         mac.update(extra);
         mac.finalize()

@@ -6,6 +6,10 @@
 //! wall-clock measurement: a short warm-up, then timed batches until a
 //! fixed measurement budget elapses, reporting the mean time per iteration
 //! (and derived throughput when declared).
+//!
+//! Passing `--test` (i.e. `cargo bench -- --test`, mirroring real
+//! criterion) switches every bench to a single unmeasured iteration — the
+//! CI smoke mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,11 +32,25 @@ pub enum Throughput {
 #[derive(Debug, Default)]
 pub struct Bencher {
     mean_ns: f64,
+    smoke: bool,
+}
+
+/// True when the bench binary was invoked as `cargo bench -- --test`:
+/// every routine runs exactly once, unmeasured — the CI smoke mode that
+/// fails the pipeline on bench bit-rot without paying measurement time.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 impl Bencher {
     /// Times `routine`, recording the mean wall-clock cost per call.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            // Single-iteration smoke run: exercise the routine, skip timing.
+            std::hint::black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
         // Warm-up: also establishes a per-iteration cost estimate.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -69,6 +87,10 @@ fn format_ns(ns: f64) -> String {
 }
 
 fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    if mean_ns == 0.0 {
+        println!("{name:<40} smoke: ok (ran once, unmeasured)");
+        return;
+    }
     let mut line = format!("{name:<40} time: [{}]", format_ns(mean_ns));
     match throughput {
         Some(Throughput::Elements(n)) => {
@@ -93,7 +115,7 @@ pub struct Criterion {
 impl Criterion {
     /// Runs and reports a single benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::default();
+        let mut b = Bencher { smoke: smoke_mode(), ..Bencher::default() };
         f(&mut b);
         report(name, b.mean_ns, None);
         self
@@ -123,7 +145,7 @@ impl BenchmarkGroup<'_> {
 
     /// Runs and reports one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::default();
+        let mut b = Bencher { smoke: smoke_mode(), ..Bencher::default() };
         f(&mut b);
         report(&format!("{}/{name}", self.name), b.mean_ns, self.throughput);
         self
