@@ -35,7 +35,7 @@
 //! use apex::{metadata::PoxConfig, monitor::ApexMonitor};
 //! use msp430::{cpu::Cpu, platform::Platform, mem::Bus, regs::Reg};
 //!
-//! let cfg = PoxConfig::new(0xE000, 0xE003, 0xE002, 0x0600, 0x06FE)?;
+//! let cfg = PoxConfig::new(0xE000, 0xE003, 0xE002, 0x0600, 0x06FF)?;
 //! let mut platform = Platform::new();
 //! platform.load_words(0xE000, &[0x4303, 0x4130]); // nop ; ret
 //! let mut cpu = Cpu::new();

@@ -57,6 +57,14 @@ impl PoxConfig {
         if er_min & 1 != 0 || or_min & 1 != 0 {
             return Err(ConfigError("region start must be even"));
         }
+        // OR is a downward-growing stack of 16-bit log slots; an even
+        // (word-aligned) `or_max` would leave a dangling half-slot whose
+        // second byte lies past the region — the verifier's `OrStack`
+        // would then read one byte beyond any snapshot that exactly covers
+        // the region. OR must be a whole number of word slots.
+        if or_max & 1 == 0 {
+            return Err(ConfigError("OR end must be odd (whole word slots)"));
+        }
         if er_exit < er_min || er_exit > er_max {
             return Err(ConfigError("exit address outside ER"));
         }
@@ -107,26 +115,35 @@ mod tests {
 
     #[test]
     fn valid_config() {
-        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FE).unwrap();
+        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FF).unwrap();
         assert!(c.in_er(0xE000) && c.in_er(0xE0FF) && !c.in_er(0xE100));
-        assert!(c.in_or(0x0600) && c.in_or(0x06FE) && !c.in_or(0x0700));
-        assert_eq!(c.or_len(), 0xFF);
+        assert!(c.in_or(0x0600) && c.in_or(0x06FF) && !c.in_or(0x0700));
+        assert_eq!(c.or_len(), 0x100);
     }
 
     #[test]
     fn rejects_bad_configs() {
-        assert!(PoxConfig::new(0xE100, 0xE000, 0xE000, 0x600, 0x6FE).is_err(), "ER empty");
-        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x6FE, 0x600).is_err(), "OR empty");
-        assert!(PoxConfig::new(0xE001, 0xE0FF, 0xE0FE, 0x600, 0x6FE).is_err(), "odd ER");
-        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xF000, 0x600, 0x6FE).is_err(), "exit outside");
-        assert!(PoxConfig::new(0x0500, 0x07FF, 0x0700, 0x600, 0x6FE).is_err(), "overlap");
+        assert!(PoxConfig::new(0xE100, 0xE000, 0xE000, 0x600, 0x6FF).is_err(), "ER empty");
+        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x6FF, 0x600).is_err(), "OR empty");
+        assert!(PoxConfig::new(0xE001, 0xE0FF, 0xE0FE, 0x600, 0x6FF).is_err(), "odd ER");
+        assert!(PoxConfig::new(0xE000, 0xE0FF, 0xF000, 0x600, 0x6FF).is_err(), "exit outside");
+        assert!(PoxConfig::new(0x0500, 0x07FF, 0x0700, 0x600, 0x6FF).is_err(), "overlap");
+    }
+
+    #[test]
+    fn rejects_even_or_max() {
+        // Regression: an even `or_max` passed validation but truncated the
+        // top log slot to a single byte, which the verifier's `OrStack`
+        // read one past the end of an exact-length OR snapshot.
+        let err = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FE).unwrap_err();
+        assert!(err.to_string().contains("OR end must be odd"), "{err}");
     }
 
     #[test]
     fn metadata_bytes_round_trip_fields() {
-        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FE).unwrap();
+        let c = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FF).unwrap();
         let b = c.to_metadata_bytes();
         assert_eq!(u16::from_le_bytes([b[0], b[1]]), 0xE000);
-        assert_eq!(u16::from_le_bytes([b[8], b[9]]), 0x06FE);
+        assert_eq!(u16::from_le_bytes([b[8], b[9]]), 0x06FF);
     }
 }

@@ -194,7 +194,7 @@ mod tests {
 
     const ER_MIN: u16 = 0xE000;
     const OR_MIN: u16 = 0x0600;
-    const OR_MAX: u16 = 0x06FE;
+    const OR_MAX: u16 = 0x06FF;
 
     /// Assembles an operation whose last instruction is `ret`, places a
     /// caller at 0xF000 and runs it under the monitor.

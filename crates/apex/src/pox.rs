@@ -11,7 +11,7 @@ use msp430::trace::Trace;
 use vrased::{Challenge, KeyStore, RaVerifier, SwAtt};
 
 /// A proof of execution as shipped to the verifier.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PoxProof {
     /// Region metadata the proof speaks about.
     pub cfg: PoxConfig,
@@ -155,6 +155,23 @@ impl PoxVerifier {
         proof: &'p PoxProof,
         challenge: &Challenge,
     ) -> Result<&'p [u8], &'static str> {
+        self.verify_keyed(proof, challenge, &self.ra)
+    }
+
+    /// [`PoxVerifier::verify`] checking the tag under `ra` instead of the
+    /// key bound at construction — fleet deployments provision one key per
+    /// device, so a shared per-operation verifier checks each proof under
+    /// that device's key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on failure.
+    pub fn verify_keyed<'p>(
+        &self,
+        proof: &'p PoxProof,
+        challenge: &Challenge,
+        ra: &RaVerifier,
+    ) -> Result<&'p [u8], &'static str> {
         if proof.cfg != self.cfg {
             return Err("region metadata mismatch");
         }
@@ -173,7 +190,7 @@ impl PoxVerifier {
         let mut extra = [0u8; 11];
         extra[..10].copy_from_slice(&self.cfg.to_metadata_bytes());
         extra[10] = 1;
-        let ok = self.ra.check_region_bytes(
+        let ok = ra.check_region_bytes(
             challenge,
             &[
                 (self.cfg.er_min, self.cfg.er_max, self.expected_er.as_slice()),
@@ -200,7 +217,7 @@ mod tests {
         let img = assemble(src_op).unwrap();
         let (er_min, er_max) = img.extent().unwrap();
         let cfg =
-            PoxConfig::new(er_min, er_max, img.symbol("op_end").unwrap(), 0x0600, 0x06FE).unwrap();
+            PoxConfig::new(er_min, er_max, img.symbol("op_end").unwrap(), 0x0600, 0x06FF).unwrap();
         let mut platform = Platform::new();
         img.load_into_platform(&mut platform);
         let caller = assemble(".org 0xF000\n call #0xE000\nhalt: jmp halt\n").unwrap();
@@ -298,6 +315,20 @@ mod tests {
             Err("EXEC flag clear: no valid proof of execution")
         );
         assert!(matches!(prover.violation(), Some(Violation::DmaDuringExec { .. })));
+    }
+
+    #[test]
+    fn keyed_verification_uses_the_supplied_key() {
+        let (mut prover, verifier, halt) = build(OP);
+        prover.run_to(halt, 1000);
+        let chal = Challenge::derive(b"pox", 8);
+        let proof = prover.prove(&chal);
+        // The construction key works through the keyed entry point too...
+        let right = RaVerifier::new(KeyStore::from_seed(42));
+        assert!(verifier.verify_keyed(&proof, &chal, &right).is_ok());
+        // ...and a different device's key does not.
+        let wrong = RaVerifier::new(KeyStore::from_seed(43));
+        assert!(verifier.verify_keyed(&proof, &chal, &wrong).is_err());
     }
 
     #[test]

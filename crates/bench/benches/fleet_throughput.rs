@@ -1,0 +1,84 @@
+//! Fleet-service throughput: devices/second for one complete attestation
+//! round — challenge issuance, device-side proof, wire encode/decode,
+//! session admission, sharded batch drain — over the three paper
+//! applications × all three instrumentation modes.
+//!
+//! `Full` rounds pay the DIALED price (MAC + abstract execution + OR
+//! recomputation per device); `Original`/`CfaOnly` rounds are verified at
+//! the PoX level (MAC only), so the mode axis shows what the DFA guarantee
+//! costs per device at the service level — the fleet-scale analogue of the
+//! paper's Fig. 6 device-side overhead axis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dialed::attest::DialedDevice;
+use dialed::pipeline::InstrumentMode;
+use fleet::wire::{self, Message, ProofMsg};
+use fleet::{DeviceId, Fleet, FleetConfig};
+
+/// Devices per simulated fleet round.
+const FLEET_SIZE: usize = 16;
+
+struct Prepared {
+    label: String,
+    fleet: Fleet,
+    devices: Vec<(DeviceId, DialedDevice)>,
+    now: u64,
+}
+
+/// One end-to-end attestation round for every device; returns how many
+/// sessions ended `Verified`.
+fn round(p: &mut Prepared) -> usize {
+    for (id, dev) in &mut p.devices {
+        let chal = p.fleet.issue(*id, p.now).expect("registered device");
+        let frame = wire::encode(&Message::Proof(ProofMsg {
+            session: chal.session,
+            device: id.0,
+            proof: dev.prove(&chal.challenge),
+        }));
+        p.fleet.submit_wire(&frame, p.now).expect("fresh proof is accepted");
+    }
+    let (stats, _) = p.fleet.drain(p.now);
+    p.now += 4;
+    stats.verified
+}
+
+fn prepare(scenario: &apps::Scenario, mode: InstrumentMode) -> Prepared {
+    let op = scenario.build(mode);
+    let mut fleet = Fleet::new(FleetConfig::default());
+    let op_id = fleet.register_op(scenario.name, op.clone(), (scenario.policies)());
+    let mut devices = Vec::with_capacity(FLEET_SIZE);
+    for i in 0..FLEET_SIZE {
+        let id = fleet.register_device(op_id, 0xBEE5 + i as u64).expect("op registered");
+        let mut dev = DialedDevice::new(op.clone(), fleet.device_keystore(id).expect("device"));
+        (scenario.feed)(dev.platform_mut());
+        let info = dev.invoke(&scenario.args);
+        assert_eq!(info.stop, apex::pox::StopReason::ReachedStop, "{}", scenario.name);
+        devices.push((id, dev));
+    }
+    let mut p = Prepared { label: format!("{}/{mode:?}", scenario.name), fleet, devices, now: 0 };
+    // Smoke: every device of every mode must end Verified before we
+    // measure anything.
+    assert_eq!(round(&mut p), FLEET_SIZE, "{}", p.label);
+    p
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    for scenario in apps::scenarios() {
+        for mode in [InstrumentMode::Original, InstrumentMode::CfaOnly, InstrumentMode::Full] {
+            let mut p = prepare(&scenario, mode);
+            let group_name = format!("fleet/{}", p.label);
+            let mut group = c.benchmark_group(&group_name);
+            group.throughput(Throughput::Elements(FLEET_SIZE as u64));
+            group.bench_function("round", |b| {
+                b.iter(|| {
+                    let verified = round(&mut p);
+                    assert_eq!(verified, FLEET_SIZE);
+                });
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -14,7 +14,7 @@ pub const DEFAULT_STEP_BUDGET: usize = 2_000_000;
 
 /// A DIALED attestation response: the APEX proof whose OR carries CF-Log
 /// and I-Log.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DialedProof {
     /// The underlying proof of execution.
     pub pox: PoxProof,

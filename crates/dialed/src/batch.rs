@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use vrased::Challenge;
+use vrased::{Challenge, KeyStore, RaVerifier};
 
 /// One unit of batch work: a proof and the challenge it must answer.
 #[derive(Clone, Debug)]
@@ -36,13 +36,28 @@ pub struct BatchJob {
     pub proof: DialedProof,
     /// The challenge the verifier issued to this device.
     pub challenge: Challenge,
+    /// Per-device verification key. `None` uses the key the wrapped
+    /// [`DialedVerifier`] was built with (single-key deployments); fleet
+    /// frontends provision one key per device and set it here.
+    pub keystore: Option<KeyStore>,
 }
 
 impl BatchJob {
-    /// A job for `device_id`.
+    /// A job for `device_id` verified under the batch verifier's own key.
     #[must_use]
     pub fn new(device_id: u64, proof: DialedProof, challenge: Challenge) -> Self {
-        Self { device_id, proof, challenge }
+        Self { device_id, proof, challenge, keystore: None }
+    }
+
+    /// A job verified under `keystore` — this device's individual key.
+    #[must_use]
+    pub fn with_key(
+        device_id: u64,
+        proof: DialedProof,
+        challenge: Challenge,
+        keystore: KeyStore,
+    ) -> Self {
+        Self { device_id, proof, challenge, keystore: Some(keystore) }
     }
 }
 
@@ -108,10 +123,14 @@ impl BatchVerifier {
                         let mut done: Vec<(usize, Report)> = Vec::new();
                         while let Some(idx) = next_job(queues, me, steals) {
                             let job = &jobs[idx];
-                            done.push((
-                                idx,
-                                verifier.verify_with(&mut ws, &job.proof, &job.challenge),
-                            ));
+                            let report = match &job.keystore {
+                                Some(ks) => {
+                                    let ra = RaVerifier::new(ks.clone());
+                                    verifier.verify_keyed(&mut ws, &job.proof, &job.challenge, &ra)
+                                }
+                                None => verifier.verify_with(&mut ws, &job.proof, &job.challenge),
+                            };
+                            done.push((idx, report));
                         }
                         done
                     })
@@ -289,6 +308,35 @@ mod tests {
             DialedVerifier::new(op, ks).with_policy(Box::new(GlobalWriteBounds::new(vec![])));
         let report = BatchVerifier::new(verifier).with_workers(3).verify_batch(&jobs);
         assert_eq!(report.stats.attacks, 9, "{report}");
+    }
+
+    #[test]
+    fn per_device_keys_verify_under_their_own_keys() {
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        // Each device holds its own key; the batch verifier is built with
+        // an unrelated key that keyed jobs must never fall back to.
+        let jobs: Vec<BatchJob> = (0u64..6)
+            .map(|i| {
+                let ks = KeyStore::from_seed(1000 + i);
+                let mut dev = DialedDevice::new(op.clone(), ks.clone());
+                let mut args = [0u16; 8];
+                args[7] = i as u16;
+                let info = dev.invoke(&args);
+                assert_eq!(info.stop, apex::pox::StopReason::ReachedStop);
+                let chal = Challenge::derive(b"keyed", i);
+                BatchJob::with_key(i, dev.prove(&chal), chal, ks)
+            })
+            .collect();
+        let batch =
+            BatchVerifier::new(DialedVerifier::new(op, KeyStore::from_seed(9999))).with_workers(3);
+        let report = batch.verify_batch(&jobs);
+        assert!(report.all_clean(), "{report}");
+        // Dropping a job's key makes it verify under the batch verifier's
+        // (wrong) key and fail the MAC.
+        let mut unkeyed = jobs[0].clone();
+        unkeyed.keystore = None;
+        let r = batch.verify_batch(std::slice::from_ref(&unkeyed));
+        assert_eq!(r.stats.rejected, 1, "{r}");
     }
 
     #[test]

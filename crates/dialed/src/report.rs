@@ -50,6 +50,15 @@ pub enum Finding {
         /// Declared maximum.
         max: u64,
     },
+    /// The OR region is too small to hold the 9-word log head (SP base +
+    /// eight argument registers), so the proof carries no trustworthy
+    /// initial state to re-execute from.
+    OrHeadTruncated {
+        /// Word slots the region actually holds.
+        capacity: usize,
+        /// Word slots the log head requires.
+        required: usize,
+    },
     /// Abstract execution did not terminate within its budget (the device
     /// log drives the program into an abort or livelock).
     EmulationStuck,
@@ -80,6 +89,10 @@ impl fmt::Display for Finding {
             Finding::ActuationViolation { port, cycles, max } => write!(
                 f,
                 "actuation violation: port {port:#06x} pulsed {cycles} cycles (max {max})"
+            ),
+            Finding::OrHeadTruncated { capacity, required } => write!(
+                f,
+                "OR region holds {capacity} word slots but the log head needs {required}"
             ),
             Finding::EmulationStuck => write!(f, "abstract execution did not terminate"),
             Finding::PolicyViolation { policy, detail } => {

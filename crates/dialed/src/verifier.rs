@@ -21,7 +21,7 @@
 use crate::attest::DialedProof;
 use crate::pipeline::InstrumentedOp;
 use crate::policy::Policy;
-use crate::report::{Finding, Report, VerifyStats};
+use crate::report::{Finding, Report, Verdict, VerifyStats};
 use apex::{PoxConfig, PoxVerifier};
 use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::isa::{Insn, Op1, Op2, Operand};
@@ -69,6 +69,11 @@ pub struct Emulation {
 
 /// Default abstract-execution step budget.
 pub const DEFAULT_EMU_BUDGET: usize = 4_000_000;
+
+/// Word slots of the log head: the saved SP base plus the eight argument
+/// registers (feature F3). Abstract execution reads exactly these entries
+/// to seed its initial state.
+pub const LOG_HEAD_WORDS: usize = 9;
 
 /// O(1) membership bitmaps over the instrumentation log sites.
 ///
@@ -402,13 +407,54 @@ impl DialedVerifier {
         proof: &DialedProof,
         challenge: &Challenge,
     ) -> Report {
+        self.verify_inner(ws, proof, challenge, None)
+    }
+
+    /// [`DialedVerifier::verify_with`] checking the MAC under `ra` — a
+    /// per-device verification key — instead of the keystore bound at
+    /// construction. One shared verifier (op image, site bitmaps, policies)
+    /// thus serves a whole fleet of individually keyed devices.
+    #[must_use]
+    pub fn verify_keyed(
+        &self,
+        ws: &mut EmuWorkspace,
+        proof: &DialedProof,
+        challenge: &Challenge,
+        ra: &vrased::RaVerifier,
+    ) -> Report {
+        self.verify_inner(ws, proof, challenge, Some(ra))
+    }
+
+    fn verify_inner(
+        &self,
+        ws: &mut EmuWorkspace,
+        proof: &DialedProof,
+        challenge: &Challenge,
+        ra: Option<&vrased::RaVerifier>,
+    ) -> Report {
         // 1. Cryptographic proof of execution (code + OR + EXEC).
-        let or = match self.pox_verifier.verify(&proof.pox, challenge) {
+        let checked = match ra {
+            Some(ra) => self.pox_verifier.verify_keyed(&proof.pox, challenge, ra),
+            None => self.pox_verifier.verify(&proof.pox, challenge),
+        };
+        let or = match checked {
             Ok(or) => or,
             Err(reason) => return Report::rejected(reason),
         };
         if self.op.sites.args.len() != 9 {
             return Report::rejected("operation was not built with full DIALED instrumentation");
+        }
+        // The OR must hold the full log head; a smaller region would make
+        // abstract execution seed `sp_base` and the argument registers from
+        // zero-filled slots — verifying the proof against fabricated state
+        // instead of rejecting it.
+        let capacity = (usize::from(self.op.r_top() - self.op.pox.or_min) + 2) / 2;
+        if capacity < LOG_HEAD_WORDS {
+            return Report {
+                verdict: Verdict::Rejected,
+                findings: vec![Finding::OrHeadTruncated { capacity, required: LOG_HEAD_WORDS }],
+                stats: VerifyStats::default(),
+            };
         }
 
         // 2. Abstract execution with input injection. Findings stay on the
@@ -563,6 +609,39 @@ mod tests {
             .iter()
             .any(|s| s.writes().any(|w| w.addr == 0x0300 && w.value == 0xA7));
         assert!(wrote, "verifier must reconstruct the device's data flow");
+    }
+
+    #[test]
+    fn tiny_or_proof_is_rejected_not_verified_against_fabricated_head() {
+        // Regression: an OR with fewer than 9 word slots cannot hold the
+        // log head; the verifier used to zero-fill `sp_base` and the args
+        // and emulate anyway. Forge an *authentic-looking* proof (correct
+        // key, EXEC claimed) over the tiny region and check it is rejected
+        // before emulation.
+        let src = ".org 0xE000\nop:\n mov r15, &0x0060\n ret\n";
+        let opts = BuildOptions { or_min: 0x0600, or_max: 0x060F, ..BuildOptions::default() }; // 8 slots
+        let op = InstrumentedOp::build(src, "op", &opts).unwrap();
+        let ks = KeyStore::from_seed(55);
+        let chal = Challenge::derive(b"tiny", 0);
+        let or_data = vec![0u8; op.pox.or_len()];
+        let mut extra = [0u8; 11];
+        extra[..10].copy_from_slice(&op.pox.to_metadata_bytes());
+        extra[10] = 1;
+        let tag = vrased::SwAtt::new(ks.clone()).attest_region_bytes(
+            &chal,
+            &[
+                (op.pox.er_min, op.pox.er_max, op.er_bytes.as_slice()),
+                (op.pox.or_min, op.pox.or_max, or_data.as_slice()),
+            ],
+            &extra,
+        );
+        let proof = DialedProof { pox: apex::PoxProof { cfg: op.pox, exec: true, or_data, tag } };
+        let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+        assert_eq!(report.verdict, Verdict::Rejected);
+        assert!(
+            matches!(report.findings[0], Finding::OrHeadTruncated { capacity: 8, required: 9 }),
+            "{report}"
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Sharded ingest: accepted submissions queue per operation and drain
+//! through that operation's [`BatchVerifier`](dialed::BatchVerifier).
+//!
+//! Proofs of one operation share everything that makes verification fast —
+//! the instrumented image, the prebuilt site bitmaps, the warm per-worker
+//! emulation workspaces — so the queue shards by [`OpId`]. A drain walks
+//! each shard once, hands the whole shard to the op's batch verifier (each
+//! job carrying its device's individual key), and feeds the verdicts back
+//! into the sessions and the registry.
+
+use crate::registry::{DeviceId, OpId, Registry};
+use crate::session::{SessionId, SessionManager, SessionState};
+use dialed::pipeline::InstrumentMode;
+use dialed::report::Report;
+use dialed::BatchJob;
+use std::collections::BTreeMap;
+use std::fmt;
+use vrased::RaVerifier;
+
+/// Aggregate result of one [`IngestQueue::drain`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DrainStats {
+    /// Sessions resolved by this drain.
+    pub drained: usize,
+    /// Operation shards that had pending work.
+    pub shards: usize,
+    /// Sessions that ended `Verified`.
+    pub verified: usize,
+    /// Sessions that ended `Rejected`.
+    pub rejected: usize,
+}
+
+impl fmt::Display for DrainStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drained {} sessions over {} shards: {} verified / {} rejected",
+            self.drained, self.shards, self.verified, self.rejected
+        )
+    }
+}
+
+/// The pending-submission queue, sharded by operation.
+#[derive(Debug, Default)]
+pub struct IngestQueue {
+    shards: BTreeMap<OpId, Vec<SessionId>>,
+}
+
+impl IngestQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a submitted session for its operation's shard.
+    pub fn enqueue(&mut self, op: OpId, session: SessionId) {
+        self.shards.entry(op).or_default().push(session);
+    }
+
+    /// Total pending sessions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shards.values().map(Vec::len).sum()
+    }
+
+    /// Pending sessions for one operation.
+    #[must_use]
+    pub fn pending_for(&self, op: OpId) -> usize {
+        self.shards.get(&op).map_or(0, Vec::len)
+    }
+
+    /// Drains every shard through its operation's verifier, resolving each
+    /// queued session to `Verified` or `Rejected` and feeding the verdicts
+    /// back into the registry's per-device records.
+    pub fn drain(&mut self, registry: &mut Registry, sessions: &mut SessionManager) -> DrainStats {
+        let shards = std::mem::take(&mut self.shards);
+        let mut stats = DrainStats::default();
+        for (op, sids) in shards {
+            let (resolved, verified) = drain_shard(op, &sids, registry, sessions);
+            if resolved > 0 {
+                stats.shards += 1;
+            }
+            stats.drained += resolved;
+            stats.verified += verified;
+            stats.rejected += resolved - verified;
+        }
+        stats
+    }
+}
+
+/// Session bookkeeping for one queued job, parallel to the jobs vector —
+/// kept apart so the proofs are not cloned a second time just to hand
+/// `verify_batch` a contiguous `&[BatchJob]`.
+struct PendingMeta {
+    session: SessionId,
+    device: DeviceId,
+    nonce: u64,
+}
+
+/// Drains one operation shard; returns `(resolved, verified)`.
+fn drain_shard(
+    op: OpId,
+    sids: &[SessionId],
+    registry: &mut Registry,
+    sessions: &mut SessionManager,
+) -> (usize, usize) {
+    // Collect the shard's jobs: each consumes its session's held proof and
+    // carries its device's individual key.
+    let mut jobs: Vec<BatchJob> = Vec::with_capacity(sids.len());
+    let mut meta: Vec<PendingMeta> = Vec::with_capacity(sids.len());
+    for &sid in sids {
+        let Some(s) = sessions.session_mut(sid) else { continue };
+        if s.state != SessionState::Submitted {
+            continue;
+        }
+        let Some(proof) = s.proof.take() else { continue };
+        let (device, nonce, challenge) = (s.device, s.nonce, s.challenge);
+        let Ok(dev) = registry.device(device) else { continue };
+        jobs.push(BatchJob::with_key(device.0, proof, challenge, dev.keystore().clone()));
+        meta.push(PendingMeta { session: sid, device, nonce });
+    }
+    if jobs.is_empty() {
+        return (0, 0);
+    }
+
+    let Ok(record) = registry.op(op) else { return (0, 0) };
+    let reports: Vec<Report> = if record.mode == InstrumentMode::Full {
+        let batch = record.batch.verify_batch(&jobs);
+        batch.outcomes.into_iter().map(|o| o.report).collect()
+    } else {
+        // Non-Full images carry no I-Log to re-execute; verify at the PoX
+        // level (correct code, regions, EXEC, authentic OR) under each
+        // device's key.
+        jobs.iter()
+            .map(|job| {
+                let ra =
+                    RaVerifier::new(job.keystore.clone().expect("fleet jobs always carry a key"));
+                match record.pox.verify_keyed(&job.proof.pox, &job.challenge, &ra) {
+                    Ok(_) => Report::clean(dialed::report::VerifyStats::default()),
+                    Err(reason) => Report::rejected(reason),
+                }
+            })
+            .collect()
+    };
+
+    let mut verified = 0;
+    let resolved = meta.len();
+    for (m, report) in meta.into_iter().zip(reports) {
+        let clean = report.is_clean();
+        if clean {
+            verified += 1;
+        }
+        registry.record_verdict(m.device, m.nonce, clean);
+        if let Some(s) = sessions.session_mut(m.session) {
+            s.state = if clean { SessionState::Verified } else { SessionState::Rejected };
+            s.report = Some(report);
+        }
+    }
+    (resolved, verified)
+}

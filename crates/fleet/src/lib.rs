@@ -1,0 +1,381 @@
+//! The fleet attestation service — the server frontend of a DIALED
+//! deployment.
+//!
+//! The lower crates prove and verify a *single* proof; this crate runs the
+//! protocol at fleet scale:
+//!
+//! ```text
+//!            ┌────────────┐   issue    ┌────────────┐
+//!  operator ─► [`registry`] ──────────► [`session`]  ─► Challenge ──► device
+//!            │ devices,    │            │ nonces,    │    (wire)
+//!            │ ops, keys   │            │ deadlines, │
+//!            └─────▲───────┘            │ anti-replay│ ◄── Proof ───── device
+//!                  │ verdicts           └─────┬──────┘    (wire)
+//!            ┌─────┴───────┐    shard by op   │ accepted submissions
+//!            │ [`ingest`]  │ ◄────────────────┘
+//!            │ BatchVerifier drain
+//!            └─────────────┘
+//! ```
+//!
+//! * [`registry`] — who exists: operations (instrumented images + shared
+//!   batch verifiers) and devices (individual keys, bound operation,
+//!   last-verified counters).
+//! * [`session`] — challenge lifecycle: monotonic per-device nonces, the
+//!   `Issued → Submitted → Verified/Rejected/Expired` state machine,
+//!   deadline expiry, duplicate- and replay-rejection *before* any
+//!   cryptographic work.
+//! * [`wire`] — the versioned, length-prefixed binary codec for every
+//!   protocol message; all decode paths are total.
+//! * [`ingest`] — the sharded submission queue draining each operation's
+//!   pending proofs through one [`dialed::BatchVerifier`] across cores.
+//!
+//! [`Fleet`] glues the four together behind one handle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod registry;
+pub mod session;
+pub mod wire;
+
+pub use ingest::{DrainStats, IngestQueue};
+pub use registry::{DeviceId, DeviceRecord, OpId, OpRecord, Registry, RegistryError};
+pub use session::{Session, SessionError, SessionId, SessionManager, SessionState};
+pub use wire::{BatchSummary, ChallengeMsg, Message, ProofMsg, ReportMsg, WireError};
+
+use dialed::attest::DialedProof;
+use dialed::pipeline::InstrumentedOp;
+use dialed::policy::Policy;
+use vrased::KeyStore;
+
+/// Tunables for a [`Fleet`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Label challenges are derived under (separates deployments).
+    pub label: Vec<u8>,
+    /// Session lifetime in logical ticks.
+    pub challenge_ttl: u64,
+    /// Per-device anti-replay window depth (accepted proof tags).
+    pub replay_window: usize,
+    /// Worker threads per operation's batch verifier
+    /// (`None` = one per core).
+    pub workers: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            label: b"dialed-fleet".to_vec(),
+            challenge_ttl: 64,
+            replay_window: 32,
+            workers: None,
+        }
+    }
+}
+
+/// The attestation service: registry + sessions + sharded ingest.
+#[derive(Debug)]
+pub struct Fleet {
+    registry: Registry,
+    sessions: SessionManager,
+    ingest: IngestQueue,
+    workers: Option<usize>,
+}
+
+impl Fleet {
+    /// A fleet with the given tunables.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        Self {
+            registry: Registry::new(),
+            sessions: SessionManager::new(
+                &config.label,
+                config.challenge_ttl,
+                config.replay_window,
+            ),
+            ingest: IngestQueue::new(),
+            workers: config.workers,
+        }
+    }
+
+    /// Registers an operation (see [`Registry::register_op`]).
+    pub fn register_op(
+        &mut self,
+        name: &str,
+        op: InstrumentedOp,
+        policies: Vec<Box<dyn Policy>>,
+    ) -> OpId {
+        self.registry.register_op(name, op, policies, self.workers)
+    }
+
+    /// Registers a device bound to `op` with its provisioning key seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `op` is unknown.
+    pub fn register_device(&mut self, op: OpId, key_seed: u64) -> Result<DeviceId, RegistryError> {
+        self.registry.register_device(op, key_seed)
+    }
+
+    /// The attestation key a registered device was provisioned with (the
+    /// device side of a simulation installs the same key).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown.
+    pub fn device_keystore(&self, device: DeviceId) -> Result<KeyStore, RegistryError> {
+        Ok(self.registry.device(device)?.keystore().clone())
+    }
+
+    /// Issues a challenge to `device` at logical time `now`, returning the
+    /// wire-ready challenge message.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown.
+    pub fn issue(&mut self, device: DeviceId, now: u64) -> Result<ChallengeMsg, RegistryError> {
+        let op = self.registry.device(device)?.op;
+        let s = self.sessions.issue(device, op, now);
+        Ok(ChallengeMsg {
+            session: s.id.0,
+            device: device.0,
+            nonce: s.nonce,
+            deadline: s.deadline,
+            challenge: s.challenge,
+        })
+    }
+
+    /// Accepts a device's proof for a session. On success the submission
+    /// is queued in the operation's ingest shard; on error nothing reaches
+    /// the verifier (duplicates and replays die here).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn submit(
+        &mut self,
+        session: SessionId,
+        device: DeviceId,
+        proof: DialedProof,
+        now: u64,
+    ) -> Result<(), SessionError> {
+        self.sessions.submit(session, device, proof, now)?;
+        let op = self.sessions.session(session).expect("submit validated the id").op;
+        self.ingest.enqueue(op, session);
+        Ok(())
+    }
+
+    /// [`Fleet::submit`] from an encoded [`ProofMsg`] frame, as received
+    /// off the network.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(session_error))` for session-layer rejection,
+    /// `Err(Err(wire_error))` for undecodable bytes (including non-proof
+    /// messages).
+    pub fn submit_wire(&mut self, bytes: &[u8], now: u64) -> SubmitWireResult {
+        let msg = match wire::decode(bytes) {
+            Ok(Message::Proof(m)) => m,
+            Ok(_) => return Err(Err(WireError::UnexpectedMessage { expected: "proof" })),
+            Err(e) => return Err(Err(e)),
+        };
+        let (session, device) = (SessionId(msg.session), DeviceId(msg.device));
+        match self.submit(session, device, msg.proof, now) {
+            Ok(()) => Ok(session),
+            Err(e) => Err(Ok(e)),
+        }
+    }
+
+    /// Expires overdue sessions, then drains every ingest shard through
+    /// its operation's batch verifier, feeding verdicts back into sessions
+    /// and registry. Returns the drain statistics plus how many sessions
+    /// expired.
+    pub fn drain(&mut self, now: u64) -> (DrainStats, usize) {
+        let expired = self.sessions.expire_due(now);
+        let stats = self.ingest.drain(&mut self.registry, &mut self.sessions);
+        (stats, expired)
+    }
+
+    /// Pending (submitted, not yet drained) sessions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.ingest.pending()
+    }
+
+    /// Evicts resolved sessions whose deadline lies before `now` so a
+    /// long-running service's memory tracks open rounds, not history (see
+    /// [`SessionManager::prune_resolved`]).
+    pub fn prune_resolved(&mut self, now: u64) -> usize {
+        self.sessions.prune_resolved(now)
+    }
+
+    /// Looks up a session.
+    #[must_use]
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.session(id)
+    }
+
+    /// The wire-ready report message for a resolved session, if any.
+    #[must_use]
+    pub fn report_msg(&self, id: SessionId) -> Option<ReportMsg> {
+        let s = self.sessions.session(id)?;
+        Some(ReportMsg { session: s.id.0, device: s.device.0, report: s.report.clone()? })
+    }
+
+    /// Read access to the registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Read access to the session store.
+    #[must_use]
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+}
+
+/// Result of [`Fleet::submit_wire`]: the accepted session id, or the
+/// session-layer / wire-layer rejection.
+pub type SubmitWireResult = Result<SessionId, Result<SessionError, WireError>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialed::attest::DialedDevice;
+    use dialed::pipeline::{BuildOptions, InstrumentMode};
+    use dialed::report::Verdict;
+
+    const OP_SRC: &str = "\
+        .org 0xE000\nop:\n mov r15, r10\n add r14, r10\n mov r10, &0x0060\n ret\n";
+
+    fn full_fleet() -> (Fleet, OpId) {
+        let mut fleet = Fleet::new(FleetConfig { workers: Some(2), ..FleetConfig::default() });
+        let op = InstrumentedOp::build(OP_SRC, "op", &BuildOptions::default()).unwrap();
+        let op_id = fleet.register_op("adder", op, vec![]);
+        (fleet, op_id)
+    }
+
+    /// Drives one device through a full honest round; returns its session.
+    fn honest_round(fleet: &mut Fleet, op_id: OpId, seed: u64, now: u64) -> SessionId {
+        let op = InstrumentedOp::build(OP_SRC, "op", &BuildOptions::default()).unwrap();
+        let dev_id = fleet.register_device(op_id, seed).unwrap();
+        let mut device = DialedDevice::new(op, fleet.device_keystore(dev_id).unwrap());
+        let chal = fleet.issue(dev_id, now).unwrap();
+        device.invoke(&[0, 0, 0, 0, 0, 0, 2, 3]);
+        let proof = device.prove(&chal.challenge);
+        fleet.submit(SessionId(chal.session), dev_id, proof, now + 1).unwrap();
+        SessionId(chal.session)
+    }
+
+    #[test]
+    fn honest_device_round_trips_to_verified() {
+        let (mut fleet, op_id) = full_fleet();
+        let sid = honest_round(&mut fleet, op_id, 1, 0);
+        assert_eq!(fleet.pending(), 1);
+        let (stats, expired) = fleet.drain(2);
+        assert_eq!((stats.drained, stats.verified, expired), (1, 1, 0));
+        let s = fleet.session(sid).unwrap();
+        assert_eq!(s.state, SessionState::Verified);
+        assert_eq!(s.report.as_ref().unwrap().verdict, Verdict::Clean);
+        let dev = fleet.registry().device(s.device).unwrap();
+        assert_eq!(dev.last_verified, Some(0));
+        assert_eq!(dev.verified, 1);
+        // The verdict is deliverable as a wire frame.
+        let msg = fleet.report_msg(sid).unwrap();
+        let bytes = wire::encode(&Message::Report(msg.clone()));
+        assert_eq!(wire::decode(&bytes), Ok(Message::Report(msg)));
+    }
+
+    #[test]
+    fn submissions_shard_by_operation() {
+        let (mut fleet, op_a) = full_fleet();
+        let other = InstrumentedOp::build(
+            ".org 0xE000\nop:\n mov r14, &0x0060\n ret\n",
+            "op",
+            &BuildOptions::default(),
+        )
+        .unwrap();
+        let op_b = fleet.register_op("storer", other.clone(), vec![]);
+
+        let sid_a = honest_round(&mut fleet, op_a, 10, 0);
+        let dev_b = fleet.register_device(op_b, 11).unwrap();
+        let mut device = DialedDevice::new(other, fleet.device_keystore(dev_b).unwrap());
+        let chal = fleet.issue(dev_b, 0).unwrap();
+        device.invoke(&[0; 8]);
+        let proof = device.prove(&chal.challenge);
+        fleet.submit(SessionId(chal.session), dev_b, proof, 1).unwrap();
+
+        let (stats, _) = fleet.drain(2);
+        assert_eq!(stats.shards, 2, "two ops ⇒ two shards");
+        assert_eq!(stats.verified, 2);
+        assert_eq!(fleet.session(sid_a).unwrap().state, SessionState::Verified);
+    }
+
+    #[test]
+    fn wire_submission_path_accepts_and_rejects() {
+        let (mut fleet, op_id) = full_fleet();
+        let op = InstrumentedOp::build(OP_SRC, "op", &BuildOptions::default()).unwrap();
+        let dev_id = fleet.register_device(op_id, 3).unwrap();
+        let mut device = DialedDevice::new(op, fleet.device_keystore(dev_id).unwrap());
+        let chal = fleet.issue(dev_id, 0).unwrap();
+        device.invoke(&[0; 8]);
+        let proof = device.prove(&chal.challenge);
+        let frame = wire::encode(&Message::Proof(ProofMsg {
+            session: chal.session,
+            device: dev_id.0,
+            proof,
+        }));
+        let sid = fleet.submit_wire(&frame, 1).unwrap();
+        // The same frame again is a duplicate, caught at the session layer.
+        assert_eq!(
+            fleet.submit_wire(&frame, 2),
+            Err(Ok(SessionError::NotAwaitingProof(SessionState::Submitted)))
+        );
+        // Garbage bytes are a wire error.
+        assert!(matches!(fleet.submit_wire(b"junk", 2), Err(Err(_))));
+        // A well-formed frame of the wrong kind is reported as such.
+        assert_eq!(
+            fleet.submit_wire(&wire::encode(&Message::Challenge(chal)), 2),
+            Err(Err(WireError::UnexpectedMessage { expected: "proof" }))
+        );
+        let (stats, _) = fleet.drain(3);
+        assert_eq!(stats.verified, 1);
+        assert_eq!(fleet.session(sid).unwrap().state, SessionState::Verified);
+    }
+
+    #[test]
+    fn non_full_ops_verify_at_pox_level() {
+        let mut fleet = Fleet::new(FleetConfig { workers: Some(1), ..FleetConfig::default() });
+        let opts = BuildOptions { mode: InstrumentMode::CfaOnly, ..BuildOptions::default() };
+        let op = InstrumentedOp::build(OP_SRC, "op", &opts).unwrap();
+        let op_id = fleet.register_op("cfa-only", op.clone(), vec![]);
+        let dev_id = fleet.register_device(op_id, 4).unwrap();
+        let mut device = DialedDevice::new(op, fleet.device_keystore(dev_id).unwrap());
+        let chal = fleet.issue(dev_id, 0).unwrap();
+        device.invoke(&[0; 8]);
+        let proof = device.prove(&chal.challenge);
+        fleet.submit(SessionId(chal.session), dev_id, proof, 1).unwrap();
+        let (stats, _) = fleet.drain(2);
+        assert_eq!((stats.verified, stats.rejected), (1, 0));
+
+        // A corrupted OR still dies at the PoX MAC for non-Full ops.
+        let chal2 = fleet.issue(dev_id, 3).unwrap();
+        let mut proof2 = device.prove(&chal2.challenge);
+        proof2.pox.or_data[0] ^= 1;
+        fleet.submit(SessionId(chal2.session), dev_id, proof2, 4).unwrap();
+        let (stats2, _) = fleet.drain(5);
+        assert_eq!((stats2.verified, stats2.rejected), (0, 1));
+    }
+
+    #[test]
+    fn expiry_flows_through_drain() {
+        let (mut fleet, op_id) = full_fleet();
+        let dev_id = fleet.register_device(op_id, 5).unwrap();
+        let chal = fleet.issue(dev_id, 0).unwrap();
+        let (stats, expired) = fleet.drain(chal.deadline + 1);
+        assert_eq!((stats.drained, expired), (0, 1));
+        assert_eq!(fleet.session(SessionId(chal.session)).unwrap().state, SessionState::Expired);
+    }
+}

@@ -1,0 +1,296 @@
+//! The device registry: which devices exist, which operation each is
+//! provisioned for, which key it attests under, and how far its verified
+//! history reaches.
+//!
+//! The registry is the service's source of truth. Operations are
+//! registered once per fleet (a fleet may serve many distinct operations —
+//! one per firmware build); devices are then bound to exactly one
+//! operation and an individual attestation key derived from a
+//! provisioning seed. Verified verdicts flow back in from the ingest
+//! stage, advancing each device's last-verified counter.
+
+use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+use dialed::policy::Policy;
+use dialed::{BatchVerifier, DialedVerifier};
+use std::fmt;
+use vrased::KeyStore;
+
+/// Identifies one registered operation within a fleet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+/// Identifies one registered device within a fleet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DeviceId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// Registry failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegistryError {
+    /// The referenced operation is not registered.
+    UnknownOp(OpId),
+    /// The referenced device is not registered.
+    UnknownDevice(DeviceId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownOp(id) => write!(f, "{id} is not registered"),
+            RegistryError::UnknownDevice(id) => write!(f, "{id} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registered operation: the instrumented image plus the shared
+/// verification machinery every proof of this operation goes through.
+pub struct OpRecord {
+    /// The operation's id.
+    pub id: OpId,
+    /// Operator-facing name.
+    pub name: String,
+    /// Instrumentation stages the image was built with. Only
+    /// [`InstrumentMode::Full`] images carry the I-Log the DIALED verifier
+    /// re-executes; the other modes are verified at the PoX level (code,
+    /// regions, EXEC, OR authenticity).
+    pub mode: InstrumentMode,
+    /// Devices bound to this operation.
+    pub devices: u64,
+    /// The shared batch verifier (per-device keys ride on each job).
+    pub(crate) batch: BatchVerifier,
+    /// PoX-level verifier for non-`Full` images: code, regions, EXEC and
+    /// OR authenticity without DFA re-execution.
+    pub(crate) pox: apex::PoxVerifier,
+}
+
+impl fmt::Debug for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpRecord")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("mode", &self.mode)
+            .field("devices", &self.devices)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-device registry state.
+#[derive(Clone, Debug)]
+pub struct DeviceRecord {
+    /// The device's id.
+    pub id: DeviceId,
+    /// The operation this device is provisioned to run.
+    pub op: OpId,
+    /// Highest challenge nonce this device has a *verified* proof for.
+    /// Monotonic: ingest only ever advances it.
+    pub last_verified: Option<u64>,
+    /// Sessions that ended `Verified`.
+    pub verified: u64,
+    /// Sessions that ended `Rejected`.
+    pub rejected: u64,
+    /// The device's individual attestation key.
+    pub(crate) keystore: KeyStore,
+}
+
+impl DeviceRecord {
+    /// The device's attestation key — needed by provisioning (to install
+    /// the same key on the physical device) and by ingest (to check MACs).
+    #[must_use]
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+}
+
+/// The fleet's device and operation registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    ops: Vec<OpRecord>,
+    devices: Vec<DeviceRecord>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an operation; every proof of it is verified through one
+    /// shared [`BatchVerifier`] (built over `op` and `policies`).
+    ///
+    /// `workers` overrides the batch verifier's thread count
+    /// (`None` = one per core).
+    pub fn register_op(
+        &mut self,
+        name: &str,
+        op: InstrumentedOp,
+        policies: Vec<Box<dyn Policy>>,
+        workers: Option<usize>,
+    ) -> OpId {
+        let id = OpId(u32::try_from(self.ops.len()).expect("more than u32::MAX operations"));
+        let mode = op.options.mode;
+        // The per-op fallback key is never used for fleet jobs — every
+        // ingest job carries its device's own key — but the verifiers
+        // require one at construction, so derive a per-op placeholder.
+        let placeholder = KeyStore::from_seed(0xF1EE7 ^ u64::from(id.0));
+        let pox = apex::PoxVerifier::new(placeholder.clone(), op.pox, op.er_bytes.clone());
+        let mut verifier = DialedVerifier::new(op, placeholder);
+        for p in policies {
+            verifier = verifier.with_policy(p);
+        }
+        let mut batch = BatchVerifier::new(verifier);
+        if let Some(w) = workers {
+            batch = batch.with_workers(w);
+        }
+        self.ops.push(OpRecord { id, name: name.to_string(), mode, devices: 0, batch, pox });
+        id
+    }
+
+    /// Registers a device bound to `op`, deriving its individual
+    /// attestation key from `key_seed` (the provisioning secret shared
+    /// with the physical device).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `op` is unknown.
+    pub fn register_device(&mut self, op: OpId, key_seed: u64) -> Result<DeviceId, RegistryError> {
+        let record = self.op_mut(op)?;
+        record.devices += 1;
+        let id = DeviceId(self.devices.len() as u64);
+        self.devices.push(DeviceRecord {
+            id,
+            op,
+            last_verified: None,
+            verified: 0,
+            rejected: 0,
+            keystore: KeyStore::from_seed(key_seed),
+        });
+        Ok(id)
+    }
+
+    /// Looks up a device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown.
+    pub fn device(&self, id: DeviceId) -> Result<&DeviceRecord, RegistryError> {
+        usize::try_from(id.0)
+            .ok()
+            .and_then(|i| self.devices.get(i))
+            .ok_or(RegistryError::UnknownDevice(id))
+    }
+
+    pub(crate) fn device_mut(&mut self, id: DeviceId) -> Result<&mut DeviceRecord, RegistryError> {
+        usize::try_from(id.0)
+            .ok()
+            .and_then(|i| self.devices.get_mut(i))
+            .ok_or(RegistryError::UnknownDevice(id))
+    }
+
+    /// Looks up an operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operation is unknown.
+    pub fn op(&self, id: OpId) -> Result<&OpRecord, RegistryError> {
+        self.ops.get(id.0 as usize).ok_or(RegistryError::UnknownOp(id))
+    }
+
+    pub(crate) fn op_mut(&mut self, id: OpId) -> Result<&mut OpRecord, RegistryError> {
+        self.ops.get_mut(id.0 as usize).ok_or(RegistryError::UnknownOp(id))
+    }
+
+    /// All registered operations.
+    pub fn ops(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter()
+    }
+
+    /// All registered devices.
+    pub fn devices(&self) -> impl Iterator<Item = &DeviceRecord> {
+        self.devices.iter()
+    }
+
+    /// Records a verdict for `device`: bumps its counters and, for a
+    /// verified session, advances the last-verified counter (never
+    /// backwards — a stale verdict cannot regress history).
+    pub(crate) fn record_verdict(&mut self, device: DeviceId, nonce: u64, verified: bool) {
+        let Ok(rec) = self.device_mut(device) else { return };
+        if verified {
+            rec.verified += 1;
+            let advance = match rec.last_verified {
+                Some(prev) => nonce > prev,
+                None => true,
+            };
+            if advance {
+                rec.last_verified = Some(nonce);
+            }
+        } else {
+            rec.rejected += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialed::pipeline::BuildOptions;
+
+    fn tiny_op() -> InstrumentedOp {
+        let src = ".org 0xE000\nop:\n mov r15, &0x0060\n ret\n";
+        InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn multiple_ops_and_devices_register() {
+        let mut reg = Registry::new();
+        let a = reg.register_op("alpha", tiny_op(), vec![], Some(1));
+        let b = reg.register_op("beta", tiny_op(), vec![], Some(1));
+        assert_ne!(a, b);
+        let d0 = reg.register_device(a, 100).unwrap();
+        let d1 = reg.register_device(b, 101).unwrap();
+        let d2 = reg.register_device(a, 102).unwrap();
+        assert_eq!(reg.op(a).unwrap().devices, 2);
+        assert_eq!(reg.op(b).unwrap().devices, 1);
+        assert_eq!(reg.device(d0).unwrap().op, a);
+        assert_eq!(reg.device(d1).unwrap().op, b);
+        assert_eq!(reg.device(d2).unwrap().op, a);
+        assert_eq!(reg.devices().count(), 3);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.register_device(OpId(9), 0).unwrap_err(), RegistryError::UnknownOp(OpId(9)));
+        assert_eq!(reg.device(DeviceId(3)).unwrap_err(), RegistryError::UnknownDevice(DeviceId(3)));
+    }
+
+    #[test]
+    fn last_verified_counter_is_monotonic() {
+        let mut reg = Registry::new();
+        let op = reg.register_op("alpha", tiny_op(), vec![], Some(1));
+        let dev = reg.register_device(op, 7).unwrap();
+        reg.record_verdict(dev, 5, true);
+        assert_eq!(reg.device(dev).unwrap().last_verified, Some(5));
+        // A stale verdict (e.g. a late-drained older session) cannot
+        // regress the counter.
+        reg.record_verdict(dev, 3, true);
+        assert_eq!(reg.device(dev).unwrap().last_verified, Some(5));
+        reg.record_verdict(dev, 8, false);
+        let rec = reg.device(dev).unwrap();
+        assert_eq!(rec.last_verified, Some(5));
+        assert_eq!((rec.verified, rec.rejected), (2, 1));
+    }
+}

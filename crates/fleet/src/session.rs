@@ -1,0 +1,451 @@
+//! Challenge sessions: issuance, the per-session state machine, and
+//! anti-replay enforcement.
+//!
+//! Every attestation round is a **session**:
+//!
+//! ```text
+//!            issue()            submit()           drain (ingest)
+//! (created) ───────► Issued ───────────► Submitted ───────► Verified
+//!                      │                     ▲    │             or
+//!                      │ deadline passed     │    └───────► Rejected
+//!                      ▼                     │
+//!                   Expired          duplicate/replay ⇒ error, state
+//!                                    unchanged, nothing queued
+//! ```
+//!
+//! Freshness comes from a **monotonic per-device nonce**: each issued
+//! challenge is derived from the fleet label, the device id and a counter
+//! that only ever increases, so no two sessions ever share a challenge and
+//! an old proof can never satisfy a new session's MAC. On top of that, an
+//! **anti-replay window** remembers the tags of recently accepted proofs
+//! per device; re-submitting a captured proof — to the same session or to
+//! any later one — is rejected at the session layer, before any
+//! cryptographic or emulation work is spent.
+//!
+//! Time is a caller-supplied logical clock (`u64` ticks), keeping the
+//! whole service deterministic and testable; a deployment maps it to
+//! seconds.
+
+use crate::registry::{DeviceId, OpId};
+use dialed::attest::DialedProof;
+use dialed::report::Report;
+use hacl::{Digest, Sha256};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use vrased::Challenge;
+
+/// Identifies one session within a fleet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess#{}", self.0)
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    /// Challenge issued, waiting for the device's proof.
+    Issued,
+    /// Proof accepted into the ingest queue, waiting for verification.
+    Submitted,
+    /// The proof verified clean.
+    Verified,
+    /// The proof failed verification (cryptographically or by
+    /// reconstruction).
+    Rejected,
+    /// The deadline passed with no accepted submission.
+    Expired,
+}
+
+/// Session-layer failures. All of these are detected *before* any
+/// cryptographic or emulation work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// The referenced session does not exist.
+    UnknownSession(SessionId),
+    /// The submitting device is not the one the session was issued to.
+    DeviceMismatch {
+        /// Device the session belongs to.
+        expected: DeviceId,
+        /// Device that submitted.
+        got: DeviceId,
+    },
+    /// The session already left `Issued` — a duplicate or late submission.
+    NotAwaitingProof(SessionState),
+    /// The session's deadline passed before the submission arrived.
+    Expired {
+        /// The deadline that was missed.
+        deadline: u64,
+    },
+    /// The proof's tag was already accepted recently for this device — a
+    /// replayed capture.
+    ReplayedProof,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownSession(id) => write!(f, "{id} does not exist"),
+            SessionError::DeviceMismatch { expected, got } => {
+                write!(f, "session belongs to {expected}, not {got}")
+            }
+            SessionError::NotAwaitingProof(state) => {
+                write!(f, "session is {state:?}, not awaiting a proof")
+            }
+            SessionError::Expired { deadline } => {
+                write!(f, "session expired at t={deadline}")
+            }
+            SessionError::ReplayedProof => write!(f, "proof tag replayed within the window"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One attestation round.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The session's id.
+    pub id: SessionId,
+    /// Device the challenge was issued to.
+    pub device: DeviceId,
+    /// Operation the device must prove.
+    pub op: OpId,
+    /// The device's monotonic challenge counter value for this session.
+    pub nonce: u64,
+    /// The issued challenge.
+    pub challenge: Challenge,
+    /// Logical time of issuance.
+    pub issued_at: u64,
+    /// Logical deadline (inclusive) for submission.
+    pub deadline: u64,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// The verifier's report once the session resolved.
+    pub report: Option<Report>,
+    /// The submitted proof, held until ingest consumes it.
+    pub(crate) proof: Option<DialedProof>,
+}
+
+/// Sliding window of recently accepted proof tags for one device.
+#[derive(Clone, Debug, Default)]
+struct ReplayWindow {
+    tags: VecDeque<Digest>,
+}
+
+impl ReplayWindow {
+    fn contains(&self, tag: &Digest) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+
+    fn push(&mut self, tag: Digest, cap: usize) {
+        while self.tags.len() >= cap.max(1) {
+            self.tags.pop_front();
+        }
+        self.tags.push_back(tag);
+    }
+}
+
+/// Per-device session-layer state.
+#[derive(Clone, Debug, Default)]
+struct DeviceSessions {
+    /// Next challenge nonce — strictly monotonic, never reused.
+    next_nonce: u64,
+    window: ReplayWindow,
+}
+
+/// Issues challenges and walks sessions through their state machine.
+#[derive(Debug)]
+pub struct SessionManager {
+    label: Vec<u8>,
+    ttl: u64,
+    window_cap: usize,
+    next_id: u64,
+    sessions: BTreeMap<u64, Session>,
+    per_device: HashMap<DeviceId, DeviceSessions>,
+}
+
+impl SessionManager {
+    /// A manager issuing challenges derived from `label`, with sessions
+    /// valid for `ttl` logical ticks and a per-device anti-replay window
+    /// remembering `window_cap` tags.
+    #[must_use]
+    pub fn new(label: &[u8], ttl: u64, window_cap: usize) -> Self {
+        Self {
+            label: label.to_vec(),
+            ttl,
+            window_cap,
+            next_id: 0,
+            sessions: BTreeMap::new(),
+            per_device: HashMap::new(),
+        }
+    }
+
+    /// Issues a fresh challenge to `device` for `op` at logical time
+    /// `now`, consuming the device's next nonce.
+    pub fn issue(&mut self, device: DeviceId, op: OpId, now: u64) -> &Session {
+        let per = self.per_device.entry(device).or_default();
+        let nonce = per.next_nonce;
+        per.next_nonce += 1;
+
+        // Challenge = H(fleet label ‖ device id) bound with the monotonic
+        // nonce — unique per (fleet, device, round).
+        let mut h = Sha256::new();
+        h.update(&self.label);
+        h.update(&device.0.to_le_bytes());
+        let challenge = Challenge::derive(&h.finalize(), nonce);
+
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.sessions.insert(
+            id.0,
+            Session {
+                id,
+                device,
+                op,
+                nonce,
+                challenge,
+                issued_at: now,
+                deadline: now.saturating_add(self.ttl),
+                state: SessionState::Issued,
+                report: None,
+                proof: None,
+            },
+        );
+        &self.sessions[&id.0]
+    }
+
+    /// Accepts `proof` for `session`, enforcing the state machine, the
+    /// deadline and the anti-replay window. On success the session is
+    /// `Submitted` and the proof is queued for ingest.
+    ///
+    /// Submission is *not* authenticated beyond the device id it claims:
+    /// the proof's MAC is only checked at drain time. An active network
+    /// adversary who sees a challenge can therefore occupy its session
+    /// with a garbage proof (the round then resolves `Rejected` and the
+    /// operator re-issues) — equivalent in power to dropping the device's
+    /// packets, and accepted here so the session layer stays free of
+    /// per-submission cryptography.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; the session state is unchanged on error
+    /// except for a missed deadline, which marks it `Expired`.
+    pub fn submit(
+        &mut self,
+        session: SessionId,
+        device: DeviceId,
+        proof: DialedProof,
+        now: u64,
+    ) -> Result<(), SessionError> {
+        let s = self.sessions.get_mut(&session.0).ok_or(SessionError::UnknownSession(session))?;
+        if s.device != device {
+            return Err(SessionError::DeviceMismatch { expected: s.device, got: device });
+        }
+        match s.state {
+            SessionState::Issued => {}
+            state => return Err(SessionError::NotAwaitingProof(state)),
+        }
+        if now > s.deadline {
+            s.state = SessionState::Expired;
+            return Err(SessionError::Expired { deadline: s.deadline });
+        }
+        let per = match self.per_device.entry(device) {
+            Entry::Occupied(e) => e.into_mut(),
+            // Unreachable in practice: issuing created the entry.
+            Entry::Vacant(e) => e.insert(DeviceSessions::default()),
+        };
+        if per.window.contains(&proof.pox.tag) {
+            return Err(SessionError::ReplayedProof);
+        }
+        per.window.push(proof.pox.tag, self.window_cap);
+        s.state = SessionState::Submitted;
+        s.proof = Some(proof);
+        Ok(())
+    }
+
+    /// Expires every `Issued` session whose deadline lies before `now`.
+    /// Returns how many sessions flipped to `Expired`.
+    pub fn expire_due(&mut self, now: u64) -> usize {
+        let mut flipped = 0;
+        for s in self.sessions.values_mut() {
+            if s.state == SessionState::Issued && now > s.deadline {
+                s.state = SessionState::Expired;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Evicts resolved sessions (`Verified`/`Rejected`/`Expired`) whose
+    /// deadline lies before `now`, returning how many were removed. A
+    /// long-running service calls this periodically so the session store
+    /// stays proportional to the *open* rounds, not to history; session
+    /// ids are never reused.
+    pub fn prune_resolved(&mut self, now: u64) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| {
+            matches!(s.state, SessionState::Issued | SessionState::Submitted) || s.deadline >= now
+        });
+        before - self.sessions.len()
+    }
+
+    /// Looks up a session.
+    #[must_use]
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id.0)
+    }
+
+    pub(crate) fn session_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions.get_mut(&id.0)
+    }
+
+    /// All retained sessions in issuance order.
+    pub fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// Retained session count (open rounds plus not-yet-pruned history).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The next nonce `device` would be issued (diagnostics/tests).
+    #[must_use]
+    pub fn next_nonce(&self, device: DeviceId) -> u64 {
+        self.per_device.get(&device).map_or(0, |p| p.next_nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex::{PoxConfig, PoxProof};
+
+    fn dummy_proof(tag_byte: u8) -> DialedProof {
+        let cfg = PoxConfig::new(0xE000, 0xE00F, 0xE00E, 0x0600, 0x06FF).unwrap();
+        DialedProof {
+            pox: PoxProof { cfg, exec: true, or_data: vec![0; cfg.or_len()], tag: [tag_byte; 32] },
+        }
+    }
+
+    const DEV: DeviceId = DeviceId(0);
+    const OP: OpId = OpId(0);
+
+    #[test]
+    fn nonces_are_monotonic_and_challenges_unique() {
+        let mut mgr = SessionManager::new(b"fleet-test", 10, 4);
+        let c0 = mgr.issue(DEV, OP, 0).clone();
+        let c1 = mgr.issue(DEV, OP, 1).clone();
+        let other = mgr.issue(DeviceId(1), OP, 1).clone();
+        assert_eq!((c0.nonce, c1.nonce), (0, 1));
+        assert_ne!(c0.challenge, c1.challenge);
+        assert_ne!(c0.challenge, other.challenge, "devices must not share challenges");
+        assert_eq!(mgr.next_nonce(DEV), 2);
+    }
+
+    #[test]
+    fn happy_path_walks_issued_to_submitted() {
+        let mut mgr = SessionManager::new(b"t", 10, 4);
+        let sid = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(sid, DEV, dummy_proof(1), 5).unwrap();
+        assert_eq!(mgr.session(sid).unwrap().state, SessionState::Submitted);
+    }
+
+    #[test]
+    fn duplicate_submission_rejected_state_unchanged() {
+        let mut mgr = SessionManager::new(b"t", 10, 4);
+        let sid = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(sid, DEV, dummy_proof(1), 1).unwrap();
+        let err = mgr.submit(sid, DEV, dummy_proof(2), 2).unwrap_err();
+        assert_eq!(err, SessionError::NotAwaitingProof(SessionState::Submitted));
+        assert_eq!(mgr.session(sid).unwrap().state, SessionState::Submitted);
+    }
+
+    #[test]
+    fn replayed_tag_rejected_across_sessions() {
+        let mut mgr = SessionManager::new(b"t", 10, 4);
+        let s0 = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(s0, DEV, dummy_proof(7), 1).unwrap();
+        // The same captured proof against a *new* session must die at the
+        // session layer.
+        let s1 = mgr.issue(DEV, OP, 2).id;
+        assert_eq!(mgr.submit(s1, DEV, dummy_proof(7), 3), Err(SessionError::ReplayedProof));
+        assert_eq!(mgr.session(s1).unwrap().state, SessionState::Issued);
+        // Another device may legitimately produce an identical-tag proof
+        // (it cannot in practice, but windows are per-device).
+        let s2 = mgr.issue(DeviceId(1), OP, 2).id;
+        mgr.submit(s2, DeviceId(1), dummy_proof(7), 3).unwrap();
+    }
+
+    #[test]
+    fn replay_window_is_bounded_and_sliding() {
+        let mut mgr = SessionManager::new(b"t", 100, 2);
+        for i in 0..3u8 {
+            let sid = mgr.issue(DEV, OP, 0).id;
+            mgr.submit(sid, DEV, dummy_proof(i), 1).unwrap();
+        }
+        // Tag 0 slid out of the 2-deep window; tag 2 is still inside.
+        let s_old = mgr.issue(DEV, OP, 2).id;
+        mgr.submit(s_old, DEV, dummy_proof(0), 3).unwrap();
+        let s_new = mgr.issue(DEV, OP, 2).id;
+        assert_eq!(mgr.submit(s_new, DEV, dummy_proof(2), 3), Err(SessionError::ReplayedProof));
+    }
+
+    #[test]
+    fn deadline_expires_sessions() {
+        let mut mgr = SessionManager::new(b"t", 5, 4);
+        let sid = mgr.issue(DEV, OP, 10).id;
+        assert_eq!(mgr.session(sid).unwrap().deadline, 15);
+        // Late submission flips the session to Expired.
+        let err = mgr.submit(sid, DEV, dummy_proof(1), 16).unwrap_err();
+        assert_eq!(err, SessionError::Expired { deadline: 15 });
+        assert_eq!(mgr.session(sid).unwrap().state, SessionState::Expired);
+        // Sweep-based expiry for sessions nobody ever answers.
+        let s2 = mgr.issue(DEV, OP, 20).id;
+        assert_eq!(mgr.expire_due(100), 1);
+        assert_eq!(mgr.session(s2).unwrap().state, SessionState::Expired);
+    }
+
+    #[test]
+    fn pruning_evicts_only_resolved_history() {
+        let mut mgr = SessionManager::new(b"t", 5, 4);
+        let resolved = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(resolved, DEV, dummy_proof(1), 1).unwrap();
+        mgr.session_mut(resolved).unwrap().state = SessionState::Verified;
+        let expired = mgr.issue(DEV, OP, 0).id;
+        mgr.expire_due(100);
+        let open = mgr.issue(DEV, OP, 100).id;
+        assert_eq!(mgr.len(), 3);
+
+        assert_eq!(mgr.prune_resolved(200), 2);
+        assert!(mgr.session(resolved).is_none());
+        assert!(mgr.session(expired).is_none());
+        assert_eq!(mgr.session(open).unwrap().state, SessionState::Issued);
+        // Ids keep advancing — a pruned id is never reissued.
+        assert!(mgr.issue(DEV, OP, 100).id.0 > open.0);
+    }
+
+    #[test]
+    fn wrong_device_cannot_submit() {
+        let mut mgr = SessionManager::new(b"t", 10, 4);
+        let sid = mgr.issue(DEV, OP, 0).id;
+        let err = mgr.submit(sid, DeviceId(9), dummy_proof(1), 1).unwrap_err();
+        assert_eq!(err, SessionError::DeviceMismatch { expected: DEV, got: DeviceId(9) });
+        assert_eq!(
+            mgr.submit(SessionId(99), DEV, dummy_proof(1), 1),
+            Err(SessionError::UnknownSession(SessionId(99)))
+        );
+    }
+}

@@ -1,0 +1,803 @@
+//! The fleet wire format: a hand-rolled, versioned, length-prefixed binary
+//! codec for every message the attestation service exchanges.
+//!
+//! Layout of a frame (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 2 | magic `b"DW"` |
+//! | 2 | 1 | version (currently [`WIRE_VERSION`]) |
+//! | 3 | 1 | message type tag |
+//! | 4 | 4 | payload length `n` |
+//! | 8 | `n` | payload |
+//!
+//! Every decode path is **total**: malformed, truncated, corrupted or
+//! hostile input yields a [`WireError`], never a panic, and no length
+//! field can drive an allocation larger than the input itself. Decoding
+//! also re-validates embedded [`PoxConfig`] bounds, so a region that the
+//! verifier would crash on (e.g. an even `or_max`) is rejected at the
+//! wire boundary.
+
+use apex::{PoxConfig, PoxProof};
+use dialed::attest::DialedProof;
+use dialed::report::{BatchReport, Finding, Report, Verdict, VerifyStats};
+use hacl::{Digest, DIGEST_LEN};
+use std::fmt;
+use vrased::Challenge;
+
+/// Current codec version, bumped on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame magic: "Dialed Wire".
+pub const MAGIC: [u8; 2] = *b"DW";
+
+/// Size of the fixed frame header preceding the payload.
+pub const HEADER_LEN: usize = 8;
+
+/// Decode failures. Every variant is a graceful error; the decoder never
+/// panics on any input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Input ended before the announced structure was complete.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Version byte this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// Unknown message/variant discriminant.
+    UnknownTag {
+        /// Which discriminant field was bad.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// The frame's payload length disagrees with the bytes supplied.
+    LengthMismatch {
+        /// Payload length announced by the header.
+        announced: usize,
+        /// Payload bytes actually present.
+        present: usize,
+    },
+    /// A structure decoded cleanly but left unconsumed payload bytes.
+    TrailingBytes(usize),
+    /// An embedded string is not valid UTF-8.
+    BadUtf8,
+    /// A boolean field held something other than 0 or 1.
+    BadBool(u8),
+    /// Embedded region metadata failed [`PoxConfig`] validation.
+    BadConfig(&'static str),
+    /// A counted field does not fit this platform's `usize`.
+    Overflow(&'static str),
+    /// A well-formed frame of the wrong kind arrived where a specific
+    /// message was required (e.g. a non-proof frame at the submission
+    /// endpoint).
+    UnexpectedMessage {
+        /// The message kind the endpoint required.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated: needed {need} more bytes, had {have}")
+            }
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            WireError::LengthMismatch { announced, present } => {
+                write!(f, "payload length {announced} announced but {present} bytes present")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadBool(b) => write!(f, "boolean field holds {b:#04x}"),
+            WireError::BadConfig(m) => write!(f, "embedded PoX config invalid: {m}"),
+            WireError::Overflow(what) => write!(f, "{what} does not fit usize"),
+            WireError::UnexpectedMessage { expected } => {
+                write!(f, "frame decoded but is not a {expected} message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A challenge as issued to one device: the session coordinates plus the
+/// 256-bit nonce-derived challenge itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChallengeMsg {
+    /// Session the device must answer under.
+    pub session: u64,
+    /// Target device.
+    pub device: u64,
+    /// The device's monotonic challenge counter for this session.
+    pub nonce: u64,
+    /// Logical-clock deadline after which the session expires.
+    pub deadline: u64,
+    /// The attestation challenge.
+    pub challenge: Challenge,
+}
+
+/// A device's attestation response for one session.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofMsg {
+    /// Session being answered.
+    pub session: u64,
+    /// Responding device.
+    pub device: u64,
+    /// The DIALED proof (APEX PoX carrying CF-Log + I-Log).
+    pub proof: DialedProof,
+}
+
+/// A per-session verdict pushed back to operators or devices.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReportMsg {
+    /// Session the verdict belongs to.
+    pub session: u64,
+    /// Device that was verified.
+    pub device: u64,
+    /// The verifier's full report.
+    pub report: Report,
+}
+
+/// One line of a [`BatchSummary`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutcomeSummary {
+    /// Submission index within the batch.
+    pub index: u64,
+    /// Device identifier.
+    pub device: u64,
+    /// Final verdict.
+    pub verdict: Verdict,
+}
+
+/// A compact summary of one [`BatchReport`]: aggregate statistics plus the
+/// per-device verdicts (full findings travel as [`ReportMsg`]s).
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchSummary {
+    /// Jobs in the batch.
+    pub total: u64,
+    /// Clean verdicts.
+    pub clean: u64,
+    /// Cryptographic rejections.
+    pub rejected: u64,
+    /// Reconstructed attacks.
+    pub attacks: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Work-stealing events.
+    pub steals: u64,
+    /// Wall-clock nanoseconds for the batch.
+    pub wall_nanos: u64,
+    /// Throughput over the wall clock.
+    pub proofs_per_sec: f64,
+    /// Total instructions abstractly executed.
+    pub emulated_insns: u64,
+    /// Per-device verdicts in submission order.
+    pub outcomes: Vec<OutcomeSummary>,
+}
+
+impl BatchSummary {
+    /// Summarises a [`BatchReport`].
+    #[must_use]
+    pub fn from_report(report: &BatchReport) -> Self {
+        let s = &report.stats;
+        Self {
+            total: s.total as u64,
+            clean: s.clean as u64,
+            rejected: s.rejected as u64,
+            attacks: s.attacks as u64,
+            workers: s.workers as u64,
+            steals: s.steals as u64,
+            wall_nanos: u64::try_from(s.wall.as_nanos()).unwrap_or(u64::MAX),
+            proofs_per_sec: s.proofs_per_sec,
+            emulated_insns: s.emulated_insns as u64,
+            outcomes: report
+                .outcomes
+                .iter()
+                .map(|o| OutcomeSummary {
+                    index: o.index as u64,
+                    device: o.device_id,
+                    verdict: o.report.verdict,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Every message the fleet protocol exchanges.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Verifier → device: an attestation challenge.
+    Challenge(ChallengeMsg),
+    /// Device → verifier: the attestation response.
+    Proof(ProofMsg),
+    /// Verifier → operator/device: one session's verdict.
+    Report(ReportMsg),
+    /// Verifier → operator: a batch summary.
+    BatchSummary(BatchSummary),
+}
+
+const TAG_CHALLENGE: u8 = 1;
+const TAG_PROOF: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_BATCH_SUMMARY: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+    /// Length-prefixed byte string (`u32` length).
+    fn lp_bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("field longer than u32::MAX"));
+        self.bytes(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.lp_bytes(v.as_bytes());
+    }
+}
+
+fn encode_challenge(w: &mut Writer, m: &ChallengeMsg) {
+    w.u64(m.session);
+    w.u64(m.device);
+    w.u64(m.nonce);
+    w.u64(m.deadline);
+    w.bytes(m.challenge.as_bytes());
+}
+
+fn encode_proof(w: &mut Writer, m: &ProofMsg) {
+    w.u64(m.session);
+    w.u64(m.device);
+    let pox = &m.proof.pox;
+    w.bytes(&pox.cfg.to_metadata_bytes());
+    w.u8(u8::from(pox.exec));
+    w.lp_bytes(&pox.or_data);
+    w.bytes(&pox.tag);
+}
+
+fn encode_verdict(w: &mut Writer, v: Verdict) {
+    w.u8(match v {
+        Verdict::Clean => 0,
+        Verdict::Rejected => 1,
+        Verdict::Attack => 2,
+    });
+}
+
+fn encode_finding(w: &mut Writer, finding: &Finding) {
+    match finding {
+        Finding::PoxRejected { reason } => {
+            w.u8(0);
+            w.string(reason);
+        }
+        Finding::ReturnHijack { at, expected, actual } => {
+            w.u8(1);
+            w.u16(*at);
+            w.u16(*expected);
+            w.u16(*actual);
+        }
+        Finding::LogDivergence { addr, device, emulated } => {
+            w.u8(2);
+            w.u16(*addr);
+            w.u16(*device);
+            w.u16(*emulated);
+        }
+        Finding::OutOfBoundsWrite { pc, addr } => {
+            w.u8(3);
+            w.u16(*pc);
+            w.u16(*addr);
+        }
+        Finding::ActuationViolation { port, cycles, max } => {
+            w.u8(4);
+            w.u16(*port);
+            w.u64(*cycles);
+            w.u64(*max);
+        }
+        Finding::OrHeadTruncated { capacity, required } => {
+            w.u8(5);
+            w.u64(*capacity as u64);
+            w.u64(*required as u64);
+        }
+        Finding::EmulationStuck => w.u8(6),
+        Finding::PolicyViolation { policy, detail } => {
+            w.u8(7);
+            w.string(policy);
+            w.string(detail);
+        }
+    }
+}
+
+fn encode_report(w: &mut Writer, m: &ReportMsg) {
+    w.u64(m.session);
+    w.u64(m.device);
+    encode_verdict(w, m.report.verdict);
+    w.u32(u32::try_from(m.report.findings.len()).expect("finding count"));
+    for finding in &m.report.findings {
+        encode_finding(w, finding);
+    }
+    let s = &m.report.stats;
+    w.u64(s.emulated_insns as u64);
+    w.u64(s.log_bytes_used as u64);
+    w.u64(s.cf_entries as u64);
+    w.u64(s.input_entries as u64);
+    w.u64(s.arg_entries as u64);
+}
+
+fn encode_batch_summary(w: &mut Writer, m: &BatchSummary) {
+    w.u64(m.total);
+    w.u64(m.clean);
+    w.u64(m.rejected);
+    w.u64(m.attacks);
+    w.u64(m.workers);
+    w.u64(m.steals);
+    w.u64(m.wall_nanos);
+    w.u64(m.proofs_per_sec.to_bits());
+    w.u64(m.emulated_insns);
+    w.u32(u32::try_from(m.outcomes.len()).expect("outcome count"));
+    for o in &m.outcomes {
+        w.u64(o.index);
+        w.u64(o.device);
+        encode_verdict(w, o.verdict);
+    }
+}
+
+/// Encodes a message as one framed byte string.
+#[must_use]
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut payload = Writer(Vec::new());
+    let tag = match msg {
+        Message::Challenge(m) => {
+            encode_challenge(&mut payload, m);
+            TAG_CHALLENGE
+        }
+        Message::Proof(m) => {
+            encode_proof(&mut payload, m);
+            TAG_PROOF
+        }
+        Message::Report(m) => {
+            encode_report(&mut payload, m);
+            TAG_REPORT
+        }
+        Message::BatchSummary(m) => {
+            encode_batch_summary(&mut payload, m);
+            TAG_BATCH_SUMMARY
+        }
+    };
+    let payload = payload.0;
+    let mut out = Writer(Vec::with_capacity(HEADER_LEN + payload.len()));
+    out.bytes(&MAGIC);
+    out.u8(WIRE_VERSION);
+    out.u8(tag);
+    out.u32(u32::try_from(payload.len()).expect("payload longer than u32::MAX"));
+    out.bytes(&payload);
+    out.0
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { need: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn usize64(&mut self, what: &'static str) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Overflow(what))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    /// A length-prefixed byte string. The announced length is checked
+    /// against the remaining input *before* any allocation, so a hostile
+    /// length cannot make the decoder allocate more than the input size.
+    fn lp_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = usize::try_from(self.u32()?).map_err(|_| WireError::Overflow("byte string"))?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.lp_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn digest(&mut self) -> Result<Digest, WireError> {
+        Ok(self.take(DIGEST_LEN)?.try_into().expect("digest-sized slice"))
+    }
+}
+
+fn decode_challenge(r: &mut Reader<'_>) -> Result<ChallengeMsg, WireError> {
+    Ok(ChallengeMsg {
+        session: r.u64()?,
+        device: r.u64()?,
+        nonce: r.u64()?,
+        deadline: r.u64()?,
+        challenge: Challenge::from_bytes(r.digest()?),
+    })
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<PoxConfig, WireError> {
+    let (er_min, er_max, er_exit) = (r.u16()?, r.u16()?, r.u16()?);
+    let (or_min, or_max) = (r.u16()?, r.u16()?);
+    PoxConfig::new(er_min, er_max, er_exit, or_min, or_max)
+        .map_err(|_| WireError::BadConfig("region bounds rejected"))
+}
+
+fn decode_proof(r: &mut Reader<'_>) -> Result<ProofMsg, WireError> {
+    let session = r.u64()?;
+    let device = r.u64()?;
+    let cfg = decode_config(r)?;
+    let exec = r.bool()?;
+    let or_data = r.lp_bytes()?;
+    let tag = r.digest()?;
+    Ok(ProofMsg {
+        session,
+        device,
+        proof: DialedProof { pox: PoxProof { cfg, exec, or_data, tag } },
+    })
+}
+
+fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
+    match r.u8()? {
+        0 => Ok(Verdict::Clean),
+        1 => Ok(Verdict::Rejected),
+        2 => Ok(Verdict::Attack),
+        tag => Err(WireError::UnknownTag { what: "verdict", tag }),
+    }
+}
+
+fn decode_finding(r: &mut Reader<'_>) -> Result<Finding, WireError> {
+    match r.u8()? {
+        0 => Ok(Finding::PoxRejected { reason: r.string()? }),
+        1 => Ok(Finding::ReturnHijack { at: r.u16()?, expected: r.u16()?, actual: r.u16()? }),
+        2 => Ok(Finding::LogDivergence { addr: r.u16()?, device: r.u16()?, emulated: r.u16()? }),
+        3 => Ok(Finding::OutOfBoundsWrite { pc: r.u16()?, addr: r.u16()? }),
+        4 => Ok(Finding::ActuationViolation { port: r.u16()?, cycles: r.u64()?, max: r.u64()? }),
+        5 => Ok(Finding::OrHeadTruncated {
+            capacity: r.usize64("finding capacity")?,
+            required: r.usize64("finding required")?,
+        }),
+        6 => Ok(Finding::EmulationStuck),
+        7 => Ok(Finding::PolicyViolation { policy: r.string()?, detail: r.string()? }),
+        tag => Err(WireError::UnknownTag { what: "finding", tag }),
+    }
+}
+
+fn decode_report(r: &mut Reader<'_>) -> Result<ReportMsg, WireError> {
+    let session = r.u64()?;
+    let device = r.u64()?;
+    let verdict = decode_verdict(r)?;
+    let count = usize::try_from(r.u32()?).map_err(|_| WireError::Overflow("finding count"))?;
+    // Every finding costs at least its one tag byte, so a count beyond the
+    // remaining input is unsatisfiable — reject before reserving anything.
+    if count > r.remaining() {
+        return Err(WireError::Truncated { need: count, have: r.remaining() });
+    }
+    let mut findings = Vec::with_capacity(count);
+    for _ in 0..count {
+        findings.push(decode_finding(r)?);
+    }
+    let stats = VerifyStats {
+        emulated_insns: r.usize64("emulated_insns")?,
+        log_bytes_used: r.usize64("log_bytes_used")?,
+        cf_entries: r.usize64("cf_entries")?,
+        input_entries: r.usize64("input_entries")?,
+        arg_entries: r.usize64("arg_entries")?,
+    };
+    Ok(ReportMsg { session, device, report: Report { verdict, findings, stats } })
+}
+
+fn decode_batch_summary(r: &mut Reader<'_>) -> Result<BatchSummary, WireError> {
+    let total = r.u64()?;
+    let clean = r.u64()?;
+    let rejected = r.u64()?;
+    let attacks = r.u64()?;
+    let workers = r.u64()?;
+    let steals = r.u64()?;
+    let wall_nanos = r.u64()?;
+    let proofs_per_sec = f64::from_bits(r.u64()?);
+    let emulated_insns = r.u64()?;
+    let count = usize::try_from(r.u32()?).map_err(|_| WireError::Overflow("outcome count"))?;
+    const OUTCOME_LEN: usize = 17; // index + device + verdict byte
+    let need = count.saturating_mul(OUTCOME_LEN);
+    if need > r.remaining() {
+        return Err(WireError::Truncated { need, have: r.remaining() });
+    }
+    let mut outcomes = Vec::with_capacity(count);
+    for _ in 0..count {
+        outcomes.push(OutcomeSummary {
+            index: r.u64()?,
+            device: r.u64()?,
+            verdict: decode_verdict(r)?,
+        });
+    }
+    Ok(BatchSummary {
+        total,
+        clean,
+        rejected,
+        attacks,
+        workers,
+        steals,
+        wall_nanos,
+        proofs_per_sec,
+        emulated_insns,
+        outcomes,
+    })
+}
+
+/// Decodes one framed message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for any input that is not exactly one
+/// well-formed frame; never panics.
+pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(bytes);
+    if r.take(2)? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let tag = r.u8()?;
+    let announced = usize::try_from(r.u32()?).map_err(|_| WireError::Overflow("payload length"))?;
+    if announced != r.remaining() {
+        return Err(WireError::LengthMismatch { announced, present: r.remaining() });
+    }
+    let msg = match tag {
+        TAG_CHALLENGE => Message::Challenge(decode_challenge(&mut r)?),
+        TAG_PROOF => Message::Proof(decode_proof(&mut r)?),
+        TAG_REPORT => Message::Report(decode_report(&mut r)?),
+        TAG_BATCH_SUMMARY => Message::BatchSummary(decode_batch_summary(&mut r)?),
+        tag => return Err(WireError::UnknownTag { what: "message", tag }),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_proof() -> ProofMsg {
+        let cfg = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FF).unwrap();
+        ProofMsg {
+            session: 7,
+            device: 42,
+            proof: DialedProof {
+                pox: PoxProof {
+                    cfg,
+                    exec: true,
+                    or_data: (0..=255u8).collect(),
+                    tag: [0xA5; DIGEST_LEN],
+                },
+            },
+        }
+    }
+
+    fn sample_report() -> ReportMsg {
+        ReportMsg {
+            session: 9,
+            device: 13,
+            report: Report {
+                verdict: Verdict::Attack,
+                findings: vec![
+                    Finding::PoxRejected { reason: "naïve — UTF-8 ✓".into() },
+                    Finding::ReturnHijack { at: 1, expected: 2, actual: 3 },
+                    Finding::LogDivergence { addr: 0x600, device: 5, emulated: 6 },
+                    Finding::OutOfBoundsWrite { pc: 7, addr: 8 },
+                    Finding::ActuationViolation { port: 0x60, cycles: 1 << 40, max: 9 },
+                    Finding::OrHeadTruncated { capacity: 8, required: 9 },
+                    Finding::EmulationStuck,
+                    Finding::PolicyViolation { policy: "p".into(), detail: "d".into() },
+                ],
+                stats: VerifyStats {
+                    emulated_insns: 1,
+                    log_bytes_used: 2,
+                    cf_entries: 3,
+                    input_entries: 4,
+                    arg_entries: 5,
+                },
+            },
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Challenge(ChallengeMsg {
+                session: 1,
+                device: 2,
+                nonce: 3,
+                deadline: 4,
+                challenge: Challenge::derive(b"wire", 0),
+            }),
+            Message::Proof(sample_proof()),
+            Message::Report(sample_report()),
+            Message::BatchSummary(BatchSummary {
+                total: 3,
+                clean: 1,
+                rejected: 1,
+                attacks: 1,
+                workers: 4,
+                steals: 2,
+                wall_nanos: 123_456_789,
+                proofs_per_sec: 1234.5,
+                emulated_insns: 99,
+                outcomes: vec![
+                    OutcomeSummary { index: 0, device: 10, verdict: Verdict::Clean },
+                    OutcomeSummary { index: 1, device: 11, verdict: Verdict::Rejected },
+                    OutcomeSummary { index: 2, device: 12, verdict: Verdict::Attack },
+                ],
+            }),
+        ]
+    }
+
+    #[test]
+    fn all_message_types_round_trip() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            assert_eq!(decode(&bytes).as_ref(), Ok(&msg), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} of {msg:?} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&sample_messages()[0]);
+        bytes.push(0);
+        // An appended byte breaks the announced length.
+        assert_eq!(decode(&bytes), Err(WireError::LengthMismatch { announced: 64, present: 65 }));
+    }
+
+    #[test]
+    fn header_corruptions_are_specific_errors() {
+        let bytes = encode(&sample_messages()[0]);
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode(&bad), Err(WireError::BadMagic));
+
+        let mut bad = bytes.clone();
+        bad[2] = 0x7F;
+        assert_eq!(decode(&bad), Err(WireError::UnsupportedVersion(0x7F)));
+
+        let mut bad = bytes.clone();
+        bad[3] = 0xEE;
+        assert_eq!(decode(&bad), Err(WireError::UnknownTag { what: "message", tag: 0xEE }));
+
+        let mut bad = bytes;
+        bad[4] ^= 0x01;
+        assert!(matches!(decode(&bad), Err(WireError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn hostile_length_cannot_force_allocation() {
+        // A proof frame whose or_data length claims 4 GiB must fail fast.
+        let mut bytes = encode(&Message::Proof(sample_proof()));
+        // or_data length field sits after session+device+cfg+exec.
+        let off = HEADER_LEN + 8 + 8 + 10 + 1;
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_embedded_config_rejected_at_decode() {
+        // Even `or_max` (the PoxConfig regression class) must not survive
+        // the wire boundary.
+        let mut msg = sample_proof();
+        msg.proof.pox.cfg.or_max = 0x06FE;
+        let bytes = encode(&Message::Proof(msg));
+        assert_eq!(decode(&bytes), Err(WireError::BadConfig("region bounds rejected")));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        let msg = sample_proof();
+        let bytes = encode(&Message::Proof(msg));
+        let mut bad = bytes;
+        let exec_off = HEADER_LEN + 8 + 8 + 10;
+        bad[exec_off] = 2;
+        assert_eq!(decode(&bad), Err(WireError::BadBool(2)));
+    }
+
+    #[test]
+    fn batch_summary_from_report_matches_stats() {
+        use dialed::report::{BatchOutcome, BatchStats};
+        let report = BatchReport {
+            outcomes: vec![BatchOutcome {
+                index: 0,
+                device_id: 77,
+                report: Report::rejected("nope"),
+            }],
+            stats: BatchStats {
+                total: 1,
+                rejected: 1,
+                workers: 2,
+                wall: std::time::Duration::from_micros(5),
+                proofs_per_sec: 200_000.0,
+                ..BatchStats::default()
+            },
+        };
+        let summary = BatchSummary::from_report(&report);
+        assert_eq!(summary.total, 1);
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.wall_nanos, 5_000);
+        assert_eq!(summary.outcomes[0].device, 77);
+        assert_eq!(summary.outcomes[0].verdict, Verdict::Rejected);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the wire codec: round-trip fidelity and totality
+//! (no input — truncated, bit-flipped, or fully random — may panic the
+//! decoder).
+
+use apex::{PoxConfig, PoxProof};
+use dialed::attest::DialedProof;
+use dialed::report::{Finding, Report, Verdict, VerifyStats};
+use fleet::wire::{self, BatchSummary, ChallengeMsg, Message, OutcomeSummary, ProofMsg, ReportMsg};
+use proptest::prelude::*;
+use vrased::Challenge;
+
+fn verdict_from(tag: u8) -> Verdict {
+    match tag % 3 {
+        0 => Verdict::Clean,
+        1 => Verdict::Rejected,
+        _ => Verdict::Attack,
+    }
+}
+
+fn finding_from(tag: u8, a: u16, b: u16, text: &str) -> Finding {
+    match tag % 8 {
+        0 => Finding::PoxRejected { reason: text.to_string() },
+        1 => Finding::ReturnHijack { at: a, expected: b, actual: a ^ b },
+        2 => Finding::LogDivergence { addr: a, device: b, emulated: a.wrapping_add(b) },
+        3 => Finding::OutOfBoundsWrite { pc: a, addr: b },
+        4 => Finding::ActuationViolation { port: a, cycles: u64::from(b) << 32, max: u64::from(a) },
+        5 => Finding::OrHeadTruncated { capacity: usize::from(a), required: usize::from(b) },
+        6 => Finding::EmulationStuck,
+        _ => Finding::PolicyViolation { policy: text.to_string(), detail: text.to_string() },
+    }
+}
+
+/// A structurally valid config derived from three generator words.
+fn config_from(er_len: u16, or_len: u16, exit_off: u16) -> PoxConfig {
+    let er_min = 0xE000;
+    let er_max = er_min + 2 + (er_len % 0x400);
+    let er_exit = (er_min + (exit_off % (er_max - er_min + 1))) & !1;
+    let or_min = 0x0400;
+    let or_max = or_min + 1 + 2 * (or_len % 0x200); // always odd
+    PoxConfig::new(er_min, er_max, er_exit, or_min, or_max).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(x)) == x for arbitrary challenge messages.
+    #[test]
+    fn challenge_round_trips(session in any::<u64>(), device in any::<u64>(),
+                             nonce in any::<u64>(), deadline in any::<u64>(),
+                             label in any::<u64>()) {
+        let msg = Message::Challenge(ChallengeMsg {
+            session, device, nonce, deadline,
+            challenge: Challenge::derive(b"prop", label),
+        });
+        let decoded = wire::decode(&wire::encode(&msg));
+        prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+    }
+
+    /// decode(encode(x)) == x for arbitrary proofs over valid configs.
+    #[test]
+    fn proof_round_trips(session in any::<u64>(), device in any::<u64>(),
+                         er_len in any::<u16>(), or_len in any::<u16>(), exit in any::<u16>(),
+                         exec in any::<bool>(),
+                         fill in any::<u8>(), tag in proptest::array::uniform8(any::<u8>())) {
+        let cfg = config_from(er_len, or_len, exit);
+        let mut digest = [0u8; 32];
+        digest[..8].copy_from_slice(&tag);
+        let msg = Message::Proof(ProofMsg {
+            session, device,
+            proof: DialedProof { pox: PoxProof {
+                cfg, exec,
+                or_data: vec![fill; cfg.or_len()],
+                tag: digest,
+            }},
+        });
+        let decoded = wire::decode(&wire::encode(&msg));
+        prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+    }
+
+    /// decode(encode(x)) == x for reports over every finding variant.
+    #[test]
+    fn report_round_trips(session in any::<u64>(), device in any::<u64>(),
+                          verdict in any::<u8>(),
+                          tags in proptest::collection::vec(any::<u8>(), 0..12),
+                          a in any::<u16>(), b in any::<u16>(),
+                          insns in any::<u32>()) {
+        let findings = tags.iter().map(|&t| finding_from(t, a, b, "détail ✓")).collect();
+        let msg = Message::Report(ReportMsg {
+            session, device,
+            report: Report {
+                verdict: verdict_from(verdict),
+                findings,
+                stats: VerifyStats {
+                    emulated_insns: insns as usize,
+                    log_bytes_used: a.into(),
+                    cf_entries: b.into(),
+                    input_entries: 1,
+                    arg_entries: 9,
+                },
+            },
+        });
+        let decoded = wire::decode(&wire::encode(&msg));
+        prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+    }
+
+    /// decode(encode(x)) == x for batch summaries.
+    #[test]
+    fn batch_summary_round_trips(total in any::<u64>(), wall in any::<u64>(),
+                                 rate_bits in any::<u32>(),
+                                 outcomes in proptest::collection::vec((any::<u64>(), any::<u8>()), 0..40)) {
+        let msg = Message::BatchSummary(BatchSummary {
+            total,
+            clean: total / 2,
+            rejected: total / 3,
+            attacks: total / 5,
+            workers: 8,
+            steals: 3,
+            wall_nanos: wall,
+            proofs_per_sec: f64::from(rate_bits),
+            emulated_insns: total,
+            outcomes: outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, &(device, v))| OutcomeSummary {
+                    index: i as u64,
+                    device,
+                    verdict: verdict_from(v),
+                })
+                .collect(),
+        });
+        let decoded = wire::decode(&wire::encode(&msg));
+        prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+    }
+
+    /// Totality: decoding arbitrary bytes never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Totality: every truncation of a valid frame errors cleanly.
+    #[test]
+    fn truncations_never_panic(cut in any::<usize>(), nonce in any::<u64>()) {
+        let bytes = wire::encode(&Message::Challenge(ChallengeMsg {
+            session: 1, device: 2, nonce, deadline: 4,
+            challenge: Challenge::derive(b"trunc", nonce),
+        }));
+        let cut = cut % bytes.len();
+        prop_assert!(wire::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Totality + integrity: single-bit corruption of a proof frame either
+    /// fails to decode or decodes to a *different* well-formed message —
+    /// never a panic, and never silently the original.
+    #[test]
+    fn bitflips_never_panic(pos in any::<usize>(), bit in 0u8..8,
+                            or_len in any::<u16>()) {
+        let cfg = config_from(64, or_len, 0);
+        let msg = Message::Proof(ProofMsg {
+            session: 5, device: 6,
+            proof: DialedProof { pox: PoxProof {
+                cfg, exec: true,
+                or_data: vec![0x5A; cfg.or_len()],
+                tag: [7; 32],
+            }},
+        });
+        let mut bytes = wire::encode(&msg);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(decoded) = wire::decode(&bytes) {
+            prop_assert_ne!(decoded, msg, "flipped bit at {} unnoticed", pos);
+        }
+    }
+}

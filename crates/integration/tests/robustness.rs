@@ -1,0 +1,98 @@
+//! Robustness properties: no hostile input — mutated proof bytes, mutated
+//! challenges, garbage wire frames — may ever panic the verifier-side
+//! stack. Every outcome is a graceful `Rejected`/`Attack` report or a
+//! wire decode error.
+
+use dialed::attest::{DialedDevice, DialedProof};
+use dialed::pipeline::{BuildOptions, InstrumentedOp};
+use dialed::report::Verdict;
+use dialed::{DialedVerifier, Report};
+use fleet::wire::{self, Message, ProofMsg};
+use proptest::prelude::*;
+use vrased::{Challenge, KeyStore};
+
+const OP_SRC: &str = "\
+    .org 0xE000\nop:\n mov &0x0020, r14\n tst r14\n jz done\n mov r14, &0x0060\ndone:\n ret\n";
+
+/// One honest proof plus the verifier that checks it.
+fn honest_setup() -> (DialedVerifier, DialedProof, Challenge) {
+    let op = InstrumentedOp::build(OP_SRC, "op", &BuildOptions::default()).unwrap();
+    let ks = KeyStore::from_seed(0x50B);
+    let mut dev = DialedDevice::new(op.clone(), ks.clone());
+    dev.platform_mut().gpio.p1.input = 0x3C;
+    let info = dev.invoke(&[0; 8]);
+    assert_eq!(info.stop, apex::pox::StopReason::ReachedStop);
+    let chal = Challenge::derive(b"robustness", 1);
+    let proof = dev.prove(&chal);
+    (DialedVerifier::new(op, ks), proof, chal)
+}
+
+/// The verifier ran and returned *some* report — the only thing hostile
+/// input may achieve.
+fn assert_graceful(report: &Report) {
+    assert!(matches!(report.verdict, Verdict::Clean | Verdict::Rejected | Verdict::Attack));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary byte/bit corruption of an encoded proof frame: the wire
+    /// decoder never panics, and whatever still decodes never panics the
+    /// verifier either.
+    #[test]
+    fn mutated_proof_bytes_never_panic(positions in proptest::collection::vec((any::<usize>(), 0u8..8), 1..24)) {
+        let (verifier, proof, chal) = honest_setup();
+        let mut bytes = wire::encode(&Message::Proof(ProofMsg { session: 0, device: 0, proof }));
+        for (pos, bit) in positions {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+        }
+        if let Ok(Message::Proof(m)) = wire::decode(&bytes) {
+            assert_graceful(&verifier.verify(&m.proof, &chal));
+        }
+    }
+
+    /// Field-level proof mutations (resized OR, flipped flags, rewritten
+    /// regions) always yield a graceful rejection, never a panic.
+    #[test]
+    fn mutated_proof_fields_never_panic(or_len in any::<u16>(), fill in any::<u8>(),
+                                        exec in any::<bool>(), twiddle in any::<u8>()) {
+        let (verifier, mut proof, chal) = honest_setup();
+        proof.pox.or_data = vec![fill; usize::from(or_len)];
+        proof.pox.exec = exec;
+        if twiddle & 1 != 0 {
+            proof.pox.cfg.or_max = proof.pox.cfg.or_max.wrapping_add(u16::from(twiddle));
+        }
+        if twiddle & 2 != 0 {
+            proof.pox.tag[usize::from(twiddle >> 2) % 32] ^= 0xFF;
+        }
+        let report = verifier.verify(&proof, &chal);
+        assert_graceful(&report);
+        prop_assert_eq!(report.verdict, Verdict::Rejected, "no mutated proof may verify");
+    }
+
+    /// Arbitrary challenge bytes: a proof can only answer the challenge it
+    /// was produced for.
+    #[test]
+    fn mutated_challenge_never_panics_or_verifies(bytes in proptest::collection::vec(any::<u8>(), 32..33)) {
+        let (verifier, proof, chal) = honest_setup();
+        let mutated = Challenge::from_bytes(bytes.try_into().expect("32 bytes"));
+        let report = verifier.verify(&proof, &mutated);
+        assert_graceful(&report);
+        if mutated != chal {
+            prop_assert_eq!(report.verdict, Verdict::Rejected);
+        }
+    }
+
+    /// Raw garbage fed to the wire decoder: always a clean error or a
+    /// well-formed message, never a panic.
+    #[test]
+    fn garbage_frames_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+        // Garbage with a plausible header exercises the payload decoders.
+        let mut framed = vec![b'D', b'W', 1, (bytes.len() % 5) as u8 + 1];
+        framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&bytes);
+        let _ = wire::decode(&framed);
+    }
+}

@@ -50,13 +50,18 @@ impl<'a> OrStack<'a> {
         }
         let addr = self.r_top() - 2 * idx as u16;
         let off = usize::from(addr - self.or_min);
-        Some(u16::from(self.bytes[off]) | (u16::from(self.bytes[off + 1]) << 8))
+        // Defensive: with a validated config (`or_max` odd) the top slot is
+        // always two full bytes, but an unvalidated region whose `r_top`
+        // equals `or_max` would otherwise read one byte past the snapshot.
+        let hi = self.bytes.get(off + 1).copied()?;
+        Some(u16::from(self.bytes[off]) | (u16::from(hi) << 8))
     }
 
-    /// The first `n` entries.
+    /// The first `n` entries, or `None` if the region cannot hold `n`
+    /// entries (callers must see truncation, not a silently short vector).
     #[must_use]
-    pub fn entries(&self, n: usize) -> Vec<u16> {
-        (0..n).filter_map(|i| self.entry(i)).collect()
+    pub fn entries(&self, n: usize) -> Option<Vec<u16>> {
+        (0..n).map(|i| self.entry(i)).collect()
     }
 }
 
@@ -78,7 +83,29 @@ mod tests {
         assert_eq!(s.entry(0), Some(0x1234));
         assert_eq!(s.entry(1), Some(0x5678));
         assert_eq!(s.entry(4), None);
-        assert_eq!(s.entries(2), vec![0x1234, 0x5678]);
+        assert_eq!(s.entries(2), Some(vec![0x1234, 0x5678]));
+    }
+
+    #[test]
+    fn entries_reports_truncation() {
+        // 4-slot region: asking for 5 entries must signal truncation
+        // instead of silently returning 4.
+        let bytes = vec![0u8; 8];
+        let s = OrStack::new(&bytes, 0x0600, 0x0607);
+        assert_eq!(s.entries(4).map(|v| v.len()), Some(4));
+        assert_eq!(s.entries(5), None);
+    }
+
+    #[test]
+    fn even_or_max_top_slot_is_out_of_bounds_not_a_panic() {
+        // Regression: a region ending on an even address (half a top slot)
+        // made `entry(0)` read one past the snapshot. `PoxConfig` now
+        // rejects such regions; `OrStack` itself must stay total anyway.
+        let bytes = vec![0u8; 7]; // 0x0600..=0x0606, r_top = 0x0606
+        let s = OrStack::new(&bytes, 0x0600, 0x0606);
+        assert_eq!(s.r_top(), 0x0606);
+        assert_eq!(s.entry(0), None, "truncated top slot must not be readable");
+        assert_eq!(s.entry(1), Some(0), "full slots below the top stay readable");
     }
 
     #[test]

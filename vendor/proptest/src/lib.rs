@@ -149,6 +149,8 @@ pub mod strategy {
         (S0 0, S1 1, S2 2, S3 3);
         (S0 0, S1 1, S2 2, S3 3, S4 4);
         (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
     }
 }
 
