@@ -8,7 +8,45 @@ use hacl::Digest;
 use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::platform::Platform;
 use msp430::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use vrased::{Challenge, KeyStore, RaVerifier, SwAtt};
+
+/// Why a [`PoxVerifier`] rejected a proof.
+///
+/// Every cryptographic / structural failure class gets its own variant so
+/// upper layers (and wire codecs) can match on the cause instead of
+/// comparing strings; [`fmt::Display`] renders the operator-facing text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PoxRejection {
+    /// The proof's region metadata differs from what the verifier expects.
+    RegionMismatch,
+    /// The EXEC flag was clear: the operation was not executed untouched
+    /// from entry to exit, so there is no valid proof of execution.
+    ExecClear,
+    /// The verifier's expected ER image does not span the configured
+    /// executable region (verifier misconfiguration, not device fault).
+    ErLengthMismatch,
+    /// The claimed OR snapshot does not span the configured output region.
+    OrLengthMismatch,
+    /// The MAC did not verify: wrong key or challenge, or tampered code /
+    /// output / metadata / EXEC flag.
+    MacMismatch,
+}
+
+impl fmt::Display for PoxRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoxRejection::RegionMismatch => "region metadata mismatch",
+            PoxRejection::ExecClear => "EXEC flag clear: no valid proof of execution",
+            PoxRejection::ErLengthMismatch => "expected ER image length mismatch",
+            PoxRejection::OrLengthMismatch => "OR snapshot length mismatch",
+            PoxRejection::MacMismatch => "MAC verification failed (code or output tampered)",
+        })
+    }
+}
+
+impl std::error::Error for PoxRejection {}
 
 /// A proof of execution as shipped to the verifier.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -147,43 +185,35 @@ impl PoxVerifier {
     /// authentic OR. Returns a borrow of the verified OR bytes on success
     /// (no per-proof copy — verification is the fleet-scale hot path).
     ///
-    /// # Errors
-    ///
-    /// Returns a human-readable reason on failure.
-    pub fn verify<'p>(
-        &self,
-        proof: &'p PoxProof,
-        challenge: &Challenge,
-    ) -> Result<&'p [u8], &'static str> {
-        self.verify_keyed(proof, challenge, &self.ra)
-    }
-
-    /// [`PoxVerifier::verify`] checking the tag under `ra` instead of the
-    /// key bound at construction — fleet deployments provision one key per
-    /// device, so a shared per-operation verifier checks each proof under
-    /// that device's key.
+    /// The tag is checked under `ra` when given — fleet deployments
+    /// provision one key per device, so a shared per-operation verifier
+    /// checks each proof under that device's key — and under the key bound
+    /// at construction otherwise. (Named `check` like
+    /// [`RaVerifier::check`], leaving `verify` to the request-based
+    /// `Verifier` trait the upper layers implement for this type.)
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason on failure.
-    pub fn verify_keyed<'p>(
+    /// Returns the structured [`PoxRejection`] class on failure.
+    pub fn check<'p>(
         &self,
         proof: &'p PoxProof,
         challenge: &Challenge,
-        ra: &RaVerifier,
-    ) -> Result<&'p [u8], &'static str> {
+        ra: Option<&RaVerifier>,
+    ) -> Result<&'p [u8], PoxRejection> {
+        let ra = ra.unwrap_or(&self.ra);
         if proof.cfg != self.cfg {
-            return Err("region metadata mismatch");
+            return Err(PoxRejection::RegionMismatch);
         }
         if !proof.exec {
-            return Err("EXEC flag clear: no valid proof of execution");
+            return Err(PoxRejection::ExecClear);
         }
         let er_len = usize::from(self.cfg.er_max - self.cfg.er_min) + 1;
         if self.expected_er.len() != er_len {
-            return Err("expected ER image length mismatch");
+            return Err(PoxRejection::ErLengthMismatch);
         }
         if proof.or_data.len() != self.cfg.or_len() {
-            return Err("OR snapshot length mismatch");
+            return Err(PoxRejection::OrLengthMismatch);
         }
         // Check the tag directly against the expected region bytes — no
         // 64 KiB expected-memory image is rebuilt per proof.
@@ -202,7 +232,7 @@ impl PoxVerifier {
         if ok {
             Ok(&proof.or_data)
         } else {
-            Err("MAC verification failed (code or output tampered)")
+            Err(PoxRejection::MacMismatch)
         }
     }
 }
@@ -249,7 +279,7 @@ mod tests {
         assert_eq!(out.stop, StopReason::ReachedStop);
         let chal = Challenge::derive(b"pox", 0);
         let proof = prover.prove(&chal);
-        let or = verifier.verify(&proof, &chal).expect("valid proof");
+        let or = verifier.check(&proof, &chal, None).expect("valid proof");
         assert_eq!(u16::from_le_bytes([or[0], or[1]]), 0xBEEF);
     }
 
@@ -258,10 +288,7 @@ mod tests {
         let (prover, verifier, _) = build(OP);
         let chal = Challenge::derive(b"pox", 1);
         let proof = prover.prove(&chal);
-        assert_eq!(
-            verifier.verify(&proof, &chal),
-            Err("EXEC flag clear: no valid proof of execution")
-        );
+        assert_eq!(verifier.check(&proof, &chal, None), Err(PoxRejection::ExecClear));
     }
 
     #[test]
@@ -271,7 +298,7 @@ mod tests {
         let chal = Challenge::derive(b"pox", 2);
         let mut proof = prover.prove(&chal);
         proof.or_data[0] ^= 1;
-        assert!(verifier.verify(&proof, &chal).is_err());
+        assert!(verifier.check(&proof, &chal, None).is_err());
     }
 
     #[test]
@@ -284,7 +311,7 @@ mod tests {
         let mut proof = prover.prove(&chal);
         assert!(!proof.exec);
         proof.exec = true; // forging the flag without the key
-        assert!(verifier.verify(&proof, &chal).is_err(), "flag is MAC-bound");
+        assert!(verifier.check(&proof, &chal, None).is_err(), "flag is MAC-bound");
     }
 
     #[test]
@@ -296,7 +323,7 @@ mod tests {
         prover.run_to(halt, 1000);
         let chal = Challenge::derive(b"pox", 4);
         let proof = prover.prove(&chal);
-        assert!(verifier.verify(&proof, &chal).is_err());
+        assert!(verifier.check(&proof, &chal, None).is_err());
     }
 
     #[test]
@@ -310,10 +337,7 @@ mod tests {
         prover.run_to(halt, 1000);
         let chal = Challenge::derive(b"pox", 5);
         let proof = prover.prove(&chal);
-        assert_eq!(
-            verifier.verify(&proof, &chal),
-            Err("EXEC flag clear: no valid proof of execution")
-        );
+        assert_eq!(verifier.check(&proof, &chal, None), Err(PoxRejection::ExecClear));
         assert!(matches!(prover.violation(), Some(Violation::DmaDuringExec { .. })));
     }
 
@@ -323,12 +347,12 @@ mod tests {
         prover.run_to(halt, 1000);
         let chal = Challenge::derive(b"pox", 8);
         let proof = prover.prove(&chal);
-        // The construction key works through the keyed entry point too...
+        // The construction key works when supplied explicitly too...
         let right = RaVerifier::new(KeyStore::from_seed(42));
-        assert!(verifier.verify_keyed(&proof, &chal, &right).is_ok());
+        assert!(verifier.check(&proof, &chal, Some(&right)).is_ok());
         // ...and a different device's key does not.
         let wrong = RaVerifier::new(KeyStore::from_seed(43));
-        assert!(verifier.verify_keyed(&proof, &chal, &wrong).is_err());
+        assert_eq!(verifier.check(&proof, &chal, Some(&wrong)), Err(PoxRejection::MacMismatch));
     }
 
     #[test]
@@ -338,6 +362,6 @@ mod tests {
         let chal0 = Challenge::derive(b"pox", 6);
         let proof = prover.prove(&chal0);
         let chal1 = Challenge::derive(b"pox", 7);
-        assert!(verifier.verify(&proof, &chal1).is_err());
+        assert!(verifier.check(&proof, &chal1, None).is_err());
     }
 }

@@ -149,7 +149,7 @@ mod tests {
         for p in policies() {
             v = v.with_policy(p);
         }
-        (v.verify(&proof, &chal), dev)
+        (v.verify(&VerifyRequest::new(&proof, &chal)), dev)
     }
 
     #[test]

@@ -300,7 +300,7 @@ mod tests {
         for p in policies() {
             verifier = verifier.with_policy(p);
         }
-        (verifier.verify(&proof, &chal), dev)
+        (verifier.verify(&VerifyRequest::new(&proof, &chal)), dev)
     }
 
     #[test]

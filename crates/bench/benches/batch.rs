@@ -17,7 +17,7 @@ const SIZES: [usize; 4] = [1, 10, 100, 1000];
 
 struct Prepared {
     name: &'static str,
-    batch: BatchVerifier,
+    batch: BatchVerifier<DialedVerifier>,
     jobs: Vec<BatchJob>,
 }
 
@@ -63,17 +63,14 @@ fn bench_scenario(c: &mut Criterion, p: &Prepared) {
             let mut ws = EmuWorkspace::new();
             b.iter(|| {
                 for job in jobs {
-                    std::hint::black_box(p.batch.verifier().verify_with(
-                        &mut ws,
-                        &job.proof,
-                        &job.challenge,
-                    ));
+                    let req = VerifyRequest::new(&job.proof, &job.challenge);
+                    std::hint::black_box(p.batch.verifier().verify_in(&mut ws, &req));
                 }
             });
         });
 
         group.bench_function("batch", |b| {
-            b.iter(|| std::hint::black_box(p.batch.verify_batch(jobs)));
+            b.iter(|| std::hint::black_box(p.batch.verify_batch(jobs, None)));
         });
         group.finish();
     }
@@ -83,7 +80,7 @@ fn bench_batch(c: &mut Criterion) {
     for s in apps::scenarios() {
         let p = prepare(&s);
         // Sanity: every base job verifies clean before we measure it.
-        let smoke = p.batch.verify_batch(&p.jobs[..BASE_PROOFS]);
+        let smoke = p.batch.verify_batch(&p.jobs[..BASE_PROOFS], None);
         assert!(smoke.all_clean(), "{}: {smoke}", p.name);
         bench_scenario(c, &p);
     }

@@ -63,7 +63,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         });
     });
     c.bench_function("verify_fire_sensor_proof", |b| {
-        b.iter(|| std::hint::black_box(verifier.verify(&proof, &chal)));
+        b.iter(|| std::hint::black_box(verifier.verify(&VerifyRequest::new(&proof, &chal))));
     });
 }
 

@@ -75,7 +75,7 @@ pub fn run_and_verify(scenario: &Scenario) -> Report {
     for p in (scenario.policies)() {
         verifier = verifier.with_policy(p);
     }
-    verifier.verify(&proof, &chal)
+    verifier.verify(&VerifyRequest::new(&proof, &chal))
 }
 
 /// Returns an [`InstrumentedOp`] for a scenario (bench setup helper).

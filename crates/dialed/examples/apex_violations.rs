@@ -31,7 +31,8 @@ fn main() {
         round += 1;
         let chal = Challenge::derive(b"tour", round);
         let proof = dev.prove(&chal);
-        let report = DialedVerifier::new(op, key.clone()).verify(&proof, &chal);
+        let report =
+            DialedVerifier::new(op, key.clone()).verify(&VerifyRequest::new(&proof, &chal));
         let violation =
             dev.violation().map_or("-".to_string(), |v| v.to_string().chars().take(26).collect());
         println!("{name:<44} {:<6} {:<26} {:?}", proof.pox.exec, violation, report.verdict);

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for p in fire_sensor::policies() {
             verifier = verifier.with_policy(p);
         }
-        let report = verifier.verify(&proof, &challenge);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &challenge));
 
         let tx = &device.platform().uart.tx;
         let alarm = device.platform().gpio.p1.output != 0;

@@ -1,0 +1,118 @@
+//! A mixed fleet through the generic batch engine: one PoX-only operation
+//! and one full-DIALED operation, each with individually keyed devices,
+//! both drained through the same `BatchVerifier<V>` machinery.
+//!
+//! The fire sensor here ships a `CfaOnly` image — no I-Log, so the best
+//! the server can do is the cryptographic proof of execution
+//! ([`apex::PoxVerifier`] as the backend). The syringe pump ships a `Full`
+//! image and gets complete data-flow verification plus its safety
+//! policies ([`DialedVerifier`] as the backend). Per-device keys resolve
+//! through one [`PerDevice`] key source; the engine, the job type and the
+//! request path are identical for both.
+//!
+//! ```text
+//! cargo run -p dialed --example mixed_fleet
+//! ```
+
+use apps::{app_build_options, fire_sensor, syringe_pump};
+use dialed::pipeline::InstrumentMode;
+use dialed::prelude::*;
+use vrased::RaVerifier;
+
+/// Runs `n` devices of one scenario and returns their jobs; device `i`
+/// attests under key seed `seed0 + i`.
+fn attest_round(
+    op: &InstrumentedOp,
+    feed: impl Fn(&mut msp430::Platform),
+    label: &[u8],
+    seed0: u64,
+    n: u64,
+) -> Vec<BatchJob> {
+    (0..n)
+        .map(|i| {
+            let mut dev = DialedDevice::new(op.clone(), KeyStore::from_seed(seed0 + i));
+            feed(dev.platform_mut());
+            dev.invoke(&[0; 8]);
+            let challenge = Challenge::derive(label, i);
+            BatchJob::new(seed0 + i, dev.prove(&challenge), challenge)
+        })
+        .collect()
+}
+
+/// One drain, any backend: the engine is generic over [`Verifier`].
+fn drain<V: Verifier>(
+    name: &str,
+    engine: &BatchVerifier<V>,
+    jobs: &[BatchJob],
+    keys: &dyn KeySource,
+) {
+    let report = engine.verify_batch(jobs, Some(keys));
+    println!("  {name}: {report}");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const DEVICES: u64 = 4;
+
+    // Op A — fire sensor, CfaOnly image: PoX-only backend.
+    let sensor_op = InstrumentedOp::build(
+        fire_sensor::SOURCE,
+        "fire_op",
+        &app_build_options(InstrumentMode::CfaOnly),
+    )?;
+    let sensor_engine = BatchVerifier::new(apex::PoxVerifier::new(
+        KeyStore::from_seed(0xA0),
+        sensor_op.pox,
+        sensor_op.er_bytes.clone(),
+    ))
+    .with_workers(2);
+
+    // Op B — syringe pump, Full image: complete data-flow verification.
+    let pump_op = InstrumentedOp::build(
+        syringe_pump::SOURCE,
+        "syringe_op",
+        &app_build_options(InstrumentMode::Full),
+    )?;
+    let mut pump_verifier = DialedVerifier::new(pump_op.clone(), KeyStore::from_seed(0xB0));
+    for p in syringe_pump::policies() {
+        pump_verifier = pump_verifier.with_policy(p);
+    }
+    let pump_engine = BatchVerifier::new(pump_verifier).with_workers(2);
+
+    // Every device owns a key; one source serves both shards.
+    let sensor_jobs = attest_round(
+        &sensor_op,
+        |p| p.adc.feed(&[fire_sensor::raw_for_temp(30), 0x0600]),
+        b"mixed-sensor",
+        100,
+        DEVICES,
+    );
+    let pump_jobs = attest_round(&pump_op, syringe_pump::feed_nominal, b"mixed-pump", 200, DEVICES);
+    let table: Vec<(u64, RaVerifier)> = sensor_jobs
+        .iter()
+        .chain(&pump_jobs)
+        .map(|j| (j.device_id, RaVerifier::new(KeyStore::from_seed(j.device_id))))
+        .collect();
+    let keys = PerDevice::new(|id| table.iter().find(|(d, _)| *d == id).map(|(_, ra)| ra));
+
+    println!("mixed fleet: {DEVICES} PoX-only sensors + {DEVICES} full-DIALED pumps");
+    drain("sensors (PoX-only)", &sensor_engine, &sensor_jobs, &keys);
+    drain("pumps   (full DFA)", &pump_engine, &pump_jobs, &keys);
+
+    // Both backends reject an alien proof the same structured way: a pump
+    // proof submitted to the sensor shard fails region/MAC checks, and an
+    // unknown device id fails key resolution before any cryptography.
+    let mut alien = pump_jobs[0].clone();
+    let sensor_verdict = sensor_engine.verify_batch(std::slice::from_ref(&alien), Some(&keys));
+    println!("  pump proof in the sensor shard: {sensor_verdict}");
+    assert_eq!(sensor_verdict.stats.rejected, 1);
+    alien.device_id = 999;
+    let unknown = pump_engine.verify_batch(std::slice::from_ref(&alien), Some(&keys));
+    let first = &unknown.outcomes[0].report;
+    println!("  unknown device id 999: {first}");
+    assert_eq!(
+        first.findings,
+        vec![Finding::PoxRejected { reason: RejectReason::UnknownKey { device: 999 } }]
+    );
+
+    Ok(())
+}

@@ -55,14 +55,14 @@ demo_op:
     // 4. Verify: PoX check + abstract execution + policies.
     let verifier = DialedVerifier::new(op, key)
         .with_policy(Box::new(GlobalWriteBounds::new(vec![(0x0300, 0x0301)])));
-    let report = verifier.verify(&proof, &challenge);
+    let report = verifier.verify(&VerifyRequest::new(&proof, &challenge));
     println!("verification: {report}");
     assert!(report.is_clean());
 
     // 5. Any tampering with the attested output breaks the proof.
     let mut forged = proof.clone();
     forged.pox.or_data[0] ^= 0x01;
-    let report = verifier.verify(&forged, &challenge);
+    let report = verifier.verify(&VerifyRequest::new(&forged, &challenge));
     println!("after flipping one OR bit: {report}");
     assert!(!report.is_clean());
 

@@ -29,7 +29,7 @@ fn verify(op: &InstrumentedOp, dev: &DialedDevice, round: u64, key: &KeyStore) -
     for p in syringe_pump::policies() {
         verifier = verifier.with_policy(p);
     }
-    verifier.verify(&proof, &challenge)
+    verifier.verify(&VerifyRequest::new(&proof, &challenge))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,11 +1,13 @@
 //! Parallel batch verification — the server-side hot path at fleet scale.
 //!
 //! A deployment attesting millions of devices verifies vast numbers of
-//! *independent* [`DialedProof`]s against the same instrumented operation.
-//! Each verification is CPU-bound (abstract execution + OR recomputation)
-//! and shares nothing with its neighbours except the read-only verifier
-//! state, so the batch engine:
+//! *independent* proofs against the same instrumented operation. Each
+//! verification is CPU-bound (abstract execution + OR recomputation) and
+//! shares nothing with its neighbours except the read-only verifier state,
+//! so the batch engine:
 //!
+//! * is generic over the [`Verifier`] backend — full DIALED data-flow
+//!   verification and PoX-only checks drain through the same engine;
 //! * spawns one worker per core (configurable) under [`std::thread::scope`]
 //!   — no detached threads, no `'static` bounds on the job slice;
 //! * distributes jobs round-robin into per-worker queues and lets idle
@@ -15,94 +17,127 @@
 //! * gives each worker one long-lived [`EmuWorkspace`], so the 64 KiB RAM
 //!   image, the step trace and the OR snapshot are allocated once per
 //!   worker instead of once per proof;
+//! * resolves per-device keys through a shared [`KeySource`] — requests
+//!   borrow into it, so keyed batches add no per-proof allocation;
 //! * returns a [`BatchReport`] with the per-proof verdicts (identical to
-//!   sequential [`DialedVerifier::verify`]) plus throughput statistics.
+//!   sequential [`Verifier::verify`]) plus throughput statistics.
 
 use crate::attest::DialedProof;
 use crate::report::{BatchOutcome, BatchReport, BatchStats, Report};
-use crate::verifier::{DialedVerifier, EmuWorkspace};
+use crate::request::{KeySource, Verifier, VerifyRequest};
+use crate::verifier::EmuWorkspace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use vrased::{Challenge, KeyStore, RaVerifier};
+use vrased::Challenge;
+
+/// Fewest worker threads a [`BatchVerifier`] will run with. Degenerate
+/// requests (`with_workers(0)`) are clamped up to this value.
+pub const MIN_WORKERS: usize = 1;
 
 /// One unit of batch work: a proof and the challenge it must answer.
 #[derive(Clone, Debug)]
 pub struct BatchJob {
-    /// Caller-assigned device identifier, echoed into the outcome.
+    /// Caller-assigned device identifier: echoed into the outcome, and
+    /// resolved against the batch's [`KeySource`] when one is supplied.
     pub device_id: u64,
     /// The attestation response to verify.
     pub proof: DialedProof,
     /// The challenge the verifier issued to this device.
     pub challenge: Challenge,
-    /// Per-device verification key. `None` uses the key the wrapped
-    /// [`DialedVerifier`] was built with (single-key deployments); fleet
-    /// frontends provision one key per device and set it here.
-    pub keystore: Option<KeyStore>,
 }
 
 impl BatchJob {
-    /// A job for `device_id` verified under the batch verifier's own key.
+    /// A job for `device_id`.
     #[must_use]
     pub fn new(device_id: u64, proof: DialedProof, challenge: Challenge) -> Self {
-        Self { device_id, proof, challenge, keystore: None }
-    }
-
-    /// A job verified under `keystore` — this device's individual key.
-    #[must_use]
-    pub fn with_key(
-        device_id: u64,
-        proof: DialedProof,
-        challenge: Challenge,
-        keystore: KeyStore,
-    ) -> Self {
-        Self { device_id, proof, challenge, keystore: Some(keystore) }
+        Self { device_id, proof, challenge }
     }
 }
 
-/// Verifies batches of independent proofs of one operation across cores.
+/// Verifies batches of independent proofs of one operation across cores,
+/// generic over the [`Verifier`] backend.
 #[derive(Debug)]
-pub struct BatchVerifier {
-    verifier: DialedVerifier,
+pub struct BatchVerifier<V> {
+    verifier: V,
     workers: usize,
 }
 
-impl BatchVerifier {
+impl<V: Verifier> BatchVerifier<V> {
     /// Wraps `verifier`, defaulting to one worker per available core.
     #[must_use]
-    pub fn new(verifier: DialedVerifier) -> Self {
+    pub fn new(verifier: V) -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         Self { verifier, workers }
     }
 
-    /// Overrides the worker count (clamped to at least 1).
+    /// Overrides the worker count, clamped up to [`MIN_WORKERS`]: asking
+    /// for zero workers runs with one.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.workers = workers.max(MIN_WORKERS);
         self
     }
 
     /// The wrapped sequential verifier.
     #[must_use]
-    pub fn verifier(&self) -> &DialedVerifier {
+    pub fn verifier(&self) -> &V {
         &self.verifier
+    }
+
+    /// The worker count batches will run with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Verifies every job, returning per-proof verdicts in submission order
     /// plus aggregate throughput statistics.
     ///
-    /// Verdicts are bit-identical to calling [`DialedVerifier::verify`] on
-    /// each job sequentially; only the schedule is parallel.
+    /// With `keys` set, each job's MAC is checked under its device's key
+    /// from the source (fleet deployments); without, every job verifies
+    /// under the backend's embedded key.
+    ///
+    /// Verdicts are bit-identical to building a [`VerifyRequest`] per job
+    /// and calling [`Verifier::verify`] sequentially; only the schedule is
+    /// parallel.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics (i.e. verification itself
     /// panicked — never expected for well-formed jobs).
     #[must_use]
-    pub fn verify_batch(&self, jobs: &[BatchJob]) -> BatchReport {
+    pub fn verify_batch(&self, jobs: &[BatchJob], keys: Option<&dyn KeySource>) -> BatchReport {
         let started = Instant::now();
         let workers = self.workers.min(jobs.len()).max(1);
+
+        // One request construction shared by both schedules, so the
+        // single-worker and multi-worker paths cannot drift apart.
+        let verify_job = |ws: &mut EmuWorkspace, job: &BatchJob| -> Report {
+            let mut req = VerifyRequest::new(&job.proof, &job.challenge).for_device(job.device_id);
+            if let Some(keys) = keys {
+                req = req.keys(keys);
+            }
+            self.verifier.verify_in(ws, &req)
+        };
+
+        // A lone worker needs no queues, no locks and no thread spawn:
+        // verify inline on the calling thread. Small shards on small
+        // hosts hit this path on every drain.
+        if workers == 1 {
+            let mut ws = EmuWorkspace::new();
+            let outcomes: Vec<BatchOutcome> = jobs
+                .iter()
+                .enumerate()
+                .map(|(index, job)| BatchOutcome {
+                    index,
+                    device_id: job.device_id,
+                    report: verify_job(&mut ws, job),
+                })
+                .collect();
+            return finish(outcomes, jobs.len(), 1, 0, started);
+        }
 
         // Round-robin initial distribution into per-worker deques.
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
@@ -117,20 +152,12 @@ impl BatchVerifier {
                 .map(|me| {
                     let queues = &queues;
                     let steals = &steals;
-                    let verifier = &self.verifier;
+                    let verify_job = &verify_job;
                     scope.spawn(move || {
                         let mut ws = EmuWorkspace::new();
                         let mut done: Vec<(usize, Report)> = Vec::new();
                         while let Some(idx) = next_job(queues, me, steals) {
-                            let job = &jobs[idx];
-                            let report = match &job.keystore {
-                                Some(ks) => {
-                                    let ra = RaVerifier::new(ks.clone());
-                                    verifier.verify_keyed(&mut ws, &job.proof, &job.challenge, &ra)
-                                }
-                                None => verifier.verify_with(&mut ws, &job.proof, &job.challenge),
-                            };
-                            done.push((idx, report));
+                            done.push((idx, verify_job(&mut ws, &jobs[idx])));
                         }
                         done
                     })
@@ -147,27 +174,36 @@ impl BatchVerifier {
                 .collect()
         });
         outcomes.sort_unstable_by_key(|o| o.index);
-
-        let wall = started.elapsed();
-        let mut stats = BatchStats {
-            total: jobs.len(),
-            workers,
-            steals: steals.into_inner(),
-            wall,
-            proofs_per_sec: jobs.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
-            ..BatchStats::default()
-        };
-        for o in &outcomes {
-            match o.report.verdict {
-                crate::report::Verdict::Clean => stats.clean += 1,
-                crate::report::Verdict::Rejected => stats.rejected += 1,
-                crate::report::Verdict::Attack => stats.attacks += 1,
-            }
-            stats.emulated_insns += o.report.stats.emulated_insns;
-        }
-
-        BatchReport { outcomes, stats }
+        finish(outcomes, jobs.len(), workers, steals.into_inner(), started)
     }
+}
+
+/// Assembles the [`BatchReport`] from ordered outcomes plus run metadata.
+fn finish(
+    outcomes: Vec<BatchOutcome>,
+    total: usize,
+    workers: usize,
+    steals: usize,
+    started: Instant,
+) -> BatchReport {
+    let wall = started.elapsed();
+    let mut stats = BatchStats {
+        total,
+        workers,
+        steals,
+        wall,
+        proofs_per_sec: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        ..BatchStats::default()
+    };
+    for o in &outcomes {
+        match o.report.verdict {
+            crate::report::Verdict::Clean => stats.clean += 1,
+            crate::report::Verdict::Rejected => stats.rejected += 1,
+            crate::report::Verdict::Attack => stats.attacks += 1,
+        }
+        stats.emulated_insns += o.report.stats.emulated_insns;
+    }
+    BatchReport { outcomes, stats }
 }
 
 /// Pops the next job for worker `me`: own queue first (front, FIFO), then a
@@ -199,7 +235,9 @@ mod tests {
     use crate::attest::DialedDevice;
     use crate::pipeline::{BuildOptions, InstrumentedOp};
     use crate::policy::GlobalWriteBounds;
-    use vrased::KeyStore;
+    use crate::request::PerDevice;
+    use crate::verifier::DialedVerifier;
+    use vrased::{KeyStore, RaVerifier};
 
     const OP: &str = "\
         .org 0xE000\nop:\n mov r15, r10\n add r14, r10\n mov r10, &0x0060\n ret\n";
@@ -232,11 +270,13 @@ mod tests {
         jobs[9].challenge = Challenge::derive(b"wrong", 9);
 
         let verifier = DialedVerifier::new(op.clone(), ks.clone());
-        let sequential: Vec<Report> =
-            jobs.iter().map(|j| verifier.verify(&j.proof, &j.challenge)).collect();
+        let sequential: Vec<Report> = jobs
+            .iter()
+            .map(|j| verifier.verify(&VerifyRequest::new(&j.proof, &j.challenge)))
+            .collect();
 
         let batch = BatchVerifier::new(DialedVerifier::new(op, ks)).with_workers(4);
-        let report = batch.verify_batch(&jobs);
+        let report = batch.verify_batch(&jobs, None);
 
         assert_eq!(report.stats.total, 12);
         assert_eq!(report.outcomes.len(), 12);
@@ -253,19 +293,22 @@ mod tests {
 
     #[test]
     fn eight_proofs_verify_concurrently_clean() {
-        // The ISSUE's smoke test: ≥ 8 proofs, concurrent verdicts identical
-        // to sequential `DialedVerifier::verify`.
+        // ≥ 8 proofs, concurrent verdicts identical to sequential
+        // request-based verification.
         let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
         let ks = KeyStore::from_seed(22);
         let jobs = make_jobs(8, &ks, &op);
         let batch = BatchVerifier::new(DialedVerifier::new(op.clone(), ks.clone())).with_workers(8);
-        let report = batch.verify_batch(&jobs);
+        let report = batch.verify_batch(&jobs, None);
         assert!(report.all_clean(), "{report}");
         assert_eq!(report.stats.clean, 8);
         assert_eq!(report.stats.workers, 8);
         let verifier = DialedVerifier::new(op, ks);
         for (job, outcome) in jobs.iter().zip(&report.outcomes) {
-            assert_eq!(outcome.report, verifier.verify(&job.proof, &job.challenge));
+            assert_eq!(
+                outcome.report,
+                verifier.verify(&VerifyRequest::new(&job.proof, &job.challenge))
+            );
         }
     }
 
@@ -280,8 +323,9 @@ mod tests {
         let verifier = DialedVerifier::new(op, ks);
         let mut ws = EmuWorkspace::new();
         for job in &jobs {
-            let reused = verifier.verify_with(&mut ws, &job.proof, &job.challenge);
-            let fresh = verifier.verify(&job.proof, &job.challenge);
+            let req = VerifyRequest::new(&job.proof, &job.challenge);
+            let reused = verifier.verify_in(&mut ws, &req);
+            let fresh = verifier.verify(&req);
             assert_eq!(reused, fresh);
         }
     }
@@ -291,7 +335,7 @@ mod tests {
         let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
         let ks = KeyStore::from_seed(24);
         let batch = BatchVerifier::new(DialedVerifier::new(op, ks));
-        let report = batch.verify_batch(&[]);
+        let report = batch.verify_batch(&[], None);
         assert!(report.all_clean());
         assert_eq!(report.stats.total, 0);
         assert!(report.outcomes.is_empty());
@@ -306,7 +350,7 @@ mod tests {
         let jobs = make_jobs(9, &ks, &op);
         let verifier =
             DialedVerifier::new(op, ks).with_policy(Box::new(GlobalWriteBounds::new(vec![])));
-        let report = BatchVerifier::new(verifier).with_workers(3).verify_batch(&jobs);
+        let report = BatchVerifier::new(verifier).with_workers(3).verify_batch(&jobs, None);
         assert_eq!(report.stats.attacks, 9, "{report}");
     }
 
@@ -314,29 +358,30 @@ mod tests {
     fn per_device_keys_verify_under_their_own_keys() {
         let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
         // Each device holds its own key; the batch verifier is built with
-        // an unrelated key that keyed jobs must never fall back to.
+        // an unrelated key that keyed batches must never fall back to.
+        let table: Vec<RaVerifier> =
+            (0u64..6).map(|i| RaVerifier::new(KeyStore::from_seed(1000 + i))).collect();
         let jobs: Vec<BatchJob> = (0u64..6)
             .map(|i| {
                 let ks = KeyStore::from_seed(1000 + i);
-                let mut dev = DialedDevice::new(op.clone(), ks.clone());
+                let mut dev = DialedDevice::new(op.clone(), ks);
                 let mut args = [0u16; 8];
                 args[7] = i as u16;
                 let info = dev.invoke(&args);
                 assert_eq!(info.stop, apex::pox::StopReason::ReachedStop);
                 let chal = Challenge::derive(b"keyed", i);
-                BatchJob::with_key(i, dev.prove(&chal), chal, ks)
+                BatchJob::new(i, dev.prove(&chal), chal)
             })
             .collect();
+        let keys = PerDevice::new(|device| table.get(usize::try_from(device).ok()?));
         let batch =
             BatchVerifier::new(DialedVerifier::new(op, KeyStore::from_seed(9999))).with_workers(3);
-        let report = batch.verify_batch(&jobs);
+        let report = batch.verify_batch(&jobs, Some(&keys));
         assert!(report.all_clean(), "{report}");
-        // Dropping a job's key makes it verify under the batch verifier's
-        // (wrong) key and fail the MAC.
-        let mut unkeyed = jobs[0].clone();
-        unkeyed.keystore = None;
-        let r = batch.verify_batch(std::slice::from_ref(&unkeyed));
-        assert_eq!(r.stats.rejected, 1, "{r}");
+        // Without the key source the batch falls back to the verifier's
+        // own (wrong) key and every MAC fails.
+        let r = batch.verify_batch(&jobs, None);
+        assert_eq!(r.stats.rejected, 6, "{r}");
     }
 
     #[test]
@@ -344,10 +389,25 @@ mod tests {
         let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
         let ks = KeyStore::from_seed(26);
         let jobs = make_jobs(5, &ks, &op);
-        let report =
-            BatchVerifier::new(DialedVerifier::new(op, ks)).with_workers(1).verify_batch(&jobs);
+        let report = BatchVerifier::new(DialedVerifier::new(op, ks))
+            .with_workers(1)
+            .verify_batch(&jobs, None);
         assert!(report.all_clean());
         assert_eq!(report.stats.workers, 1);
         assert_eq!(report.stats.steals, 0, "a lone worker has nobody to steal from");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_the_documented_minimum() {
+        // Degenerate builder input: `with_workers(0)` must run, not hang
+        // or panic — pinned to MIN_WORKERS.
+        let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(27);
+        let jobs = make_jobs(2, &ks, &op);
+        let batch = BatchVerifier::new(DialedVerifier::new(op, ks)).with_workers(0);
+        assert_eq!(batch.workers(), MIN_WORKERS);
+        let report = batch.verify_batch(&jobs, None);
+        assert!(report.all_clean(), "{report}");
+        assert_eq!(report.stats.workers, MIN_WORKERS);
     }
 }

@@ -34,6 +34,15 @@
 //!    trace (data-only attacks like the paper's Fig. 2 reproduce and are
 //!    flagged — no code annotations needed).
 //!
+//! # Verification API
+//!
+//! All verification flows through one request-based entry point (the
+//! [`request`] module): build a [`VerifyRequest`], hand it to anything
+//! implementing [`Verifier`] — [`DialedVerifier`] for full data-flow
+//! verification, [`apex::PoxVerifier`] for PoX-only — directly or through
+//! the generic [`BatchVerifier`]. Per-device keys come from a
+//! [`KeySource`]; rejections carry a structured [`RejectReason`].
+//!
 //! # End-to-end example
 //!
 //! See `examples/quickstart.rs`; the short version:
@@ -51,7 +60,8 @@
 //! let proof = device.prove(&Challenge::derive(b"doc", 0));
 //!
 //! let verifier = DialedVerifier::new(op, KeyStore::from_seed(1));
-//! let report = verifier.verify(&proof, &Challenge::derive(b"doc", 0));
+//! let challenge = Challenge::derive(b"doc", 0);
+//! let report = verifier.verify(&VerifyRequest::new(&proof, &challenge));
 //! assert!(report.is_clean(), "{report}");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -66,13 +76,15 @@ pub mod pass;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
+pub mod request;
 pub mod verifier;
 
 pub use attest::{DialedDevice, DialedProof, RunInfo};
 pub use batch::{BatchJob, BatchVerifier};
 pub use pass::{DfaConfig, ReadCheckPolicy};
 pub use pipeline::{BuildOptions, InstrumentedOp};
-pub use report::{BatchOutcome, BatchReport, BatchStats, Finding, Report, Verdict};
+pub use report::{BatchOutcome, BatchReport, BatchStats, Finding, RejectReason, Report, Verdict};
+pub use request::{KeySource, PerDevice, StaticKeys, Verifier, VerifyRequest};
 pub use verifier::{DialedVerifier, EmuWorkspace};
 
 /// Convenient re-exports for end-to-end users.
@@ -81,7 +93,10 @@ pub mod prelude {
     pub use crate::batch::{BatchJob, BatchVerifier};
     pub use crate::pipeline::{BuildOptions, InstrumentedOp};
     pub use crate::policy::{ActuationPulse, GlobalWriteBounds, Policy};
-    pub use crate::report::{BatchOutcome, BatchReport, BatchStats, Finding, Report, Verdict};
+    pub use crate::report::{
+        BatchOutcome, BatchReport, BatchStats, Finding, RejectReason, Report, Verdict,
+    };
+    pub use crate::request::{KeySource, PerDevice, StaticKeys, Verifier, VerifyRequest};
     pub use crate::verifier::{DialedVerifier, EmuWorkspace};
     pub use vrased::{Challenge, KeyStore};
 }

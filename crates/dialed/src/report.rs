@@ -1,16 +1,105 @@
-//! Verification reports and attack findings.
+//! Verification reports, attack findings, and structured rejections.
 
+use apex::PoxRejection;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Why a proof (or submission) was rejected before reconstruction-level
+/// findings could be produced.
+///
+/// Every layer of the stack maps its failures into this one enum: the
+/// cryptographic PoX check ([`PoxRejection`] via [`From`]), the request
+/// layer ([`RejectReason::UnknownKey`], [`RejectReason::NotFullyInstrumented`]),
+/// and the fleet service's wire, session and registry layers (which
+/// provide their own `From` conversions into the three service-layer
+/// variants). Consumers match on the class; [`fmt::Display`] renders the
+/// operator-facing text.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The proof's region metadata differs from what the verifier expects.
+    RegionMismatch,
+    /// EXEC flag clear — the operation did not run untouched start-to-finish.
+    ExecClear,
+    /// The verifier's expected ER image does not span the configured region.
+    ErLengthMismatch,
+    /// The OR snapshot does not span the configured output region.
+    OrLengthMismatch,
+    /// The MAC did not verify (wrong key/challenge, or tampered content).
+    MacMismatch,
+    /// Full data-flow verification was requested for an operation that was
+    /// not built with full DIALED instrumentation.
+    NotFullyInstrumented,
+    /// The request's [`KeySource`](crate::request::KeySource) had no key
+    /// for the device being verified.
+    UnknownKey {
+        /// The device id the key lookup failed for.
+        device: u64,
+    },
+    /// The submission could not be decoded off the wire.
+    MalformedSubmission {
+        /// Human-readable decode failure.
+        detail: String,
+    },
+    /// The session layer refused the submission (duplicate, replay,
+    /// deadline, device mismatch, …).
+    SessionViolation {
+        /// Human-readable session failure.
+        detail: String,
+    },
+    /// The registry does not know the referenced device or operation.
+    UnknownPrincipal {
+        /// Human-readable registry failure.
+        detail: String,
+    },
+}
+
+impl From<PoxRejection> for RejectReason {
+    fn from(r: PoxRejection) -> Self {
+        match r {
+            PoxRejection::RegionMismatch => RejectReason::RegionMismatch,
+            PoxRejection::ExecClear => RejectReason::ExecClear,
+            PoxRejection::ErLengthMismatch => RejectReason::ErLengthMismatch,
+            PoxRejection::OrLengthMismatch => RejectReason::OrLengthMismatch,
+            PoxRejection::MacMismatch => RejectReason::MacMismatch,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::RegionMismatch => PoxRejection::RegionMismatch.fmt(f),
+            RejectReason::ExecClear => PoxRejection::ExecClear.fmt(f),
+            RejectReason::ErLengthMismatch => PoxRejection::ErLengthMismatch.fmt(f),
+            RejectReason::OrLengthMismatch => PoxRejection::OrLengthMismatch.fmt(f),
+            RejectReason::MacMismatch => PoxRejection::MacMismatch.fmt(f),
+            RejectReason::NotFullyInstrumented => {
+                write!(f, "operation was not built with full DIALED instrumentation")
+            }
+            RejectReason::UnknownKey { device } => {
+                write!(f, "no verification key for device {device}")
+            }
+            RejectReason::MalformedSubmission { detail } => {
+                write!(f, "malformed submission: {detail}")
+            }
+            RejectReason::SessionViolation { detail } => {
+                write!(f, "session violation: {detail}")
+            }
+            RejectReason::UnknownPrincipal { detail } => {
+                write!(f, "unknown principal: {detail}")
+            }
+        }
+    }
+}
 
 /// One concrete finding from verification.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Finding {
-    /// The APEX proof itself did not verify (wrong code, tampered OR,
-    /// cleared EXEC, replay, …).
+    /// The proof itself did not verify (wrong code, tampered OR, cleared
+    /// EXEC, replay, missing key, …).
     PoxRejected {
-        /// Reason from the PoX verifier.
-        reason: String,
+        /// Structured rejection class.
+        reason: RejectReason,
     },
     /// A `ret` (or the toplevel return) went somewhere other than its call
     /// site — the Fig. 1 class of control-flow hijack, reproduced by the
@@ -146,12 +235,12 @@ impl Report {
         Self { verdict: Verdict::Clean, findings: Vec::new(), stats }
     }
 
-    /// A rejection (PoX failure).
+    /// A rejection carrying its structured [`RejectReason`].
     #[must_use]
-    pub fn rejected(reason: &str) -> Self {
+    pub fn rejected(reason: impl Into<RejectReason>) -> Self {
         Self {
             verdict: Verdict::Rejected,
-            findings: vec![Finding::PoxRejected { reason: reason.to_string() }],
+            findings: vec![Finding::PoxRejected { reason: reason.into() }],
             stats: VerifyStats::default(),
         }
     }
@@ -277,9 +366,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let r = Report::rejected("MAC verification failed");
+        let r = Report::rejected(RejectReason::MacMismatch);
         assert!(r.to_string().contains("REJECTED"));
+        assert!(r.to_string().contains("MAC verification failed"));
         assert!(!r.is_clean());
+
+        // PoX-layer rejections convert losslessly into the shared enum.
+        let r = Report::rejected(apex::PoxRejection::ExecClear);
+        assert_eq!(r.findings, vec![Finding::PoxRejected { reason: RejectReason::ExecClear }]);
 
         let r = Report::attack(
             vec![Finding::ReturnHijack { at: 0xE010, expected: 0xE020, actual: 0xE004 }],

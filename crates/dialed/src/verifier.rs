@@ -18,10 +18,10 @@
 //! hijacks (Fig. 1), and application policies evaluated on the
 //! reconstructed trace expose data-only attacks (Fig. 2).
 
-use crate::attest::DialedProof;
 use crate::pipeline::InstrumentedOp;
 use crate::policy::Policy;
-use crate::report::{Finding, Report, Verdict, VerifyStats};
+use crate::report::{Finding, RejectReason, Report, Verdict, VerifyStats};
+use crate::request::{Verifier, VerifyRequest, MIN_EMU_BUDGET};
 use apex::{PoxConfig, PoxVerifier};
 use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::isa::{Insn, Op1, Op2, Operand};
@@ -29,7 +29,7 @@ use msp430::mem::{Bus, Ram};
 use msp430::regs::Reg;
 use msp430::trace::Trace;
 use tinycfa::OrStack;
-use vrased::{Challenge, KeyStore};
+use vrased::KeyStore;
 
 /// Why abstract execution stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -369,11 +369,19 @@ impl DialedVerifier {
         self
     }
 
-    /// Overrides the abstract-execution step budget.
+    /// Overrides the default abstract-execution step budget (clamped up to
+    /// [`MIN_EMU_BUDGET`]; requests may override it again per proof).
     #[must_use]
     pub fn with_emu_budget(mut self, budget: usize) -> Self {
-        self.emu_budget = budget;
+        self.emu_budget = budget.max(MIN_EMU_BUDGET);
         self
+    }
+
+    /// The policies registered on this verifier (a request without a
+    /// policy override is checked against exactly these).
+    #[must_use]
+    pub fn policies(&self) -> &[Box<dyn Policy>] {
+        &self.policies
     }
 
     /// Runs only the abstract-execution stage (for tooling/benchmarks);
@@ -388,61 +396,27 @@ impl DialedVerifier {
             self.emu_budget,
         )
     }
+}
 
-    /// Full verification of a proof under `challenge`.
-    #[must_use]
-    pub fn verify(&self, proof: &DialedProof, challenge: &Challenge) -> Report {
-        self.verify_with(&mut EmuWorkspace::new(), proof, challenge)
-    }
-
-    /// [`DialedVerifier::verify`] reusing `ws`'s emulation buffers.
-    ///
-    /// Semantically identical to `verify`; batch workers call this with a
-    /// long-lived per-thread workspace so RAM/trace allocations amortise
-    /// across proofs.
-    #[must_use]
-    pub fn verify_with(
-        &self,
-        ws: &mut EmuWorkspace,
-        proof: &DialedProof,
-        challenge: &Challenge,
-    ) -> Report {
-        self.verify_inner(ws, proof, challenge, None)
-    }
-
-    /// [`DialedVerifier::verify_with`] checking the MAC under `ra` — a
-    /// per-device verification key — instead of the keystore bound at
-    /// construction. One shared verifier (op image, site bitmaps, policies)
-    /// thus serves a whole fleet of individually keyed devices.
-    #[must_use]
-    pub fn verify_keyed(
-        &self,
-        ws: &mut EmuWorkspace,
-        proof: &DialedProof,
-        challenge: &Challenge,
-        ra: &vrased::RaVerifier,
-    ) -> Report {
-        self.verify_inner(ws, proof, challenge, Some(ra))
-    }
-
-    fn verify_inner(
-        &self,
-        ws: &mut EmuWorkspace,
-        proof: &DialedProof,
-        challenge: &Challenge,
-        ra: Option<&vrased::RaVerifier>,
-    ) -> Report {
-        // 1. Cryptographic proof of execution (code + OR + EXEC).
-        let checked = match ra {
-            Some(ra) => self.pox_verifier.verify_keyed(&proof.pox, challenge, ra),
-            None => self.pox_verifier.verify(&proof.pox, challenge),
+/// Full data-flow verification: cryptographic PoX check, abstract
+/// execution with input injection, OR comparison, shadow call stack, and
+/// application policies. Honours every [`VerifyRequest`] override: key
+/// source, emulation budget, and policy set.
+impl Verifier for DialedVerifier {
+    fn verify_in(&self, ws: &mut EmuWorkspace, req: &VerifyRequest<'_>) -> Report {
+        let (proof, challenge) = (req.proof(), req.challenge());
+        // 1. Cryptographic proof of execution (code + OR + EXEC), under
+        //    the request's resolved key.
+        let ra = match req.resolve_key() {
+            Ok(ra) => ra,
+            Err(reason) => return Report::rejected(reason),
         };
-        let or = match checked {
+        let or = match self.pox_verifier.check(&proof.pox, challenge, ra) {
             Ok(or) => or,
             Err(reason) => return Report::rejected(reason),
         };
         if self.op.sites.args.len() != 9 {
-            return Report::rejected("operation was not built with full DIALED instrumentation");
+            return Report::rejected(RejectReason::NotFullyInstrumented);
         }
         // The OR must hold the full log head; a smaller region would make
         // abstract execution seed `sp_base` and the argument registers from
@@ -460,7 +434,8 @@ impl DialedVerifier {
         // 2. Abstract execution with input injection. Findings stay on the
         //    emulation until policies (which may inspect `emu.findings`)
         //    have run; verification-stage findings accumulate separately.
-        let mut emu = abstract_execute_indexed(ws, &self.op, &self.sites, or, self.emu_budget);
+        let budget = req.emu_budget().unwrap_or(self.emu_budget);
+        let mut emu = abstract_execute_indexed(ws, &self.op, &self.sites, or, budget);
         let mut extra = Vec::new();
 
         if emu.outcome != EmuOutcome::Completed {
@@ -501,7 +476,7 @@ impl DialedVerifier {
 
         // 4. Application policies on the reconstructed execution (with the
         //    shadow-stack findings still visible on `emu`).
-        for policy in &self.policies {
+        for policy in req.policy_overrides().unwrap_or(&self.policies) {
             extra.extend(policy.check(&emu));
         }
 
@@ -531,8 +506,9 @@ impl DialedVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attest::DialedDevice;
+    use crate::attest::{DialedDevice, DialedProof};
     use crate::pipeline::BuildOptions;
+    use vrased::Challenge;
 
     fn round_trip(src: &str, args: &[u16; 8], setup: impl FnOnce(&mut msp430::Platform)) -> Report {
         let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
@@ -543,7 +519,7 @@ mod tests {
         assert_eq!(info.stop, apex::pox::StopReason::ReachedStop, "{:?}", dev.violation());
         let chal = Challenge::derive(b"verif", 9);
         let proof = dev.prove(&chal);
-        DialedVerifier::new(op, ks).verify(&proof, &chal)
+        DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal))
     }
 
     #[test]
@@ -599,7 +575,7 @@ mod tests {
         let chal = Challenge::derive(b"v", 0);
         let proof = dev.prove(&chal);
         let verifier = DialedVerifier::new(op, ks);
-        let report = verifier.verify(&proof, &chal);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &chal));
         assert!(report.is_clean(), "{report}");
         let emu = verifier.reconstruct(&proof.pox.or_data);
         // The reconstructed trace contains the store of 0xA7 to 0x0300.
@@ -636,7 +612,7 @@ mod tests {
             &extra,
         );
         let proof = DialedProof { pox: apex::PoxProof { cfg: op.pox, exec: true, or_data, tag } };
-        let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+        let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
         assert_eq!(report.verdict, Verdict::Rejected);
         assert!(
             matches!(report.findings[0], Finding::OrHeadTruncated { capacity: 8, required: 9 }),
@@ -654,7 +630,7 @@ mod tests {
         let chal = Challenge::derive(b"v", 1);
         let mut proof = dev.prove(&chal);
         proof.pox.or_data[4] ^= 0xFF;
-        let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+        let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
         assert_eq!(report.verdict, crate::report::Verdict::Rejected);
     }
 }

@@ -1,21 +1,25 @@
 //! Sharded ingest: accepted submissions queue per operation and drain
-//! through that operation's [`BatchVerifier`](dialed::BatchVerifier).
+//! through that operation's batch engine.
 //!
 //! Proofs of one operation share everything that makes verification fast —
 //! the instrumented image, the prebuilt site bitmaps, the warm per-worker
 //! emulation workspaces — so the queue shards by [`OpId`]. A drain walks
-//! each shard once, hands the whole shard to the op's batch verifier (each
-//! job carrying its device's individual key), and feeds the verdicts back
+//! each shard once, hands the whole shard to the op's
+//! [`BatchVerifier`](dialed::BatchVerifier), and feeds the verdicts back
 //! into the sessions and the registry.
+//!
+//! The drain is verifier-agnostic: each operation's backend (full DIALED
+//! data-flow verification or PoX-only) was fixed at registration, and
+//! per-device keys resolve through a [`PerDevice`] key source borrowing
+//! straight out of the registry — no key store is materialised per job.
 
 use crate::registry::{DeviceId, OpId, Registry};
 use crate::session::{SessionId, SessionManager, SessionState};
-use dialed::pipeline::InstrumentMode;
 use dialed::report::Report;
+use dialed::request::PerDevice;
 use dialed::BatchJob;
 use std::collections::BTreeMap;
 use std::fmt;
-use vrased::RaVerifier;
 
 /// Aggregate result of one [`IngestQueue::drain`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -70,9 +74,9 @@ impl IngestQueue {
         self.shards.get(&op).map_or(0, Vec::len)
     }
 
-    /// Drains every shard through its operation's verifier, resolving each
-    /// queued session to `Verified` or `Rejected` and feeding the verdicts
-    /// back into the registry's per-device records.
+    /// Drains every shard through its operation's batch engine, resolving
+    /// each queued session to `Verified` or `Rejected` and feeding the
+    /// verdicts back into the registry's per-device records.
     pub fn drain(&mut self, registry: &mut Registry, sessions: &mut SessionManager) -> DrainStats {
         let shards = std::mem::take(&mut self.shards);
         let mut stats = DrainStats::default();
@@ -105,8 +109,7 @@ fn drain_shard(
     registry: &mut Registry,
     sessions: &mut SessionManager,
 ) -> (usize, usize) {
-    // Collect the shard's jobs: each consumes its session's held proof and
-    // carries its device's individual key.
+    // Collect the shard's jobs: each consumes its session's held proof.
     let mut jobs: Vec<BatchJob> = Vec::with_capacity(sids.len());
     let mut meta: Vec<PendingMeta> = Vec::with_capacity(sids.len());
     for &sid in sids {
@@ -116,32 +119,24 @@ fn drain_shard(
         }
         let Some(proof) = s.proof.take() else { continue };
         let (device, nonce, challenge) = (s.device, s.nonce, s.challenge);
-        let Ok(dev) = registry.device(device) else { continue };
-        jobs.push(BatchJob::with_key(device.0, proof, challenge, dev.keystore().clone()));
+        if registry.device(device).is_err() {
+            continue;
+        }
+        jobs.push(BatchJob::new(device.0, proof, challenge));
         meta.push(PendingMeta { session: sid, device, nonce });
     }
     if jobs.is_empty() {
         return (0, 0);
     }
 
-    let Ok(record) = registry.op(op) else { return (0, 0) };
-    let reports: Vec<Report> = if record.mode == InstrumentMode::Full {
-        let batch = record.batch.verify_batch(&jobs);
+    let reports: Vec<Report> = {
+        let reg: &Registry = registry;
+        let Ok(record) = reg.op(op) else { return (0, 0) };
+        // Per-device keys resolve by borrow out of the registry's device
+        // records for the whole drain.
+        let keys = PerDevice::new(|device| Some(reg.device(DeviceId(device)).ok()?.ra()));
+        let batch = record.engine.verify_batch(&jobs, Some(&keys));
         batch.outcomes.into_iter().map(|o| o.report).collect()
-    } else {
-        // Non-Full images carry no I-Log to re-execute; verify at the PoX
-        // level (correct code, regions, EXEC, authentic OR) under each
-        // device's key.
-        jobs.iter()
-            .map(|job| {
-                let ra =
-                    RaVerifier::new(job.keystore.clone().expect("fleet jobs always carry a key"));
-                match record.pox.verify_keyed(&job.proof.pox, &job.challenge, &ra) {
-                    Ok(_) => Report::clean(dialed::report::VerifyStats::default()),
-                    Err(reason) => Report::rejected(reason),
-                }
-            })
-            .collect()
     };
 
     let mut verified = 0;

@@ -234,6 +234,19 @@ impl Fleet {
     pub fn sessions(&self) -> &SessionManager {
         &self.sessions
     }
+
+    /// Maps a failed [`Fleet::submit_wire`] outcome into a rejected
+    /// [`Report`](dialed::report::Report) carrying the structured
+    /// [`RejectReason`](dialed::report::RejectReason), so pre-verification
+    /// failures (undecodable bytes, session violations) travel to
+    /// operators through the same codec as cryptographic rejections.
+    #[must_use]
+    pub fn rejection_report(err: Result<SessionError, WireError>) -> dialed::report::Report {
+        match err {
+            Ok(session) => dialed::report::Report::rejected(session),
+            Err(wire) => dialed::report::Report::rejected(wire),
+        }
+    }
 }
 
 /// Result of [`Fleet::submit_wire`]: the accepted session id, or the

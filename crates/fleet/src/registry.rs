@@ -11,9 +11,11 @@
 
 use dialed::pipeline::{InstrumentMode, InstrumentedOp};
 use dialed::policy::Policy;
+use dialed::report::RejectReason;
+use dialed::request::Verifier;
 use dialed::{BatchVerifier, DialedVerifier};
 use std::fmt;
-use vrased::KeyStore;
+use vrased::{KeyStore, RaVerifier};
 
 /// Identifies one registered operation within a fleet.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -55,6 +57,14 @@ impl fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+impl From<RegistryError> for RejectReason {
+    /// Registry failures reject as [`RejectReason::UnknownPrincipal`]: the
+    /// service does not know the device or operation the submission names.
+    fn from(e: RegistryError) -> Self {
+        RejectReason::UnknownPrincipal { detail: e.to_string() }
+    }
+}
+
 /// One registered operation: the instrumented image plus the shared
 /// verification machinery every proof of this operation goes through.
 pub struct OpRecord {
@@ -69,11 +79,13 @@ pub struct OpRecord {
     pub mode: InstrumentMode,
     /// Devices bound to this operation.
     pub devices: u64,
-    /// The shared batch verifier (per-device keys ride on each job).
-    pub(crate) batch: BatchVerifier,
-    /// PoX-level verifier for non-`Full` images: code, regions, EXEC and
-    /// OR authenticity without DFA re-execution.
-    pub(crate) pox: apex::PoxVerifier,
+    /// The shared batch engine. The backend is chosen once, at
+    /// registration: full data-flow verification for
+    /// [`InstrumentMode::Full`] images, PoX-only for the rest — ingest
+    /// drains every shard through this one engine with no per-mode
+    /// branching (per-device keys resolve through the drain's
+    /// [`KeySource`](dialed::request::KeySource)).
+    pub(crate) engine: BatchVerifier<Box<dyn Verifier>>,
 }
 
 impl fmt::Debug for OpRecord {
@@ -103,6 +115,10 @@ pub struct DeviceRecord {
     pub rejected: u64,
     /// The device's individual attestation key.
     pub(crate) keystore: KeyStore,
+    /// The precomputed verification-side key schedule — built once at
+    /// registration so drains resolve keys by borrow, with no per-proof
+    /// HMAC-pad recomputation.
+    pub(crate) ra: RaVerifier,
 }
 
 impl DeviceRecord {
@@ -111,6 +127,14 @@ impl DeviceRecord {
     #[must_use]
     pub fn keystore(&self) -> &KeyStore {
         &self.keystore
+    }
+
+    /// The verifier-side key schedule proofs from this device are checked
+    /// under (the [`KeySource`](dialed::request::KeySource) answer for
+    /// this device).
+    #[must_use]
+    pub fn ra(&self) -> &RaVerifier {
+        &self.ra
     }
 }
 
@@ -143,19 +167,27 @@ impl Registry {
         let id = OpId(u32::try_from(self.ops.len()).expect("more than u32::MAX operations"));
         let mode = op.options.mode;
         // The per-op fallback key is never used for fleet jobs — every
-        // ingest job carries its device's own key — but the verifiers
-        // require one at construction, so derive a per-op placeholder.
+        // drain resolves its devices' own keys — but the verifiers require
+        // one at construction, so derive a per-op placeholder.
         let placeholder = KeyStore::from_seed(0xF1EE7 ^ u64::from(id.0));
-        let pox = apex::PoxVerifier::new(placeholder.clone(), op.pox, op.er_bytes.clone());
-        let mut verifier = DialedVerifier::new(op, placeholder);
-        for p in policies {
-            verifier = verifier.with_policy(p);
-        }
-        let mut batch = BatchVerifier::new(verifier);
+        // Backend selection happens exactly once, here: Full images carry
+        // the I-Log the DIALED verifier re-executes; the other modes are
+        // verified at the PoX level (code, regions, EXEC, OR authenticity),
+        // where reconstruction policies cannot apply.
+        let backend: Box<dyn Verifier> = if mode == InstrumentMode::Full {
+            let mut verifier = DialedVerifier::new(op, placeholder);
+            for p in policies {
+                verifier = verifier.with_policy(p);
+            }
+            Box::new(verifier)
+        } else {
+            Box::new(apex::PoxVerifier::new(placeholder, op.pox, op.er_bytes.clone()))
+        };
+        let mut engine = BatchVerifier::new(backend);
         if let Some(w) = workers {
-            batch = batch.with_workers(w);
+            engine = engine.with_workers(w);
         }
-        self.ops.push(OpRecord { id, name: name.to_string(), mode, devices: 0, batch, pox });
+        self.ops.push(OpRecord { id, name: name.to_string(), mode, devices: 0, engine });
         id
     }
 
@@ -170,13 +202,16 @@ impl Registry {
         let record = self.op_mut(op)?;
         record.devices += 1;
         let id = DeviceId(self.devices.len() as u64);
+        let keystore = KeyStore::from_seed(key_seed);
+        let ra = RaVerifier::new(keystore.clone());
         self.devices.push(DeviceRecord {
             id,
             op,
             last_verified: None,
             verified: 0,
             rejected: 0,
-            keystore: KeyStore::from_seed(key_seed),
+            keystore,
+            ra,
         });
         Ok(id)
     }

@@ -106,6 +106,15 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+impl From<SessionError> for dialed::report::RejectReason {
+    /// Session failures reject as
+    /// [`SessionViolation`](dialed::report::RejectReason::SessionViolation):
+    /// the submission died at the protocol layer, before any cryptography.
+    fn from(e: SessionError) -> Self {
+        dialed::report::RejectReason::SessionViolation { detail: e.to_string() }
+    }
+}
+
 /// One attestation round.
 #[derive(Clone, Debug)]
 pub struct Session {

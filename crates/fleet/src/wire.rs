@@ -20,13 +20,15 @@
 
 use apex::{PoxConfig, PoxProof};
 use dialed::attest::DialedProof;
-use dialed::report::{BatchReport, Finding, Report, Verdict, VerifyStats};
+use dialed::report::{BatchReport, Finding, RejectReason, Report, Verdict, VerifyStats};
 use hacl::{Digest, DIGEST_LEN};
 use std::fmt;
 use vrased::Challenge;
 
 /// Current codec version, bumped on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 replaced the free-form rejection string with the structured
+/// [`RejectReason`] encoding.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame magic: "Dialed Wire".
 pub const MAGIC: [u8; 2] = *b"DW";
@@ -107,6 +109,14 @@ impl fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+impl From<WireError> for RejectReason {
+    /// Wire failures reject as [`RejectReason::MalformedSubmission`]: the
+    /// bytes never decoded into a proof worth spending cryptography on.
+    fn from(e: WireError) -> Self {
+        RejectReason::MalformedSubmission { detail: e.to_string() }
+    }
+}
 
 /// A challenge as issued to one device: the session coordinates plus the
 /// 256-bit nonce-derived challenge itself.
@@ -286,11 +296,38 @@ fn encode_verdict(w: &mut Writer, v: Verdict) {
     });
 }
 
+fn encode_reject_reason(w: &mut Writer, reason: &RejectReason) {
+    match reason {
+        RejectReason::RegionMismatch => w.u8(0),
+        RejectReason::ExecClear => w.u8(1),
+        RejectReason::ErLengthMismatch => w.u8(2),
+        RejectReason::OrLengthMismatch => w.u8(3),
+        RejectReason::MacMismatch => w.u8(4),
+        RejectReason::NotFullyInstrumented => w.u8(5),
+        RejectReason::UnknownKey { device } => {
+            w.u8(6);
+            w.u64(*device);
+        }
+        RejectReason::MalformedSubmission { detail } => {
+            w.u8(7);
+            w.string(detail);
+        }
+        RejectReason::SessionViolation { detail } => {
+            w.u8(8);
+            w.string(detail);
+        }
+        RejectReason::UnknownPrincipal { detail } => {
+            w.u8(9);
+            w.string(detail);
+        }
+    }
+}
+
 fn encode_finding(w: &mut Writer, finding: &Finding) {
     match finding {
         Finding::PoxRejected { reason } => {
             w.u8(0);
-            w.string(reason);
+            encode_reject_reason(w, reason);
         }
         Finding::ReturnHijack { at, expected, actual } => {
             w.u8(1);
@@ -509,9 +546,25 @@ fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
     }
 }
 
+fn decode_reject_reason(r: &mut Reader<'_>) -> Result<RejectReason, WireError> {
+    match r.u8()? {
+        0 => Ok(RejectReason::RegionMismatch),
+        1 => Ok(RejectReason::ExecClear),
+        2 => Ok(RejectReason::ErLengthMismatch),
+        3 => Ok(RejectReason::OrLengthMismatch),
+        4 => Ok(RejectReason::MacMismatch),
+        5 => Ok(RejectReason::NotFullyInstrumented),
+        6 => Ok(RejectReason::UnknownKey { device: r.u64()? }),
+        7 => Ok(RejectReason::MalformedSubmission { detail: r.string()? }),
+        8 => Ok(RejectReason::SessionViolation { detail: r.string()? }),
+        9 => Ok(RejectReason::UnknownPrincipal { detail: r.string()? }),
+        tag => Err(WireError::UnknownTag { what: "reject reason", tag }),
+    }
+}
+
 fn decode_finding(r: &mut Reader<'_>) -> Result<Finding, WireError> {
     match r.u8()? {
-        0 => Ok(Finding::PoxRejected { reason: r.string()? }),
+        0 => Ok(Finding::PoxRejected { reason: decode_reject_reason(r)? }),
         1 => Ok(Finding::ReturnHijack { at: r.u16()?, expected: r.u16()?, actual: r.u16()? }),
         2 => Ok(Finding::LogDivergence { addr: r.u16()?, device: r.u16()?, emulated: r.u16()? }),
         3 => Ok(Finding::OutOfBoundsWrite { pc: r.u16()?, addr: r.u16()? }),
@@ -648,7 +701,13 @@ mod tests {
             report: Report {
                 verdict: Verdict::Attack,
                 findings: vec![
-                    Finding::PoxRejected { reason: "naïve — UTF-8 ✓".into() },
+                    Finding::PoxRejected {
+                        reason: RejectReason::SessionViolation {
+                            detail: "naïve — UTF-8 ✓".into()
+                        },
+                    },
+                    Finding::PoxRejected { reason: RejectReason::MacMismatch },
+                    Finding::PoxRejected { reason: RejectReason::UnknownKey { device: 1 << 40 } },
                     Finding::ReturnHijack { at: 1, expected: 2, actual: 3 },
                     Finding::LogDivergence { addr: 0x600, device: 5, emulated: 6 },
                     Finding::OutOfBoundsWrite { pc: 7, addr: 8 },
@@ -782,7 +841,7 @@ mod tests {
             outcomes: vec![BatchOutcome {
                 index: 0,
                 device_id: 77,
-                report: Report::rejected("nope"),
+                report: Report::rejected(RejectReason::MacMismatch),
             }],
             stats: BatchStats {
                 total: 1,

@@ -4,7 +4,7 @@
 
 use apex::{PoxConfig, PoxProof};
 use dialed::attest::DialedProof;
-use dialed::report::{Finding, Report, Verdict, VerifyStats};
+use dialed::report::{Finding, RejectReason, Report, Verdict, VerifyStats};
 use fleet::wire::{self, BatchSummary, ChallengeMsg, Message, OutcomeSummary, ProofMsg, ReportMsg};
 use proptest::prelude::*;
 use vrased::Challenge;
@@ -17,9 +17,24 @@ fn verdict_from(tag: u8) -> Verdict {
     }
 }
 
+fn reject_from(tag: u8, a: u16, text: &str) -> RejectReason {
+    match tag % 10 {
+        0 => RejectReason::RegionMismatch,
+        1 => RejectReason::ExecClear,
+        2 => RejectReason::ErLengthMismatch,
+        3 => RejectReason::OrLengthMismatch,
+        4 => RejectReason::MacMismatch,
+        5 => RejectReason::NotFullyInstrumented,
+        6 => RejectReason::UnknownKey { device: u64::from(a) << 32 },
+        7 => RejectReason::MalformedSubmission { detail: text.to_string() },
+        8 => RejectReason::SessionViolation { detail: text.to_string() },
+        _ => RejectReason::UnknownPrincipal { detail: text.to_string() },
+    }
+}
+
 fn finding_from(tag: u8, a: u16, b: u16, text: &str) -> Finding {
     match tag % 8 {
-        0 => Finding::PoxRejected { reason: text.to_string() },
+        0 => Finding::PoxRejected { reason: reject_from(tag / 8, a, text) },
         1 => Finding::ReturnHijack { at: a, expected: b, actual: a ^ b },
         2 => Finding::LogDivergence { addr: a, device: b, emulated: a.wrapping_add(b) },
         3 => Finding::OutOfBoundsWrite { pc: a, addr: b },

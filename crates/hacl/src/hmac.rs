@@ -40,6 +40,7 @@ impl HmacKey {
     ///
     /// Keys longer than the 64-byte SHA-256 block are first hashed, per
     /// RFC 2104.
+    #[must_use]
     pub fn new(key: &[u8]) -> Self {
         let mut k = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -109,6 +110,7 @@ impl HmacSha256 {
     /// Callers MACing many messages under one key should hold an
     /// [`HmacKey`] and [`HmacKey::begin`] instead, skipping the per-message
     /// pad derivation.
+    #[must_use]
     pub fn new(key: &[u8]) -> Self {
         HmacKey::new(key).begin()
     }
@@ -121,6 +123,7 @@ impl HmacSha256 {
     /// let tag = hacl::HmacSha256::mac(b"k", b"m");
     /// assert_ne!(tag, hacl::HmacSha256::mac(b"k", b"m2"));
     /// ```
+    #[must_use]
     pub fn mac(key: &[u8], msg: &[u8]) -> Digest {
         let mut h = Self::new(key);
         h.update(msg);
@@ -133,6 +136,7 @@ impl HmacSha256 {
     }
 
     /// Produces the 32-byte tag, consuming the instance.
+    #[must_use]
     pub fn finalize(mut self) -> Digest {
         let inner_digest = self.inner.finalize();
         self.outer.update(&inner_digest);
@@ -141,6 +145,7 @@ impl HmacSha256 {
 
     /// Verifies `tag` against the absorbed message in constant time,
     /// consuming the instance.
+    #[must_use]
     pub fn verify(self, tag: &Digest) -> bool {
         crate::constant_time::eq(&self.finalize(), tag)
     }

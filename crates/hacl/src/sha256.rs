@@ -55,6 +55,7 @@ impl Default for Sha256 {
 
 impl Sha256 {
     /// Creates a fresh hasher in the FIPS 180-4 initial state.
+    #[must_use]
     pub fn new() -> Self {
         Self { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
     }
@@ -67,6 +68,7 @@ impl Sha256 {
     /// let d = hacl::Sha256::digest(b"");
     /// assert_eq!(d[..4], [0xe3, 0xb0, 0xc4, 0x42]);
     /// ```
+    #[must_use]
     pub fn digest(data: &[u8]) -> Digest {
         let mut h = Self::new();
         h.update(data);
@@ -76,7 +78,7 @@ impl Sha256 {
     /// Absorbs `data` into the hash state.
     ///
     /// Whole blocks are compressed directly from `data` in a single
-    /// multi-block [`Sha256::compress_blocks`] call — no per-block copy
+    /// multi-block `compress_blocks` call — no per-block copy
     /// through the internal buffer; only a trailing partial block is
     /// buffered.
     pub fn update(&mut self, data: &[u8]) {
@@ -107,6 +109,7 @@ impl Sha256 {
 
     /// Applies FIPS 180-4 padding and returns the final digest, consuming the
     /// hasher.
+    #[must_use]
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.len.wrapping_mul(8);
         // Padding: 0x80, then zeros to 56 mod 64, then the 64-bit length.

@@ -72,6 +72,7 @@ impl Module {
     }
 
     /// Iterates all components recursively.
+    #[must_use]
     pub fn flatten(&self) -> Vec<(&str, &Component)> {
         let mut out: Vec<(&str, &Component)> =
             self.components.iter().map(|(l, c)| (l.as_str(), c)).collect();

@@ -25,7 +25,7 @@ fn verify(op: &InstrumentedOp, dev: &DialedDevice, ks: &KeyStore, round: u64) ->
     for p in syringe_pump::policies() {
         v = v.with_policy(p);
     }
-    v.verify(&proof, &chal)
+    v.verify(&VerifyRequest::new(&proof, &chal))
 }
 
 #[test]
@@ -101,7 +101,7 @@ op:
     dev.invoke(&[0; 8]);
     let chal = Challenge::derive(b"irq", 0);
     let proof = dev.prove(&chal);
-    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
     assert_eq!(report.verdict, Verdict::Rejected);
 }
 
@@ -161,7 +161,7 @@ op:
     let proof = dev.prove(&chal);
     let verifier = DialedVerifier::new(op, ks)
         .with_policy(Box::new(GlobalWriteBounds::new(vec![(0x0300, 0x0301), (0x0066, 0x0067)])));
-    assert!(verifier.verify(&proof, &chal).is_clean());
+    assert!(verifier.verify(&VerifyRequest::new(&proof, &chal)).is_clean());
 }
 
 #[test]
@@ -196,6 +196,6 @@ fn input_forgery_in_transit_detected() {
     // MACed).
     let len = proof.pox.or_data.len();
     proof.pox.or_data[len - 20] ^= 0x10;
-    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
     assert_eq!(report.verdict, Verdict::Rejected);
 }

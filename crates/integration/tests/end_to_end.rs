@@ -29,7 +29,7 @@ fn all_apps_verify_clean_when_honest() {
         let (op, dev, ks) = build_and_run(&s, 100 + i as u64);
         let chal = Challenge::derive(b"e2e", i as u64);
         let proof = dev.prove(&chal);
-        let report = verifier_for(&s, &op, &ks).verify(&proof, &chal);
+        let report = verifier_for(&s, &op, &ks).verify(&VerifyRequest::new(&proof, &chal));
         assert!(report.is_clean(), "{}: {report}", s.name);
         assert_eq!(report.stats.arg_entries, 9, "{}", s.name);
         assert!(report.stats.cf_entries > 0, "{}", s.name);
@@ -53,7 +53,7 @@ fn or_bitflips_never_verify() {
     for pos in [0usize, 1, 7, 100, proof.pox.or_data.len() - 1] {
         let mut forged = proof.clone();
         forged.pox.or_data[pos] ^= 0x40;
-        let report = verifier.verify(&forged, &chal);
+        let report = verifier.verify(&VerifyRequest::new(&forged, &chal));
         assert!(!report.is_clean(), "bit flip at {pos} accepted");
     }
 }
@@ -67,12 +67,12 @@ fn wrong_key_and_replay_rejected() {
 
     // Wrong verifier key.
     let wrong = DialedVerifier::new(op.clone(), KeyStore::from_seed(999));
-    assert_eq!(wrong.verify(&proof, &chal).verdict, Verdict::Rejected);
+    assert_eq!(wrong.verify(&VerifyRequest::new(&proof, &chal)).verdict, Verdict::Rejected);
 
     // Replay under a fresh challenge.
     let fresh = Challenge::derive(b"replay", 1);
     let v = verifier_for(&s, &op, &ks);
-    assert_eq!(v.verify(&proof, &fresh).verdict, Verdict::Rejected);
+    assert_eq!(v.verify(&VerifyRequest::new(&proof, &fresh)).verdict, Verdict::Rejected);
 }
 
 #[test]
@@ -83,7 +83,7 @@ fn proof_without_running_rejected() {
     let dev = DialedDevice::new(op.clone(), ks.clone());
     let chal = Challenge::derive(b"norun", 0);
     let proof = dev.prove(&chal);
-    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
     assert_eq!(report.verdict, Verdict::Rejected);
 }
 
@@ -96,17 +96,17 @@ fn stale_or_from_previous_run_detected() {
     let chal1 = Challenge::derive(b"stale", 1);
     let proof1 = dev.prove(&chal1);
     let verifier = verifier_for(&s, &op, &ks);
-    assert!(verifier.verify(&proof1, &chal1).is_clean());
+    assert!(verifier.verify(&VerifyRequest::new(&proof1, &chal1)).is_clean());
 
     // Second run, different sensor value.
     dev.platform_mut().adc.feed(&[apps::fire_sensor::raw_for_temp(80), 0x600]);
     dev.invoke(&s.args);
     let chal2 = Challenge::derive(b"stale", 2);
     let proof2 = dev.prove(&chal2);
-    assert!(verifier.verify(&proof2, &chal2).is_clean());
+    assert!(verifier.verify(&VerifyRequest::new(&proof2, &chal2)).is_clean());
     // Old proof no longer matches the new challenge and vice versa.
-    assert!(!verifier.verify(&proof1, &chal2).is_clean());
-    assert!(!verifier.verify(&proof2, &chal1).is_clean());
+    assert!(!verifier.verify(&VerifyRequest::new(&proof1, &chal2)).is_clean());
+    assert!(!verifier.verify(&VerifyRequest::new(&proof2, &chal1)).is_clean());
 }
 
 #[test]
@@ -119,7 +119,7 @@ fn cfa_only_build_cannot_claim_dfa_verification() {
     dev.invoke(&s.args);
     let chal = Challenge::derive(b"cfaonly", 0);
     let proof = dev.prove(&chal);
-    let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+    let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
     assert_eq!(report.verdict, Verdict::Rejected, "{report}");
 }
 

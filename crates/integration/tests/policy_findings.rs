@@ -32,7 +32,9 @@ fn policies_observe_shadow_stack_findings() {
             Vec::new()
         }
     });
-    let report = DialedVerifier::new(op, ks).with_policy(Box::new(escalate)).verify(&proof, &chal);
+    let report = DialedVerifier::new(op, ks)
+        .with_policy(Box::new(escalate))
+        .verify(&VerifyRequest::new(&proof, &chal));
     assert!(report.findings.iter().any(|f| matches!(f, Finding::ReturnHijack { .. })), "{report}");
     assert!(
         report.findings.iter().any(|f| matches!(f, Finding::PolicyViolation { .. })),

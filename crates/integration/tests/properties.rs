@@ -31,7 +31,7 @@ proptest! {
         let chal = Challenge::derive(b"prop", u64::from(index) * 256 + u64::from(setting));
         let proof = dev.prove(&chal);
         let verifier = DialedVerifier::new(op, ks);
-        let report = verifier.verify(&proof, &chal);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &chal));
         prop_assert!(report.is_clean(), "{report}");
 
         // Reconstructed UART traffic equals the device's.
@@ -58,7 +58,7 @@ proptest! {
         let mut proof = dev.prove(&chal);
         let len = proof.pox.or_data.len();
         proof.pox.or_data[pos % len] ^= 1 << bit;
-        let report = DialedVerifier::new(op, ks).verify(&proof, &chal);
+        let report = DialedVerifier::new(op, ks).verify(&VerifyRequest::new(&proof, &chal));
         prop_assert!(!report.is_clean());
     }
 
@@ -76,7 +76,7 @@ proptest! {
         let chal = Challenge::derive(b"args", 0);
         let proof = dev.prove(&chal);
         let verifier = DialedVerifier::new(op, ks);
-        let report = verifier.verify(&proof, &chal);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &chal));
         prop_assert!(report.is_clean(), "{report}");
         let emu = verifier.reconstruct(&proof.pox.or_data);
         let expect = args[0].wrapping_add(args[1]) ^ args[4];

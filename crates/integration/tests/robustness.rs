@@ -6,7 +6,7 @@
 use dialed::attest::{DialedDevice, DialedProof};
 use dialed::pipeline::{BuildOptions, InstrumentedOp};
 use dialed::report::Verdict;
-use dialed::{DialedVerifier, Report};
+use dialed::{DialedVerifier, Report, Verifier, VerifyRequest};
 use fleet::wire::{self, Message, ProofMsg};
 use proptest::prelude::*;
 use vrased::{Challenge, KeyStore};
@@ -48,7 +48,7 @@ proptest! {
             bytes[pos] ^= 1 << bit;
         }
         if let Ok(Message::Proof(m)) = wire::decode(&bytes) {
-            assert_graceful(&verifier.verify(&m.proof, &chal));
+            assert_graceful(&verifier.verify(&VerifyRequest::new(&m.proof, &chal)));
         }
     }
 
@@ -66,7 +66,7 @@ proptest! {
         if twiddle & 2 != 0 {
             proof.pox.tag[usize::from(twiddle >> 2) % 32] ^= 0xFF;
         }
-        let report = verifier.verify(&proof, &chal);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &chal));
         assert_graceful(&report);
         prop_assert_eq!(report.verdict, Verdict::Rejected, "no mutated proof may verify");
     }
@@ -77,7 +77,7 @@ proptest! {
     fn mutated_challenge_never_panics_or_verifies(bytes in proptest::collection::vec(any::<u8>(), 32..33)) {
         let (verifier, proof, chal) = honest_setup();
         let mutated = Challenge::from_bytes(bytes.try_into().expect("32 bytes"));
-        let report = verifier.verify(&proof, &mutated);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &mutated));
         assert_graceful(&report);
         if mutated != chal {
             prop_assert_eq!(report.verdict, Verdict::Rejected);

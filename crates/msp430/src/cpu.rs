@@ -12,7 +12,8 @@
 //! [`Step`] instead of returning a fresh one. Because a `Step` embeds its
 //! bus accesses in an inline [`AccessBuf`], a steady-state
 //! `step_into` loop performs **zero heap allocations**. Decoding is served
-//! from a lazily built [predecoded instruction cache](crate::icache) that
+//! from a lazily built predecoded instruction cache (the crate-private
+//! `icache` module) that
 //! is validated against the live instruction words on every hit, so writes
 //! into code memory — from any bus master — force a re-decode without
 //! explicit invalidation hooks.
