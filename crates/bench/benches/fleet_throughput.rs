@@ -8,12 +8,17 @@
 //! the PoX level (MAC only), so the mode axis shows what the DFA guarantee
 //! costs per device at the service level — the fleet-scale analogue of the
 //! paper's Fig. 6 device-side overhead axis.
+//!
+//! Each group measures the in-memory fleet (`round`) against the durable
+//! one (`round-durable`, WAL + periodic snapshots on a temp dir), so the
+//! price of crash-consistency is a first-class number.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dialed::attest::DialedDevice;
 use dialed::pipeline::InstrumentMode;
 use fleet::wire::{self, Message, ProofMsg};
 use fleet::{DeviceId, Fleet, FleetConfig};
+use std::path::PathBuf;
 
 /// Devices per simulated fleet round.
 const FLEET_SIZE: usize = 16;
@@ -39,12 +44,33 @@ fn round(p: &mut Prepared) -> usize {
     }
     let (stats, _) = p.fleet.drain(p.now);
     p.now += 4;
+    // Evict resolved history so state (and durable snapshots) stay O(fleet)
+    // across iterations instead of growing with rounds measured.
+    p.fleet.prune_resolved(p.now);
     stats.verified
 }
 
-fn prepare(scenario: &apps::Scenario, mode: InstrumentMode) -> Prepared {
+/// A fresh temp state dir for one durable bench group.
+fn state_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dialed-bench-wal-{}-{}",
+        std::process::id(),
+        label.replace('/', "-")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prepare(scenario: &apps::Scenario, mode: InstrumentMode, dir: Option<&PathBuf>) -> Prepared {
     let op = scenario.build(mode);
-    let mut fleet = Fleet::new(FleetConfig::default());
+    // Default snapshot cadence: each round commits ~3 events per device,
+    // so snapshots (and their fsync) recur every ~20 rounds per shard —
+    // measured rounds see the amortized durable cost, appends dominating.
+    let config = FleetConfig::default();
+    let mut fleet = match dir {
+        Some(dir) => Fleet::durable(dir, config).expect("temp state dir is writable"),
+        None => Fleet::new(config),
+    };
     let op_id = fleet.register_op(scenario.name, op.clone(), (scenario.policies)());
     let mut devices = Vec::with_capacity(FLEET_SIZE);
     for i in 0..FLEET_SIZE {
@@ -65,7 +91,9 @@ fn prepare(scenario: &apps::Scenario, mode: InstrumentMode) -> Prepared {
 fn bench_fleet(c: &mut Criterion) {
     for scenario in apps::scenarios() {
         for mode in [InstrumentMode::Original, InstrumentMode::CfaOnly, InstrumentMode::Full] {
-            let mut p = prepare(&scenario, mode);
+            let mut p = prepare(&scenario, mode, None);
+            let dir = state_dir(&p.label);
+            let mut durable = prepare(&scenario, mode, Some(&dir));
             let group_name = format!("fleet/{}", p.label);
             let mut group = c.benchmark_group(&group_name);
             group.throughput(Throughput::Elements(FLEET_SIZE as u64));
@@ -75,7 +103,15 @@ fn bench_fleet(c: &mut Criterion) {
                     assert_eq!(verified, FLEET_SIZE);
                 });
             });
+            group.bench_function("round-durable", |b| {
+                b.iter(|| {
+                    let verified = round(&mut durable);
+                    assert_eq!(verified, FLEET_SIZE);
+                });
+            });
             group.finish();
+            drop(durable);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

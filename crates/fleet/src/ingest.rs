@@ -1,53 +1,61 @@
-//! Sharded ingest: accepted submissions queue per operation and drain
-//! through that operation's batch engine.
+//! Ingest queues: accepted submissions waiting for batch verification.
 //!
-//! Proofs of one operation share everything that makes verification fast —
-//! the instrumented image, the prebuilt site bitmaps, the warm per-worker
-//! emulation workspaces — so the queue shards by [`OpId`]. A drain walks
-//! each shard once, hands the whole shard to the op's
-//! [`BatchVerifier`](dialed::BatchVerifier), and feeds the verdicts back
-//! into the sessions and the registry.
-//!
-//! The drain is verifier-agnostic: each operation's backend (full DIALED
-//! data-flow verification or PoX-only) was fixed at registration, and
-//! per-device keys resolve through a [`PerDevice`] key source borrowing
-//! straight out of the registry — no key store is materialised per job.
+//! Each state shard owns one [`IngestQueue`], internally keyed by
+//! [`OpId`]: proofs of one operation share everything that makes
+//! verification fast — the instrumented image, the prebuilt site bitmaps,
+//! the warm per-worker emulation workspaces — so a drain hands each
+//! per-op batch to that operation's shared
+//! [`BatchVerifier`](dialed::BatchVerifier) in one call. The drain itself
+//! lives in [`crate::shard`]; this module only owns the queue and the
+//! [`DrainStats`] aggregate the facade sums across shards.
 
-use crate::registry::{DeviceId, OpId, Registry};
-use crate::session::{SessionId, SessionManager, SessionState};
-use dialed::report::Report;
-use dialed::request::PerDevice;
-use dialed::BatchJob;
+use crate::registry::OpId;
+use crate::session::SessionId;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Aggregate result of one [`IngestQueue::drain`] call.
+/// Aggregate result of one drain (per shard, or summed fleet-wide).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct DrainStats {
     /// Sessions resolved by this drain.
     pub drained: usize,
-    /// Operation shards that had pending work.
+    /// State shards that resolved at least one session.
     pub shards: usize,
+    /// Per-operation batches handed to a batch engine (a shard draining
+    /// two operations contributes two).
+    pub batches: usize,
     /// Sessions that ended `Verified`.
     pub verified: usize,
     /// Sessions that ended `Rejected`.
     pub rejected: usize,
 }
 
+impl DrainStats {
+    /// Folds another drain's counters into this one (used by the facade
+    /// to sum per-shard results).
+    pub fn merge(&mut self, other: DrainStats) {
+        self.drained += other.drained;
+        self.shards += other.shards;
+        self.batches += other.batches;
+        self.verified += other.verified;
+        self.rejected += other.rejected;
+    }
+}
+
 impl fmt::Display for DrainStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "drained {} sessions over {} shards: {} verified / {} rejected",
-            self.drained, self.shards, self.verified, self.rejected
+            "drained {} sessions over {} shards ({} batches): {} verified / {} rejected",
+            self.drained, self.shards, self.batches, self.verified, self.rejected
         )
     }
 }
 
-/// The pending-submission queue, sharded by operation.
+/// The pending-submission queue of one state shard, keyed by operation.
 #[derive(Debug, Default)]
 pub struct IngestQueue {
-    shards: BTreeMap<OpId, Vec<SessionId>>,
+    batches: BTreeMap<OpId, Vec<SessionId>>,
 }
 
 impl IngestQueue {
@@ -57,100 +65,76 @@ impl IngestQueue {
         Self::default()
     }
 
-    /// Queues a submitted session for its operation's shard.
+    /// Queues a submitted session for its operation's batch.
     pub fn enqueue(&mut self, op: OpId, session: SessionId) {
-        self.shards.entry(op).or_default().push(session);
+        self.batches.entry(op).or_default().push(session);
+    }
+
+    /// Drops a queued session (the device was deregistered, or the
+    /// session resolved through replay while the entry was still queued).
+    pub fn discard(&mut self, op: OpId, session: SessionId) {
+        if let Some(batch) = self.batches.get_mut(&op) {
+            batch.retain(|&s| s != session);
+            if batch.is_empty() {
+                self.batches.remove(&op);
+            }
+        }
     }
 
     /// Total pending sessions.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.shards.values().map(Vec::len).sum()
+        self.batches.values().map(Vec::len).sum()
     }
 
     /// Pending sessions for one operation.
     #[must_use]
     pub fn pending_for(&self, op: OpId) -> usize {
-        self.shards.get(&op).map_or(0, Vec::len)
+        self.batches.get(&op).map_or(0, Vec::len)
     }
 
-    /// Drains every shard through its operation's batch engine, resolving
-    /// each queued session to `Verified` or `Rejected` and feeding the
-    /// verdicts back into the registry's per-device records.
-    pub fn drain(&mut self, registry: &mut Registry, sessions: &mut SessionManager) -> DrainStats {
-        let shards = std::mem::take(&mut self.shards);
-        let mut stats = DrainStats::default();
-        for (op, sids) in shards {
-            let (resolved, verified) = drain_shard(op, &sids, registry, sessions);
-            if resolved > 0 {
-                stats.shards += 1;
-            }
-            stats.drained += resolved;
-            stats.verified += verified;
-            stats.rejected += resolved - verified;
-        }
-        stats
+    /// Takes every queued batch, leaving the queue empty — the first step
+    /// of a shard drain.
+    pub(crate) fn take_all(&mut self) -> BTreeMap<OpId, Vec<SessionId>> {
+        std::mem::take(&mut self.batches)
+    }
+
+    /// Iterates the queued `(op, session)` entries (snapshot encoding).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (OpId, SessionId)> + '_ {
+        self.batches.iter().flat_map(|(&op, sids)| sids.iter().map(move |&s| (op, s)))
     }
 }
 
-/// Session bookkeeping for one queued job, parallel to the jobs vector —
-/// kept apart so the proofs are not cloned a second time just to hand
-/// `verify_batch` a contiguous `&[BatchJob]`.
-struct PendingMeta {
-    session: SessionId,
-    device: DeviceId,
-    nonce: u64,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Drains one operation shard; returns `(resolved, verified)`.
-fn drain_shard(
-    op: OpId,
-    sids: &[SessionId],
-    registry: &mut Registry,
-    sessions: &mut SessionManager,
-) -> (usize, usize) {
-    // Collect the shard's jobs: each consumes its session's held proof.
-    let mut jobs: Vec<BatchJob> = Vec::with_capacity(sids.len());
-    let mut meta: Vec<PendingMeta> = Vec::with_capacity(sids.len());
-    for &sid in sids {
-        let Some(s) = sessions.session_mut(sid) else { continue };
-        if s.state != SessionState::Submitted {
-            continue;
-        }
-        let Some(proof) = s.proof.take() else { continue };
-        let (device, nonce, challenge) = (s.device, s.nonce, s.challenge);
-        if registry.device(device).is_err() {
-            continue;
-        }
-        jobs.push(BatchJob::new(device.0, proof, challenge));
-        meta.push(PendingMeta { session: sid, device, nonce });
-    }
-    if jobs.is_empty() {
-        return (0, 0);
+    #[test]
+    fn enqueue_discard_and_take_round_trip() {
+        let mut q = IngestQueue::new();
+        q.enqueue(OpId(0), SessionId(1));
+        q.enqueue(OpId(1), SessionId(2));
+        q.enqueue(OpId(0), SessionId(3));
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.pending_for(OpId(0)), 2);
+
+        q.discard(OpId(0), SessionId(1));
+        assert_eq!(q.pending_for(OpId(0)), 1);
+        // Discarding the last entry of a batch removes the batch.
+        q.discard(OpId(1), SessionId(2));
+        assert_eq!(q.pending_for(OpId(1)), 0);
+
+        let taken = q.take_all();
+        assert_eq!(q.pending(), 0);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[&OpId(0)], vec![SessionId(3)]);
     }
 
-    let reports: Vec<Report> = {
-        let reg: &Registry = registry;
-        let Ok(record) = reg.op(op) else { return (0, 0) };
-        // Per-device keys resolve by borrow out of the registry's device
-        // records for the whole drain.
-        let keys = PerDevice::new(|device| Some(reg.device(DeviceId(device)).ok()?.ra()));
-        let batch = record.engine.verify_batch(&jobs, Some(&keys));
-        batch.outcomes.into_iter().map(|o| o.report).collect()
-    };
-
-    let mut verified = 0;
-    let resolved = meta.len();
-    for (m, report) in meta.into_iter().zip(reports) {
-        let clean = report.is_clean();
-        if clean {
-            verified += 1;
-        }
-        registry.record_verdict(m.device, m.nonce, clean);
-        if let Some(s) = sessions.session_mut(m.session) {
-            s.state = if clean { SessionState::Verified } else { SessionState::Rejected };
-            s.report = Some(report);
-        }
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = DrainStats { drained: 2, shards: 1, batches: 1, verified: 2, rejected: 0 };
+        let b = DrainStats { drained: 3, shards: 1, batches: 2, verified: 1, rejected: 2 };
+        a.merge(b);
+        assert_eq!(a, DrainStats { drained: 5, shards: 2, batches: 3, verified: 3, rejected: 2 });
     }
-    (resolved, verified)
 }

@@ -2,18 +2,28 @@
 //! provisioned for, which key it attests under, and how far its verified
 //! history reaches.
 //!
-//! The registry is the service's source of truth. Operations are
-//! registered once per fleet (a fleet may serve many distinct operations —
-//! one per firmware build); devices are then bound to exactly one
-//! operation and an individual attestation key derived from a
-//! provisioning seed. Verified verdicts flow back in from the ingest
-//! stage, advancing each device's last-verified counter.
+//! Since the sharded-state refactor this splits in two:
+//!
+//! * [`OpTable`] — the fleet-global operation table. Operations are code
+//!   artifacts (an instrumented image plus the shared [`BatchVerifier`]
+//!   built over it); they are registered once per fleet and *shared* by
+//!   every shard's drain. The table is immutable during a drain, so
+//!   parallel shard drains borrow it concurrently without locking.
+//! * [`Registry`] — one per shard, holding the [`DeviceRecord`]s the
+//!   shard's consistent-hash slice of the device space routes to. Device
+//!   state is pure data (seed, epoch, counters) and is what the shard's
+//!   write-ahead log and snapshots persist; the derived key schedule is
+//!   rebuilt from `seed ⊕ f(epoch)` on install, never serialized.
+//!
+//! Verified verdicts flow back in from the ingest stage, advancing each
+//! device's last-verified counter.
 
 use dialed::pipeline::{InstrumentMode, InstrumentedOp};
 use dialed::policy::Policy;
 use dialed::report::RejectReason;
 use dialed::request::Verifier;
 use dialed::{BatchVerifier, DialedVerifier};
+use std::collections::BTreeMap;
 use std::fmt;
 use vrased::{KeyStore, RaVerifier};
 
@@ -42,7 +52,7 @@ impl fmt::Display for DeviceId {
 pub enum RegistryError {
     /// The referenced operation is not registered.
     UnknownOp(OpId),
-    /// The referenced device is not registered.
+    /// The referenced device is not registered (or was deregistered).
     UnknownDevice(DeviceId),
 }
 
@@ -65,6 +75,15 @@ impl From<RegistryError> for RejectReason {
     }
 }
 
+/// Mixes a key-rotation epoch into a provisioning seed. Epoch 0 is the
+/// identity, so fleets that never rotate keep their original keys; each
+/// bump moves every *subsequently provisioned* device onto a fresh key
+/// schedule without touching already-installed devices.
+#[must_use]
+pub(crate) fn effective_seed(key_seed: u64, epoch: u64) -> u64 {
+    key_seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// One registered operation: the instrumented image plus the shared
 /// verification machinery every proof of this operation goes through.
 pub struct OpRecord {
@@ -77,13 +96,13 @@ pub struct OpRecord {
     /// re-executes; the other modes are verified at the PoX level (code,
     /// regions, EXEC, OR authenticity).
     pub mode: InstrumentMode,
-    /// Devices bound to this operation.
+    /// Devices currently bound to this operation, across all shards.
     pub devices: u64,
     /// The shared batch engine. The backend is chosen once, at
     /// registration: full data-flow verification for
-    /// [`InstrumentMode::Full`] images, PoX-only for the rest — ingest
-    /// drains every shard through this one engine with no per-mode
-    /// branching (per-device keys resolve through the drain's
+    /// [`InstrumentMode::Full`] images, PoX-only for the rest — every
+    /// shard drains through this one engine with no per-mode branching
+    /// (per-device keys resolve through the drain's
     /// [`KeySource`](dialed::request::KeySource)).
     pub(crate) engine: BatchVerifier<Box<dyn Verifier>>,
 }
@@ -99,54 +118,15 @@ impl fmt::Debug for OpRecord {
     }
 }
 
-/// Per-device registry state.
-#[derive(Clone, Debug)]
-pub struct DeviceRecord {
-    /// The device's id.
-    pub id: DeviceId,
-    /// The operation this device is provisioned to run.
-    pub op: OpId,
-    /// Highest challenge nonce this device has a *verified* proof for.
-    /// Monotonic: ingest only ever advances it.
-    pub last_verified: Option<u64>,
-    /// Sessions that ended `Verified`.
-    pub verified: u64,
-    /// Sessions that ended `Rejected`.
-    pub rejected: u64,
-    /// The device's individual attestation key.
-    pub(crate) keystore: KeyStore,
-    /// The precomputed verification-side key schedule — built once at
-    /// registration so drains resolve keys by borrow, with no per-proof
-    /// HMAC-pad recomputation.
-    pub(crate) ra: RaVerifier,
-}
-
-impl DeviceRecord {
-    /// The device's attestation key — needed by provisioning (to install
-    /// the same key on the physical device) and by ingest (to check MACs).
-    #[must_use]
-    pub fn keystore(&self) -> &KeyStore {
-        &self.keystore
-    }
-
-    /// The verifier-side key schedule proofs from this device are checked
-    /// under (the [`KeySource`](dialed::request::KeySource) answer for
-    /// this device).
-    #[must_use]
-    pub fn ra(&self) -> &RaVerifier {
-        &self.ra
-    }
-}
-
-/// The fleet's device and operation registry.
+/// The fleet-global operation table. Shared read-only by every shard's
+/// drain; see the module docs for the split with [`Registry`].
 #[derive(Debug, Default)]
-pub struct Registry {
+pub struct OpTable {
     ops: Vec<OpRecord>,
-    devices: Vec<DeviceRecord>,
 }
 
-impl Registry {
-    /// An empty registry.
+impl OpTable {
+    /// An empty table.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -191,50 +171,6 @@ impl Registry {
         id
     }
 
-    /// Registers a device bound to `op`, deriving its individual
-    /// attestation key from `key_seed` (the provisioning secret shared
-    /// with the physical device).
-    ///
-    /// # Errors
-    ///
-    /// Fails if `op` is unknown.
-    pub fn register_device(&mut self, op: OpId, key_seed: u64) -> Result<DeviceId, RegistryError> {
-        let record = self.op_mut(op)?;
-        record.devices += 1;
-        let id = DeviceId(self.devices.len() as u64);
-        let keystore = KeyStore::from_seed(key_seed);
-        let ra = RaVerifier::new(keystore.clone());
-        self.devices.push(DeviceRecord {
-            id,
-            op,
-            last_verified: None,
-            verified: 0,
-            rejected: 0,
-            keystore,
-            ra,
-        });
-        Ok(id)
-    }
-
-    /// Looks up a device.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the device is unknown.
-    pub fn device(&self, id: DeviceId) -> Result<&DeviceRecord, RegistryError> {
-        usize::try_from(id.0)
-            .ok()
-            .and_then(|i| self.devices.get(i))
-            .ok_or(RegistryError::UnknownDevice(id))
-    }
-
-    pub(crate) fn device_mut(&mut self, id: DeviceId) -> Result<&mut DeviceRecord, RegistryError> {
-        usize::try_from(id.0)
-            .ok()
-            .and_then(|i| self.devices.get_mut(i))
-            .ok_or(RegistryError::UnknownDevice(id))
-    }
-
     /// Looks up an operation.
     ///
     /// # Errors
@@ -253,9 +189,144 @@ impl Registry {
         self.ops.iter()
     }
 
-    /// All registered devices.
+    /// Number of registered operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Per-device registry state.
+#[derive(Clone, Debug)]
+pub struct DeviceRecord {
+    /// The device's id.
+    pub id: DeviceId,
+    /// The operation this device is provisioned to run.
+    pub op: OpId,
+    /// Highest challenge nonce this device has a *verified* proof for.
+    /// Monotonic: ingest only ever advances it, and recovery restores it,
+    /// so a restart can never re-open an already-verified round.
+    pub last_verified: Option<u64>,
+    /// Sessions that ended `Verified`.
+    pub verified: u64,
+    /// Sessions that ended `Rejected`.
+    pub rejected: u64,
+    /// The provisioning seed the device's key derives from — the durable
+    /// half of the key material (what the WAL and snapshots persist).
+    pub(crate) key_seed: u64,
+    /// The key-rotation epoch the device was provisioned under.
+    pub(crate) epoch: u64,
+    /// The device's individual attestation key, derived from
+    /// `effective_seed(key_seed, epoch)` at install time.
+    pub(crate) keystore: KeyStore,
+    /// The precomputed verification-side key schedule — built once at
+    /// install so drains resolve keys by borrow, with no per-proof
+    /// HMAC-pad recomputation.
+    pub(crate) ra: RaVerifier,
+}
+
+impl DeviceRecord {
+    /// The device's attestation key — needed by provisioning (to install
+    /// the same key on the physical device) and by ingest (to check MACs).
+    #[must_use]
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    /// The verifier-side key schedule proofs from this device are checked
+    /// under (the [`KeySource`](dialed::request::KeySource) answer for
+    /// this device).
+    #[must_use]
+    pub fn ra(&self) -> &RaVerifier {
+        &self.ra
+    }
+
+    /// The key-rotation epoch this device was provisioned under.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// One shard's slice of the device space. Device ids are fleet-global
+/// (allocated by the facade's router); each shard only ever sees the ids
+/// the consistent-hash ring maps to it, so the map is sparse by design.
+#[derive(Debug, Default)]
+pub struct Registry {
+    devices: BTreeMap<u64, DeviceRecord>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a device record — the apply half of registration, driven
+    /// both live and by event replay. The key schedule is (re)derived from
+    /// the durable `(key_seed, epoch)` pair, so a recovered device checks
+    /// MACs under exactly the key it was provisioned with.
+    pub(crate) fn install_device(&mut self, id: DeviceId, op: OpId, key_seed: u64, epoch: u64) {
+        let keystore = KeyStore::from_seed(effective_seed(key_seed, epoch));
+        let ra = RaVerifier::new(keystore.clone());
+        self.devices.insert(
+            id.0,
+            DeviceRecord {
+                id,
+                op,
+                last_verified: None,
+                verified: 0,
+                rejected: 0,
+                key_seed,
+                epoch,
+                keystore,
+                ra,
+            },
+        );
+    }
+
+    /// Removes a device, returning its record (the apply half of
+    /// deregistration).
+    pub(crate) fn remove_device(&mut self, id: DeviceId) -> Option<DeviceRecord> {
+        self.devices.remove(&id.0)
+    }
+
+    /// Looks up a device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown (never registered, routed to a
+    /// different shard, or deregistered).
+    pub fn device(&self, id: DeviceId) -> Result<&DeviceRecord, RegistryError> {
+        self.devices.get(&id.0).ok_or(RegistryError::UnknownDevice(id))
+    }
+
+    pub(crate) fn device_mut(&mut self, id: DeviceId) -> Result<&mut DeviceRecord, RegistryError> {
+        self.devices.get_mut(&id.0).ok_or(RegistryError::UnknownDevice(id))
+    }
+
+    /// All devices on this shard, in id order.
     pub fn devices(&self) -> impl Iterator<Item = &DeviceRecord> {
-        self.devices.iter()
+        self.devices.values()
+    }
+
+    /// Number of devices on this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether this shard holds no devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
     }
 
     /// Records a verdict for `device`: bumps its counters and, for a
@@ -290,33 +361,39 @@ mod tests {
 
     #[test]
     fn multiple_ops_and_devices_register() {
-        let mut reg = Registry::new();
-        let a = reg.register_op("alpha", tiny_op(), vec![], Some(1));
-        let b = reg.register_op("beta", tiny_op(), vec![], Some(1));
+        let mut ops = OpTable::new();
+        let a = ops.register_op("alpha", tiny_op(), vec![], Some(1));
+        let b = ops.register_op("beta", tiny_op(), vec![], Some(1));
         assert_ne!(a, b);
-        let d0 = reg.register_device(a, 100).unwrap();
-        let d1 = reg.register_device(b, 101).unwrap();
-        let d2 = reg.register_device(a, 102).unwrap();
-        assert_eq!(reg.op(a).unwrap().devices, 2);
-        assert_eq!(reg.op(b).unwrap().devices, 1);
-        assert_eq!(reg.device(d0).unwrap().op, a);
-        assert_eq!(reg.device(d1).unwrap().op, b);
-        assert_eq!(reg.device(d2).unwrap().op, a);
+        assert_eq!(ops.len(), 2);
+
+        let mut reg = Registry::new();
+        reg.install_device(DeviceId(0), a, 100, 0);
+        reg.install_device(DeviceId(1), b, 101, 0);
+        reg.install_device(DeviceId(2), a, 102, 0);
+        assert_eq!(reg.device(DeviceId(0)).unwrap().op, a);
+        assert_eq!(reg.device(DeviceId(1)).unwrap().op, b);
+        assert_eq!(reg.device(DeviceId(2)).unwrap().op, a);
         assert_eq!(reg.devices().count(), 3);
     }
 
     #[test]
     fn unknown_ids_error() {
+        let ops = OpTable::new();
+        assert_eq!(ops.op(OpId(9)).unwrap_err(), RegistryError::UnknownOp(OpId(9)));
         let mut reg = Registry::new();
-        assert_eq!(reg.register_device(OpId(9), 0).unwrap_err(), RegistryError::UnknownOp(OpId(9)));
+        assert_eq!(reg.device(DeviceId(3)).unwrap_err(), RegistryError::UnknownDevice(DeviceId(3)));
+        reg.install_device(DeviceId(3), OpId(0), 1, 0);
+        assert!(reg.device(DeviceId(3)).is_ok());
+        assert!(reg.remove_device(DeviceId(3)).is_some());
         assert_eq!(reg.device(DeviceId(3)).unwrap_err(), RegistryError::UnknownDevice(DeviceId(3)));
     }
 
     #[test]
     fn last_verified_counter_is_monotonic() {
         let mut reg = Registry::new();
-        let op = reg.register_op("alpha", tiny_op(), vec![], Some(1));
-        let dev = reg.register_device(op, 7).unwrap();
+        let dev = DeviceId(0);
+        reg.install_device(dev, OpId(0), 7, 0);
         reg.record_verdict(dev, 5, true);
         assert_eq!(reg.device(dev).unwrap().last_verified, Some(5));
         // A stale verdict (e.g. a late-drained older session) cannot
@@ -327,5 +404,37 @@ mod tests {
         let rec = reg.device(dev).unwrap();
         assert_eq!(rec.last_verified, Some(5));
         assert_eq!((rec.verified, rec.rejected), (2, 1));
+    }
+
+    #[test]
+    fn epoch_rotates_the_derived_key() {
+        use vrased::{Challenge, SwAtt};
+
+        let mut reg = Registry::new();
+        reg.install_device(DeviceId(0), OpId(0), 42, 0);
+        reg.install_device(DeviceId(1), OpId(0), 42, 1);
+        // Same seed, different epoch ⇒ different key schedule; epoch 0 is
+        // the identity so pre-rotation fleets keep their original keys.
+        assert_eq!(effective_seed(42, 0), 42);
+        assert_ne!(effective_seed(42, 0), effective_seed(42, 1));
+
+        // A device provisioned with the epoch-mixed seed MACs under
+        // exactly the key the installed record checks — the property
+        // recovery (which re-derives keys from the durable pair) relies
+        // on — while the pre-rotation record rejects the same response.
+        let device_side = SwAtt::new(KeyStore::from_seed(effective_seed(42, 1)));
+        let chal = Challenge::derive(b"epoch-test", 0);
+        let regions: &[(u16, u16, &[u8])] = &[(0, 1, &[0xAA, 0xBB])];
+        let resp = device_side.attest_region_bytes(&chal, regions, b"");
+        assert!(reg
+            .device(DeviceId(1))
+            .unwrap()
+            .ra()
+            .check_region_bytes(&chal, regions, b"", &resp));
+        assert!(!reg
+            .device(DeviceId(0))
+            .unwrap()
+            .ra()
+            .check_region_bytes(&chal, regions, b"", &resp));
     }
 }

@@ -22,6 +22,15 @@
 //! any later one — is rejected at the session layer, before any
 //! cryptographic or emulation work is spent.
 //!
+//! Since the sharded-state refactor, mutations are split into a *check*
+//! half (pure, e.g. [`SessionManager::check_submit`]) and an *apply* half
+//! driven by the shard's event log, so the write-ahead log in
+//! [`crate::store`] replays through exactly the code the live service
+//! runs. A manager constructed with [`SessionManager::with_ids`] allocates
+//! session ids on a stride (`first`, `first + stride`, …) so each state
+//! shard mints ids that encode its own index — `id % shards` routes a
+//! session back to its shard with no shared counter.
+//!
 //! Time is a caller-supplied logical clock (`u64` ticks), keeping the
 //! whole service deterministic and testable; a deployment maps it to
 //! seconds.
@@ -30,7 +39,6 @@ use crate::registry::{DeviceId, OpId};
 use dialed::attest::DialedProof;
 use dialed::report::Report;
 use hacl::{Digest, Sha256};
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use vrased::Challenge;
@@ -57,7 +65,8 @@ pub enum SessionState {
     /// The proof failed verification (cryptographically or by
     /// reconstruction).
     Rejected,
-    /// The deadline passed with no accepted submission.
+    /// The deadline passed with no accepted submission — or the device was
+    /// deregistered while the session was still open.
     Expired,
 }
 
@@ -142,8 +151,8 @@ pub struct Session {
 
 /// Sliding window of recently accepted proof tags for one device.
 #[derive(Clone, Debug, Default)]
-struct ReplayWindow {
-    tags: VecDeque<Digest>,
+pub(crate) struct ReplayWindow {
+    pub(crate) tags: VecDeque<Digest>,
 }
 
 impl ReplayWindow {
@@ -161,10 +170,10 @@ impl ReplayWindow {
 
 /// Per-device session-layer state.
 #[derive(Clone, Debug, Default)]
-struct DeviceSessions {
+pub(crate) struct DeviceSessions {
     /// Next challenge nonce — strictly monotonic, never reused.
-    next_nonce: u64,
-    window: ReplayWindow,
+    pub(crate) next_nonce: u64,
+    pub(crate) window: ReplayWindow,
 }
 
 /// Issues challenges and walks sessions through their state machine.
@@ -173,43 +182,81 @@ pub struct SessionManager {
     label: Vec<u8>,
     ttl: u64,
     window_cap: usize,
-    next_id: u64,
-    sessions: BTreeMap<u64, Session>,
-    per_device: HashMap<DeviceId, DeviceSessions>,
+    pub(crate) next_id: u64,
+    stride: u64,
+    pub(crate) sessions: BTreeMap<u64, Session>,
+    pub(crate) per_device: HashMap<DeviceId, DeviceSessions>,
 }
 
 impl SessionManager {
     /// A manager issuing challenges derived from `label`, with sessions
     /// valid for `ttl` logical ticks and a per-device anti-replay window
-    /// remembering `window_cap` tags.
+    /// remembering `window_cap` tags. Session ids count `0, 1, 2, …`.
     #[must_use]
     pub fn new(label: &[u8], ttl: u64, window_cap: usize) -> Self {
+        Self::with_ids(label, ttl, window_cap, 0, 1)
+    }
+
+    /// Like [`SessionManager::new`] but allocating session ids on a stride
+    /// (`first`, `first + stride`, …). A fleet of `N` shards gives shard
+    /// `s` the parameters `(s, N)`, so `id % N` identifies the owning
+    /// shard with no cross-shard counter.
+    #[must_use]
+    pub fn with_ids(label: &[u8], ttl: u64, window_cap: usize, first: u64, stride: u64) -> Self {
         Self {
             label: label.to_vec(),
             ttl,
             window_cap,
-            next_id: 0,
+            next_id: first,
+            stride: stride.max(1),
             sessions: BTreeMap::new(),
             per_device: HashMap::new(),
         }
     }
 
-    /// Issues a fresh challenge to `device` for `op` at logical time
-    /// `now`, consuming the device's next nonce.
-    pub fn issue(&mut self, device: DeviceId, op: OpId, now: u64) -> &Session {
-        let per = self.per_device.entry(device).or_default();
-        let nonce = per.next_nonce;
-        per.next_nonce += 1;
+    /// The session ttl this manager issues under.
+    #[must_use]
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
 
-        // Challenge = H(fleet label ‖ device id) bound with the monotonic
-        // nonce — unique per (fleet, device, round).
+    /// The id the next issued session will carry.
+    #[must_use]
+    pub fn peek_next_id(&self) -> SessionId {
+        SessionId(self.next_id)
+    }
+
+    /// The challenge `device` answers under for `nonce`:
+    /// `H(fleet label ‖ device id)` bound with the monotonic nonce —
+    /// unique per (fleet, device, round), and re-derivable at recovery so
+    /// snapshots and events never need to persist challenge bytes.
+    #[must_use]
+    pub(crate) fn derive_challenge(&self, device: DeviceId, nonce: u64) -> Challenge {
         let mut h = Sha256::new();
         h.update(&self.label);
         h.update(&device.0.to_le_bytes());
-        let challenge = Challenge::derive(&h.finalize(), nonce);
+        Challenge::derive(&h.finalize(), nonce)
+    }
 
-        let id = SessionId(self.next_id);
-        self.next_id += 1;
+    /// Installs a session with explicit coordinates — the apply half of
+    /// issuance, driven both by the live [`SessionManager::issue`] path
+    /// and by event replay. Counters advance past the installed values so
+    /// ids and nonces stay monotonic whichever path ran.
+    pub(crate) fn install(
+        &mut self,
+        id: SessionId,
+        device: DeviceId,
+        op: OpId,
+        nonce: u64,
+        issued_at: u64,
+        deadline: u64,
+    ) -> &Session {
+        let challenge = self.derive_challenge(device, nonce);
+        let per = self.per_device.entry(device).or_default();
+        per.next_nonce = per.next_nonce.max(nonce.saturating_add(1));
+        if id.0 >= self.next_id {
+            self.next_id = id.0.saturating_add(self.stride);
+        }
         self.sessions.insert(
             id.0,
             Session {
@@ -218,8 +265,8 @@ impl SessionManager {
                 op,
                 nonce,
                 challenge,
-                issued_at: now,
-                deadline: now.saturating_add(self.ttl),
+                issued_at,
+                deadline,
                 state: SessionState::Issued,
                 report: None,
                 proof: None,
@@ -228,9 +275,18 @@ impl SessionManager {
         &self.sessions[&id.0]
     }
 
-    /// Accepts `proof` for `session`, enforcing the state machine, the
-    /// deadline and the anti-replay window. On success the session is
-    /// `Submitted` and the proof is queued for ingest.
+    /// Issues a fresh challenge to `device` for `op` at logical time
+    /// `now`, consuming the device's next nonce.
+    pub fn issue(&mut self, device: DeviceId, op: OpId, now: u64) -> &Session {
+        let id = SessionId(self.next_id);
+        let nonce = self.next_nonce(device);
+        self.install(id, device, op, nonce, now, now.saturating_add(self.ttl))
+    }
+
+    /// Validates a submission without mutating anything: the state
+    /// machine, the deadline and the anti-replay window are all enforced
+    /// here, *before* the accepted submission becomes a durable event.
+    /// Returns the session's operation on success.
     ///
     /// Submission is *not* authenticated beyond the device id it claims:
     /// the proof's MAC is only checked at drain time. An active network
@@ -242,16 +298,17 @@ impl SessionManager {
     ///
     /// # Errors
     ///
-    /// See [`SessionError`]; the session state is unchanged on error
-    /// except for a missed deadline, which marks it `Expired`.
-    pub fn submit(
-        &mut self,
+    /// See [`SessionError`]. A missed deadline reports
+    /// [`SessionError::Expired`] but leaves the flip to `Expired` to the
+    /// next expiry sweep, so the check stays pure.
+    pub fn check_submit(
+        &self,
         session: SessionId,
         device: DeviceId,
-        proof: DialedProof,
+        tag: &Digest,
         now: u64,
-    ) -> Result<(), SessionError> {
-        let s = self.sessions.get_mut(&session.0).ok_or(SessionError::UnknownSession(session))?;
+    ) -> Result<OpId, SessionError> {
+        let s = self.sessions.get(&session.0).ok_or(SessionError::UnknownSession(session))?;
         if s.device != device {
             return Err(SessionError::DeviceMismatch { expected: s.device, got: device });
         }
@@ -260,21 +317,59 @@ impl SessionManager {
             state => return Err(SessionError::NotAwaitingProof(state)),
         }
         if now > s.deadline {
-            s.state = SessionState::Expired;
             return Err(SessionError::Expired { deadline: s.deadline });
         }
-        let per = match self.per_device.entry(device) {
-            Entry::Occupied(e) => e.into_mut(),
-            // Unreachable in practice: issuing created the entry.
-            Entry::Vacant(e) => e.insert(DeviceSessions::default()),
-        };
-        if per.window.contains(&proof.pox.tag) {
+        if self.per_device.get(&device).is_some_and(|per| per.window.contains(tag)) {
             return Err(SessionError::ReplayedProof);
         }
-        per.window.push(proof.pox.tag, self.window_cap);
+        Ok(s.op)
+    }
+
+    /// The apply half of submission: records the accepted proof, pushes
+    /// its tag into the device's anti-replay window and marks the session
+    /// `Submitted`. The caller (live path or event replay) has already
+    /// validated via [`SessionManager::check_submit`].
+    pub(crate) fn apply_submit(
+        &mut self,
+        session: SessionId,
+        device: DeviceId,
+        proof: DialedProof,
+    ) {
+        let Some(s) = self.sessions.get_mut(&session.0) else { return };
+        self.per_device.entry(device).or_default().window.push(proof.pox.tag, self.window_cap);
         s.state = SessionState::Submitted;
         s.proof = Some(proof);
+    }
+
+    /// Accepts `proof` for `session`: [`SessionManager::check_submit`]
+    /// followed by the crate-private apply half. Standalone (non-fleet)
+    /// users get the one-call form; the fleet splits the halves around its
+    /// write-ahead log.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; the session state is unchanged on error.
+    pub fn submit(
+        &mut self,
+        session: SessionId,
+        device: DeviceId,
+        proof: DialedProof,
+        now: u64,
+    ) -> Result<(), SessionError> {
+        self.check_submit(session, device, &proof.pox.tag, now)?;
+        self.apply_submit(session, device, proof);
         Ok(())
+    }
+
+    /// How many `Issued` sessions an expiry sweep at `now` would flip —
+    /// the pure peek the fleet uses to decide whether a sweep is worth a
+    /// durable event.
+    #[must_use]
+    pub fn due(&self, now: u64) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| s.state == SessionState::Issued && now > s.deadline)
+            .count()
     }
 
     /// Expires every `Issued` session whose deadline lies before `now`.
@@ -288,6 +383,51 @@ impl SessionManager {
             }
         }
         flipped
+    }
+
+    /// Expires every open (`Issued`/`Submitted`) session of `device` —
+    /// the session-layer half of deregistration. Held proofs are dropped.
+    /// Returns the flipped sessions as `(op, id)` pairs so the caller can
+    /// purge any ingest-queue entries.
+    pub(crate) fn expire_open_for(&mut self, device: DeviceId) -> Vec<(OpId, SessionId)> {
+        let mut flipped = Vec::new();
+        for s in self.sessions.values_mut() {
+            if s.device == device
+                && matches!(s.state, SessionState::Issued | SessionState::Submitted)
+            {
+                s.state = SessionState::Expired;
+                s.proof = None;
+                flipped.push((s.op, s.id));
+            }
+        }
+        flipped
+    }
+
+    /// Resolves a session with the verifier's verdict — the apply half of
+    /// draining. Returns the session's `(device, nonce)` for registry
+    /// bookkeeping, or `None` if the session is unknown.
+    pub(crate) fn apply_verdict(
+        &mut self,
+        session: SessionId,
+        report: Report,
+    ) -> Option<(DeviceId, u64)> {
+        let s = self.sessions.get_mut(&session.0)?;
+        s.state = if report.is_clean() { SessionState::Verified } else { SessionState::Rejected };
+        s.proof = None;
+        s.report = Some(report);
+        Some((s.device, s.nonce))
+    }
+
+    /// How many resolved sessions a prune at `now` would evict (pure peek).
+    #[must_use]
+    pub fn prunable(&self, now: u64) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| {
+                !matches!(s.state, SessionState::Issued | SessionState::Submitted)
+                    && s.deadline < now
+            })
+            .count()
     }
 
     /// Evicts resolved sessions (`Verified`/`Rejected`/`Expired`) whose
@@ -365,6 +505,31 @@ mod tests {
     }
 
     #[test]
+    fn strided_ids_encode_the_shard() {
+        // Shard 2 of 5: ids 2, 7, 12, … — id % 5 routes back to the shard.
+        let mut mgr = SessionManager::with_ids(b"t", 10, 4, 2, 5);
+        let ids: Vec<u64> = (0..3).map(|_| mgr.issue(DEV, OP, 0).id.0).collect();
+        assert_eq!(ids, vec![2, 7, 12]);
+        assert!(ids.iter().all(|id| id % 5 == 2));
+        assert_eq!(mgr.peek_next_id(), SessionId(17));
+    }
+
+    #[test]
+    fn install_replays_to_identical_state() {
+        // Replaying the coordinates of a live issue through install()
+        // reproduces the same session, challenge included, and leaves the
+        // counters where the live path left them.
+        let mut live = SessionManager::new(b"t", 10, 4);
+        let s = live.issue(DEV, OP, 3).clone();
+        let mut replayed = SessionManager::new(b"t", 10, 4);
+        let r = replayed.install(s.id, s.device, s.op, s.nonce, s.issued_at, s.deadline).clone();
+        assert_eq!(r.challenge, s.challenge);
+        assert_eq!(r.deadline, s.deadline);
+        assert_eq!(replayed.peek_next_id(), live.peek_next_id());
+        assert_eq!(replayed.next_nonce(DEV), live.next_nonce(DEV));
+    }
+
+    #[test]
     fn happy_path_walks_issued_to_submitted() {
         let mut mgr = SessionManager::new(b"t", 10, 4);
         let sid = mgr.issue(DEV, OP, 0).id;
@@ -413,18 +578,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_cap_still_blocks_the_immediate_replay() {
+        // A degenerate window_cap of 0 clamps to a depth of one: the most
+        // recently accepted tag is always remembered, so the cheapest
+        // replay (same proof, next session) can never slip through a
+        // misconfigured fleet.
+        let mut mgr = SessionManager::new(b"t", 100, 0);
+        let s0 = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(s0, DEV, dummy_proof(9), 1).unwrap();
+        let s1 = mgr.issue(DEV, OP, 1).id;
+        assert_eq!(mgr.submit(s1, DEV, dummy_proof(9), 2), Err(SessionError::ReplayedProof));
+        // A different tag displaces the only slot…
+        mgr.submit(s1, DEV, dummy_proof(10), 2).unwrap();
+        // …after which the depth-1 window has forgotten tag 9.
+        let s2 = mgr.issue(DEV, OP, 3).id;
+        mgr.submit(s2, DEV, dummy_proof(9), 4).unwrap();
+    }
+
+    #[test]
     fn deadline_expires_sessions() {
         let mut mgr = SessionManager::new(b"t", 5, 4);
         let sid = mgr.issue(DEV, OP, 10).id;
         assert_eq!(mgr.session(sid).unwrap().deadline, 15);
-        // Late submission flips the session to Expired.
+        // Late submission is rejected; the flip to Expired is the expiry
+        // sweep's job (checks are pure so they can sit before the WAL).
         let err = mgr.submit(sid, DEV, dummy_proof(1), 16).unwrap_err();
         assert_eq!(err, SessionError::Expired { deadline: 15 });
+        assert_eq!(mgr.session(sid).unwrap().state, SessionState::Issued);
+        assert_eq!(mgr.due(16), 1);
+        assert_eq!(mgr.expire_due(16), 1);
         assert_eq!(mgr.session(sid).unwrap().state, SessionState::Expired);
         // Sweep-based expiry for sessions nobody ever answers.
         let s2 = mgr.issue(DEV, OP, 20).id;
         assert_eq!(mgr.expire_due(100), 1);
         assert_eq!(mgr.session(s2).unwrap().state, SessionState::Expired);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // deadline == now is still in time, for both the submit check and
+        // the sweep: expiry requires now to lie strictly past the deadline.
+        let mut mgr = SessionManager::new(b"t", 5, 4);
+        let sid = mgr.issue(DEV, OP, 0).id;
+        assert_eq!(mgr.session(sid).unwrap().deadline, 5);
+        assert_eq!(mgr.due(5), 0, "a sweep exactly at the deadline expires nothing");
+        assert_eq!(mgr.expire_due(5), 0);
+        mgr.submit(sid, DEV, dummy_proof(1), 5).unwrap();
+        assert_eq!(mgr.session(sid).unwrap().state, SessionState::Submitted);
     }
 
     #[test]
@@ -438,12 +638,51 @@ mod tests {
         let open = mgr.issue(DEV, OP, 100).id;
         assert_eq!(mgr.len(), 3);
 
+        assert_eq!(mgr.prunable(200), 2);
         assert_eq!(mgr.prune_resolved(200), 2);
         assert!(mgr.session(resolved).is_none());
         assert!(mgr.session(expired).is_none());
         assert_eq!(mgr.session(open).unwrap().state, SessionState::Issued);
         // Ids keep advancing — a pruned id is never reissued.
         assert!(mgr.issue(DEV, OP, 100).id.0 > open.0);
+    }
+
+    #[test]
+    fn prune_boundary_retains_deadline_equal_to_now() {
+        // A resolved session whose deadline is exactly `now` survives the
+        // prune (eviction requires deadline strictly before now), so an
+        // operator polling at the deadline tick can still read the report.
+        let mut mgr = SessionManager::new(b"t", 5, 4);
+        let sid = mgr.issue(DEV, OP, 0).id; // deadline = 5
+        mgr.submit(sid, DEV, dummy_proof(1), 1).unwrap();
+        mgr.session_mut(sid).unwrap().state = SessionState::Rejected;
+        assert_eq!(mgr.prunable(5), 0);
+        assert_eq!(mgr.prune_resolved(5), 0);
+        assert!(mgr.session(sid).is_some());
+        assert_eq!(mgr.prunable(6), 1);
+        assert_eq!(mgr.prune_resolved(6), 1);
+        assert!(mgr.session(sid).is_none());
+    }
+
+    #[test]
+    fn deregistration_expires_open_sessions_only() {
+        let mut mgr = SessionManager::new(b"t", 10, 4);
+        let done = mgr.issue(DEV, OP, 0).id;
+        mgr.submit(done, DEV, dummy_proof(1), 1).unwrap();
+        mgr.apply_verdict(done, Report::clean(Default::default()));
+        let open = mgr.issue(DEV, OP, 2).id;
+        let pending = mgr.issue(DEV, OP, 2).id;
+        mgr.submit(pending, DEV, dummy_proof(2), 3).unwrap();
+        let other = mgr.issue(DeviceId(9), OP, 2).id;
+
+        let flipped = mgr.expire_open_for(DEV);
+        assert_eq!(flipped.len(), 2);
+        assert!(flipped.iter().any(|&(_, sid)| sid == pending));
+        assert_eq!(mgr.session(open).unwrap().state, SessionState::Expired);
+        assert_eq!(mgr.session(pending).unwrap().state, SessionState::Expired);
+        assert!(mgr.session(pending).unwrap().proof.is_none(), "held proof dropped");
+        assert_eq!(mgr.session(done).unwrap().state, SessionState::Verified);
+        assert_eq!(mgr.session(other).unwrap().state, SessionState::Issued);
     }
 
     #[test]

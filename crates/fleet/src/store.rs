@@ -1,0 +1,685 @@
+//! The durable store: versioned state events, the write-ahead log they
+//! append to, and the atomic-write helper snapshots go through.
+//!
+//! Every mutation of fleet state is a [`StateEvent`]. The live path and
+//! crash recovery share one `apply` code path (in [`crate::shard`]): a
+//! mutation is first encoded and appended to the shard's WAL, then applied
+//! to the in-memory state; recovery replays the same events through the
+//! same apply. What is persisted is therefore exactly what is executed —
+//! there is no separate serialization of "the state" that could drift
+//! from the state machine.
+//!
+//! # Framing
+//!
+//! Events are encoded with the same total-decode, length-prefixed
+//! discipline as the wire codec in [`crate::wire`] (they share its
+//! `Writer`/`Reader` internals): little-endian integers, `u32`
+//! length-prefixed byte strings, and no announced length able to drive an
+//! allocation past the input size. A log file is:
+//!
+//! ```text
+//! [ b"DWAL" ][ version u8 ]            file header
+//! [ len u32 ][ crc u32 ][ payload ]*   records, until EOF
+//! ```
+//!
+//! where `crc` is a chunked FNV-1a/64 folded to 32 bits over the payload
+//! and each payload is one versioned event
+//! (`[EVENT_VERSION][tag][fields…]`).
+//!
+//! # Corruption tolerance
+//!
+//! A crash can tear the final record (partial write) or leave trailing
+//! garbage. [`read_events`] therefore stops at the first record that is
+//! short, fails its checksum, or does not decode — returning the valid
+//! prefix and **never panicking**. Anti-replay soundness only requires
+//! that accepted history is not *lost*; a torn suffix is by definition a
+//! mutation that never completed, so dropping it recovers a consistent
+//! earlier state.
+
+use crate::registry::{DeviceId, OpId};
+use crate::session::SessionId;
+use crate::wire::{
+    decode_dialed_proof, decode_report_fields, encode_dialed_proof, encode_report_fields, Reader,
+    WireError, Writer,
+};
+use dialed::attest::DialedProof;
+use dialed::pipeline::InstrumentMode;
+use dialed::report::Report;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Current event-encoding version, bumped on any incompatible change.
+pub const EVENT_VERSION: u8 = 1;
+
+/// WAL file magic: "Dialed WAL".
+pub const WAL_MAGIC: [u8; 4] = *b"DWAL";
+
+/// Current WAL file-format version.
+pub const WAL_VERSION: u8 = 1;
+
+/// One durable state mutation. Fleet-level events (layout, operations,
+/// epoch) live in the meta log; everything else is per-shard.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StateEvent {
+    /// Pins the shard count the fleet's state was laid out with. Always
+    /// the first event of a meta log; recovery fails without it rather
+    /// than guess a layout that would re-route devices.
+    ShardLayout {
+        /// Number of state shards.
+        shards: u32,
+    },
+    /// An operation was registered. The instrumented image itself is a
+    /// code artifact re-supplied at recovery (via
+    /// [`OpCatalog`](crate::OpCatalog)); the event pins its identity.
+    OpRegistered {
+        /// Assigned operation id.
+        op: OpId,
+        /// Operator-facing name — the catalog lookup key at recovery.
+        name: String,
+        /// Instrumentation mode the image was registered with.
+        mode: InstrumentMode,
+    },
+    /// The provisioning-key epoch advanced to `epoch`.
+    EpochBumped {
+        /// The new epoch value.
+        epoch: u64,
+    },
+    /// A device was provisioned. `key_seed` and `epoch` are the durable
+    /// key material — the record's key schedule is re-derived from them.
+    DeviceRegistered {
+        /// Assigned device id.
+        device: DeviceId,
+        /// Operation the device is bound to.
+        op: OpId,
+        /// Provisioning seed.
+        key_seed: u64,
+        /// Key-rotation epoch at provisioning time.
+        epoch: u64,
+    },
+    /// A device was removed from the fleet.
+    DeviceDeregistered {
+        /// The removed device.
+        device: DeviceId,
+    },
+    /// A challenge was issued. The challenge bytes are *not* stored —
+    /// they re-derive from the fleet label, device and nonce.
+    ChallengeIssued {
+        /// The new session.
+        session: SessionId,
+        /// Challenged device.
+        device: DeviceId,
+        /// Operation to prove.
+        op: OpId,
+        /// The device's monotonic challenge nonce.
+        nonce: u64,
+        /// Logical issue time.
+        issued_at: u64,
+        /// Logical submission deadline (inclusive).
+        deadline: u64,
+    },
+    /// A submission passed the session checks and was queued for
+    /// verification. The full proof is persisted so a crash between
+    /// accept and drain loses nothing: recovery re-queues it.
+    ProofAccepted {
+        /// The session answered.
+        session: SessionId,
+        /// Submitting device.
+        device: DeviceId,
+        /// The accepted proof.
+        proof: DialedProof,
+    },
+    /// Verification resolved a session.
+    VerdictRecorded {
+        /// The resolved session.
+        session: SessionId,
+        /// The verifier's report.
+        report: Report,
+    },
+    /// An expiry sweep ran at logical time `now` (replayed
+    /// deterministically from the timestamp).
+    ExpirySweep {
+        /// Sweep time.
+        now: u64,
+    },
+    /// A prune of resolved sessions ran at logical time `now`.
+    PruneSweep {
+        /// Prune time.
+        now: u64,
+    },
+}
+
+const TAG_SHARD_LAYOUT: u8 = 1;
+const TAG_OP_REGISTERED: u8 = 2;
+const TAG_EPOCH_BUMPED: u8 = 3;
+const TAG_DEVICE_REGISTERED: u8 = 4;
+const TAG_DEVICE_DEREGISTERED: u8 = 5;
+const TAG_CHALLENGE_ISSUED: u8 = 6;
+const TAG_PROOF_ACCEPTED: u8 = 7;
+const TAG_VERDICT_RECORDED: u8 = 8;
+const TAG_EXPIRY_SWEEP: u8 = 9;
+const TAG_PRUNE_SWEEP: u8 = 10;
+
+fn encode_mode(w: &mut Writer, mode: InstrumentMode) {
+    w.u8(match mode {
+        InstrumentMode::Original => 0,
+        InstrumentMode::CfaOnly => 1,
+        InstrumentMode::Full => 2,
+    });
+}
+
+fn decode_mode(r: &mut Reader<'_>) -> Result<InstrumentMode, WireError> {
+    match r.u8()? {
+        0 => Ok(InstrumentMode::Original),
+        1 => Ok(InstrumentMode::CfaOnly),
+        2 => Ok(InstrumentMode::Full),
+        tag => Err(WireError::UnknownTag { what: "instrument mode", tag }),
+    }
+}
+
+/// Encodes one event as a versioned payload (no record framing — the WAL
+/// adds length and checksum when appending).
+#[must_use]
+pub fn encode_event(ev: &StateEvent) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    encode_event_into(&mut w, ev);
+    w.0
+}
+
+/// [`encode_event`] into an existing writer (the WAL's reusable record
+/// buffer).
+fn encode_event_into(w: &mut Writer, ev: &StateEvent) {
+    w.u8(EVENT_VERSION);
+    match ev {
+        StateEvent::ShardLayout { shards } => {
+            w.u8(TAG_SHARD_LAYOUT);
+            w.u32(*shards);
+        }
+        StateEvent::OpRegistered { op, name, mode } => {
+            w.u8(TAG_OP_REGISTERED);
+            w.u32(op.0);
+            w.string(name);
+            encode_mode(w, *mode);
+        }
+        StateEvent::EpochBumped { epoch } => {
+            w.u8(TAG_EPOCH_BUMPED);
+            w.u64(*epoch);
+        }
+        StateEvent::DeviceRegistered { device, op, key_seed, epoch } => {
+            w.u8(TAG_DEVICE_REGISTERED);
+            w.u64(device.0);
+            w.u32(op.0);
+            w.u64(*key_seed);
+            w.u64(*epoch);
+        }
+        StateEvent::DeviceDeregistered { device } => {
+            w.u8(TAG_DEVICE_DEREGISTERED);
+            w.u64(device.0);
+        }
+        StateEvent::ChallengeIssued { session, device, op, nonce, issued_at, deadline } => {
+            w.u8(TAG_CHALLENGE_ISSUED);
+            w.u64(session.0);
+            w.u64(device.0);
+            w.u32(op.0);
+            w.u64(*nonce);
+            w.u64(*issued_at);
+            w.u64(*deadline);
+        }
+        StateEvent::ProofAccepted { session, device, proof } => {
+            w.u8(TAG_PROOF_ACCEPTED);
+            w.u64(session.0);
+            w.u64(device.0);
+            encode_dialed_proof(w, proof);
+        }
+        StateEvent::VerdictRecorded { session, report } => {
+            w.u8(TAG_VERDICT_RECORDED);
+            w.u64(session.0);
+            encode_report_fields(w, report);
+        }
+        StateEvent::ExpirySweep { now } => {
+            w.u8(TAG_EXPIRY_SWEEP);
+            w.u64(*now);
+        }
+        StateEvent::PruneSweep { now } => {
+            w.u8(TAG_PRUNE_SWEEP);
+            w.u64(*now);
+        }
+    }
+}
+
+/// Decodes one event payload. Total: any malformed input yields a
+/// [`WireError`], never a panic.
+///
+/// # Errors
+///
+/// Fails on an unknown version or tag, any truncation, or trailing bytes.
+pub fn decode_event(bytes: &[u8]) -> Result<StateEvent, WireError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8()?;
+    if version != EVENT_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let tag = r.u8()?;
+    let ev = match tag {
+        TAG_SHARD_LAYOUT => StateEvent::ShardLayout { shards: r.u32()? },
+        TAG_OP_REGISTERED => StateEvent::OpRegistered {
+            op: OpId(r.u32()?),
+            name: r.string()?,
+            mode: decode_mode(&mut r)?,
+        },
+        TAG_EPOCH_BUMPED => StateEvent::EpochBumped { epoch: r.u64()? },
+        TAG_DEVICE_REGISTERED => StateEvent::DeviceRegistered {
+            device: DeviceId(r.u64()?),
+            op: OpId(r.u32()?),
+            key_seed: r.u64()?,
+            epoch: r.u64()?,
+        },
+        TAG_DEVICE_DEREGISTERED => StateEvent::DeviceDeregistered { device: DeviceId(r.u64()?) },
+        TAG_CHALLENGE_ISSUED => StateEvent::ChallengeIssued {
+            session: SessionId(r.u64()?),
+            device: DeviceId(r.u64()?),
+            op: OpId(r.u32()?),
+            nonce: r.u64()?,
+            issued_at: r.u64()?,
+            deadline: r.u64()?,
+        },
+        TAG_PROOF_ACCEPTED => StateEvent::ProofAccepted {
+            session: SessionId(r.u64()?),
+            device: DeviceId(r.u64()?),
+            proof: decode_dialed_proof(&mut r)?,
+        },
+        TAG_VERDICT_RECORDED => StateEvent::VerdictRecorded {
+            session: SessionId(r.u64()?),
+            report: decode_report_fields(&mut r)?,
+        },
+        TAG_EXPIRY_SWEEP => StateEvent::ExpirySweep { now: r.u64()? },
+        TAG_PRUNE_SWEEP => StateEvent::PruneSweep { now: r.u64()? },
+        tag => return Err(WireError::UnknownTag { what: "state event", tag }),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(ev)
+}
+
+/// The record checksum: FNV-1a/64 over 8-byte little-endian chunks
+/// (length-salted zero-padded tail), folded to 32 bits. Chunked rather
+/// than per-byte so checksumming a multi-KB proof payload costs one
+/// multiply per word — the WAL append path runs on every accepted
+/// submission. Not cryptographic (the WAL is a local trust-domain file);
+/// it detects torn writes and bit rot, which is all recovery needs to
+/// find the valid prefix.
+#[must_use]
+pub(crate) fn record_sum(bytes: &[u8]) -> u32 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        h = (h ^ u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))).wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 8];
+    tail[..rem.len()].copy_from_slice(rem);
+    // Salt the pad with the tail length so `[1]` and `[1, 0]` differ.
+    tail[7] ^= 0xA5 ^ rem.len() as u8;
+    h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    (h ^ (h >> 32)) as u32
+}
+
+/// An append-only event log with a checksummed record framing and a
+/// corruption-tolerant reader.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Reusable record buffer so appends do not allocate per event.
+    scratch: Vec<u8>,
+}
+
+impl Wal {
+    /// Opens `path` for appending, writing the file header if the log is
+    /// new (or empty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            // No fsync: like appends, the header rides the page cache.
+            // The durability model is process-crash consistency; power
+            // loss may rewind to the last snapshot's fsync point, and a
+            // headerless segment reads as empty — a valid prefix.
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&[WAL_VERSION])?;
+        }
+        Ok(Self { file, path: path.to_path_buf(), scratch: Vec::new() })
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event as a `[len][crc][payload]` record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors. Callers treat an append failure as
+    /// fail-stop: a mutation whose event cannot be made durable must not
+    /// be applied, or anti-replay state could silently regress on the
+    /// next restart.
+    pub fn append(&mut self, ev: &StateEvent) -> io::Result<()> {
+        // Encode the payload in place after an 8-byte frame placeholder,
+        // then back-fill length and checksum: one buffer, zero copies.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 8]);
+        let mut w = Writer(std::mem::take(&mut self.scratch));
+        encode_event_into(&mut w, ev);
+        self.scratch = w.0;
+        let len = u32::try_from(self.scratch.len() - 8).expect("event longer than u32::MAX");
+        let crc = record_sum(&self.scratch[8..]);
+        self.scratch[..4].copy_from_slice(&len.to_le_bytes());
+        self.scratch[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&self.scratch)
+    }
+
+    /// Forces appended records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fsync` errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Reads the valid event prefix of the log at `path`.
+///
+/// A missing file, a short or corrupt header, and any torn / checksum-
+/// failing / undecodable record all terminate the read *gracefully*: the
+/// events decoded up to that point are returned and the suffix is
+/// ignored. This function never panics on any file contents.
+///
+/// # Errors
+///
+/// Only genuine I/O failures (permissions, device errors) are returned;
+/// corruption is not an error.
+pub fn read_events(path: &Path) -> io::Result<Vec<StateEvent>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let header_len = WAL_MAGIC.len() + 1;
+    if bytes.len() < header_len
+        || bytes[..WAL_MAGIC.len()] != WAL_MAGIC
+        || bytes[WAL_MAGIC.len()] != WAL_VERSION
+    {
+        // A header that never finished writing (or was overwritten) means
+        // the valid prefix is empty.
+        return Ok(Vec::new());
+    }
+    let mut events = Vec::new();
+    let mut pos = header_len;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            break; // torn record header (or clean EOF)
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        // A length past EOF is a torn payload; stop at the valid prefix.
+        // (This also bounds the slice below — no announced length can
+        // reach past the bytes actually on disk.)
+        let Some(payload) = rest.get(8..8 + len) else { break };
+        if record_sum(payload) != crc {
+            break;
+        }
+        let Ok(ev) = decode_event(payload) else { break };
+        events.push(ev);
+        pos += 8 + len;
+    }
+    Ok(events)
+}
+
+/// Writes `bytes` to `path` atomically: write to a sibling temp file,
+/// `fsync`, then `rename` into place. Readers either see the old file or
+/// the complete new one, never a torn snapshot.
+///
+/// # Errors
+///
+/// Propagates file-system errors (the temp file is removed on failure).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    let written = f.write_all(bytes).and_then(|()| f.sync_data());
+    drop(f);
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Recovery failures for [`Fleet::recover`](crate::Fleet::recover).
+#[derive(Debug)]
+pub enum RecoverError {
+    /// A file-system operation failed.
+    Io(io::Error),
+    /// The meta log carries no [`StateEvent::ShardLayout`] — the directory
+    /// is not a fleet state directory (or its header was destroyed), so
+    /// there is no layout to recover under.
+    MissingLayout,
+    /// The meta log references an operation the supplied catalog cannot
+    /// rebuild (operations are code artifacts, not persisted state).
+    UnknownOp(String),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O failure: {e}"),
+            RecoverError::MissingLayout => {
+                write!(f, "meta log holds no shard layout — not a recoverable state directory")
+            }
+            RecoverError::UnknownOp(name) => {
+                write!(f, "operation {name:?} is in the log but not in the recovery catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex::{PoxConfig, PoxProof};
+    use dialed::report::{RejectReason, VerifyStats};
+
+    fn sample_events() -> Vec<StateEvent> {
+        let cfg = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0600, 0x06FF).unwrap();
+        vec![
+            StateEvent::ShardLayout { shards: 4 },
+            StateEvent::OpRegistered {
+                op: OpId(0),
+                name: "naïve-op ✓".into(),
+                mode: InstrumentMode::Full,
+            },
+            StateEvent::EpochBumped { epoch: 3 },
+            StateEvent::DeviceRegistered {
+                device: DeviceId(7),
+                op: OpId(0),
+                key_seed: 9,
+                epoch: 3,
+            },
+            StateEvent::DeviceDeregistered { device: DeviceId(7) },
+            StateEvent::ChallengeIssued {
+                session: SessionId(11),
+                device: DeviceId(7),
+                op: OpId(0),
+                nonce: 2,
+                issued_at: 5,
+                deadline: 69,
+            },
+            StateEvent::ProofAccepted {
+                session: SessionId(11),
+                device: DeviceId(7),
+                proof: DialedProof {
+                    pox: PoxProof { cfg, exec: true, or_data: vec![1, 2, 3], tag: [0x5A; 32] },
+                },
+            },
+            StateEvent::VerdictRecorded {
+                session: SessionId(11),
+                report: dialed::report::Report::rejected(RejectReason::MacMismatch),
+            },
+            StateEvent::VerdictRecorded {
+                session: SessionId(12),
+                report: dialed::report::Report::clean(VerifyStats {
+                    emulated_insns: 1,
+                    ..VerifyStats::default()
+                }),
+            },
+            StateEvent::ExpirySweep { now: 70 },
+            StateEvent::PruneSweep { now: 200 },
+        ]
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dialed-store-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in sample_events() {
+            let bytes = encode_event(&ev);
+            assert_eq!(decode_event(&bytes).as_ref(), Ok(&ev), "{ev:?}");
+            // And every truncation errors, never panics.
+            for cut in 0..bytes.len() {
+                assert!(decode_event(&bytes[..cut]).is_err(), "prefix {cut} of {ev:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wal_appends_and_reads_back() {
+        let path = tmp_path("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let events = sample_events();
+        let mut wal = Wal::open(&path).unwrap();
+        for ev in &events {
+            wal.append(ev).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(read_events(&path).unwrap(), events);
+        // Reopening appends after the existing records.
+        drop(wal);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&StateEvent::PruneSweep { now: 999 }).unwrap();
+        drop(wal);
+        let read = read_events(&path).unwrap();
+        assert_eq!(read.len(), events.len() + 1);
+        assert_eq!(read.last(), Some(&StateEvent::PruneSweep { now: 999 }));
+    }
+
+    #[test]
+    fn torn_tail_yields_valid_prefix() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let events = sample_events();
+        let mut wal = Wal::open(&path).unwrap();
+        for ev in &events {
+            wal.append(ev).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Every truncation point recovers some prefix of the events,
+        // without panicking.
+        let mut last_len = 0usize;
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let got = read_events(&path).unwrap();
+            assert_eq!(got.as_slice(), &events[..got.len()], "cut at {cut}");
+            assert!(got.len() >= last_len.saturating_sub(1));
+            last_len = got.len();
+        }
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_read_at_the_prefix() {
+        let path = tmp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let events = sample_events();
+        let mut wal = Wal::open(&path).unwrap();
+        for ev in &events {
+            wal.append(ev).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one payload byte somewhere in the middle of the file: the
+        // checksum catches it and the read stops before that record.
+        let mid = full.len() / 2;
+        let mut bad = full.clone();
+        bad[mid] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let got = read_events(&path).unwrap();
+        assert!(got.len() < events.len());
+        assert_eq!(got.as_slice(), &events[..got.len()]);
+        // Destroying the header recovers the empty prefix.
+        let mut bad = full;
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(read_events(&path).unwrap(), Vec::new());
+        // A missing file is an empty log, not an error.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_events(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn hostile_length_cannot_overallocate() {
+        let path = tmp_path("hostile-len");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&StateEvent::EpochBumped { epoch: 1 }).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Claim a 4 GiB record: the reader must stop, not allocate.
+        let header = WAL_MAGIC.len() + 1;
+        bytes[header..header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_events(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = tmp_path("atomic");
+        let path = dir.parent().unwrap().join("snapshot.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

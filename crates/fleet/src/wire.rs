@@ -242,30 +242,32 @@ const TAG_BATCH_SUMMARY: u8 = 4;
 // ---------------------------------------------------------------------------
 // Encoding
 
-struct Writer(Vec<u8>);
+/// Little-endian byte-string builder shared by the wire codec and the
+/// durable store ([`crate::store`]): both speak the same framing dialect.
+pub(crate) struct Writer(pub(crate) Vec<u8>);
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.0.extend_from_slice(v);
     }
     /// Length-prefixed byte string (`u32` length).
-    fn lp_bytes(&mut self, v: &[u8]) {
+    pub(crate) fn lp_bytes(&mut self, v: &[u8]) {
         self.u32(u32::try_from(v.len()).expect("field longer than u32::MAX"));
         self.bytes(v);
     }
-    fn string(&mut self, v: &str) {
+    pub(crate) fn string(&mut self, v: &str) {
         self.lp_bytes(v.as_bytes());
     }
 }
@@ -278,14 +280,20 @@ fn encode_challenge(w: &mut Writer, m: &ChallengeMsg) {
     w.bytes(m.challenge.as_bytes());
 }
 
-fn encode_proof(w: &mut Writer, m: &ProofMsg) {
-    w.u64(m.session);
-    w.u64(m.device);
-    let pox = &m.proof.pox;
+/// Encodes the proof body alone — shared with the durable store, which
+/// persists accepted proofs inside `ProofAccepted` events.
+pub(crate) fn encode_dialed_proof(w: &mut Writer, proof: &DialedProof) {
+    let pox = &proof.pox;
     w.bytes(&pox.cfg.to_metadata_bytes());
     w.u8(u8::from(pox.exec));
     w.lp_bytes(&pox.or_data);
     w.bytes(&pox.tag);
+}
+
+fn encode_proof(w: &mut Writer, m: &ProofMsg) {
+    w.u64(m.session);
+    w.u64(m.device);
+    encode_dialed_proof(w, &m.proof);
 }
 
 fn encode_verdict(w: &mut Writer, v: Verdict) {
@@ -366,20 +374,27 @@ fn encode_finding(w: &mut Writer, finding: &Finding) {
     }
 }
 
-fn encode_report(w: &mut Writer, m: &ReportMsg) {
-    w.u64(m.session);
-    w.u64(m.device);
-    encode_verdict(w, m.report.verdict);
-    w.u32(u32::try_from(m.report.findings.len()).expect("finding count"));
-    for finding in &m.report.findings {
+/// Encodes a full [`Report`] (verdict + findings + stats) — shared with
+/// the durable store, which persists verdicts inside `VerdictRecorded`
+/// events.
+pub(crate) fn encode_report_fields(w: &mut Writer, report: &Report) {
+    encode_verdict(w, report.verdict);
+    w.u32(u32::try_from(report.findings.len()).expect("finding count"));
+    for finding in &report.findings {
         encode_finding(w, finding);
     }
-    let s = &m.report.stats;
+    let s = &report.stats;
     w.u64(s.emulated_insns as u64);
     w.u64(s.log_bytes_used as u64);
     w.u64(s.cf_entries as u64);
     w.u64(s.input_entries as u64);
     w.u64(s.arg_entries as u64);
+}
+
+fn encode_report(w: &mut Writer, m: &ReportMsg) {
+    w.u64(m.session);
+    w.u64(m.device);
+    encode_report_fields(w, &m.report);
 }
 
 fn encode_batch_summary(w: &mut Writer, m: &BatchSummary) {
@@ -435,21 +450,24 @@ pub fn encode(msg: &Message) -> Vec<u8> {
 // ---------------------------------------------------------------------------
 // Decoding
 
-struct Reader<'a> {
+/// Total-decode cursor shared by the wire codec and the durable store —
+/// every read is bounds-checked and no announced length can drive an
+/// allocation larger than the input itself.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated { need: n, have: self.remaining() });
         }
@@ -458,30 +476,30 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn usize64(&mut self, what: &'static str) -> Result<usize, WireError> {
+    pub(crate) fn usize64(&mut self, what: &'static str) -> Result<usize, WireError> {
         usize::try_from(self.u64()?).map_err(|_| WireError::Overflow(what))
     }
 
-    fn bool(&mut self) -> Result<bool, WireError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -492,16 +510,16 @@ impl<'a> Reader<'a> {
     /// A length-prefixed byte string. The announced length is checked
     /// against the remaining input *before* any allocation, so a hostile
     /// length cannot make the decoder allocate more than the input size.
-    fn lp_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    pub(crate) fn lp_bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let n = usize::try_from(self.u32()?).map_err(|_| WireError::Overflow("byte string"))?;
         Ok(self.take(n)?.to_vec())
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
         String::from_utf8(self.lp_bytes()?).map_err(|_| WireError::BadUtf8)
     }
 
-    fn digest(&mut self) -> Result<Digest, WireError> {
+    pub(crate) fn digest(&mut self) -> Result<Digest, WireError> {
         Ok(self.take(DIGEST_LEN)?.try_into().expect("digest-sized slice"))
     }
 }
@@ -523,18 +541,21 @@ fn decode_config(r: &mut Reader<'_>) -> Result<PoxConfig, WireError> {
         .map_err(|_| WireError::BadConfig("region bounds rejected"))
 }
 
-fn decode_proof(r: &mut Reader<'_>) -> Result<ProofMsg, WireError> {
-    let session = r.u64()?;
-    let device = r.u64()?;
+/// Decodes a proof body alone (the inverse of [`encode_dialed_proof`]),
+/// re-validating the embedded [`PoxConfig`] exactly as the wire path does.
+pub(crate) fn decode_dialed_proof(r: &mut Reader<'_>) -> Result<DialedProof, WireError> {
     let cfg = decode_config(r)?;
     let exec = r.bool()?;
     let or_data = r.lp_bytes()?;
     let tag = r.digest()?;
-    Ok(ProofMsg {
-        session,
-        device,
-        proof: DialedProof { pox: PoxProof { cfg, exec, or_data, tag } },
-    })
+    Ok(DialedProof { pox: PoxProof { cfg, exec, or_data, tag } })
+}
+
+fn decode_proof(r: &mut Reader<'_>) -> Result<ProofMsg, WireError> {
+    let session = r.u64()?;
+    let device = r.u64()?;
+    let proof = decode_dialed_proof(r)?;
+    Ok(ProofMsg { session, device, proof })
 }
 
 fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
@@ -579,9 +600,8 @@ fn decode_finding(r: &mut Reader<'_>) -> Result<Finding, WireError> {
     }
 }
 
-fn decode_report(r: &mut Reader<'_>) -> Result<ReportMsg, WireError> {
-    let session = r.u64()?;
-    let device = r.u64()?;
+/// Decodes a full [`Report`] (the inverse of [`encode_report_fields`]).
+pub(crate) fn decode_report_fields(r: &mut Reader<'_>) -> Result<Report, WireError> {
     let verdict = decode_verdict(r)?;
     let count = usize::try_from(r.u32()?).map_err(|_| WireError::Overflow("finding count"))?;
     // Every finding costs at least its one tag byte, so a count beyond the
@@ -600,7 +620,14 @@ fn decode_report(r: &mut Reader<'_>) -> Result<ReportMsg, WireError> {
         input_entries: r.usize64("input_entries")?,
         arg_entries: r.usize64("arg_entries")?,
     };
-    Ok(ReportMsg { session, device, report: Report { verdict, findings, stats } })
+    Ok(Report { verdict, findings, stats })
+}
+
+fn decode_report(r: &mut Reader<'_>) -> Result<ReportMsg, WireError> {
+    let session = r.u64()?;
+    let device = r.u64()?;
+    let report = decode_report_fields(r)?;
+    Ok(ReportMsg { session, device, report })
 }
 
 fn decode_batch_summary(r: &mut Reader<'_>) -> Result<BatchSummary, WireError> {

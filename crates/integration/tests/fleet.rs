@@ -196,10 +196,12 @@ fn five_hundred_device_mixed_fleet() {
     // Nothing rejected at the session layer ever reached the queue.
     assert_eq!(fleet.pending(), 500, "exactly one accepted submission per device");
 
-    // Drain both shards through the batch verifiers.
+    // Drain: every state shard has work, and each shard batches its two
+    // operations separately for the shared engines.
     let (stats, expired) = fleet.drain(now + 4);
     assert_eq!(stats.drained, 500);
-    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.shards, fleet.shards().len(), "500 devices reach every state shard");
+    assert_eq!(stats.batches, 2 * fleet.shards().len(), "two ops per shard ⇒ two batches each");
     assert_eq!(expired, 0);
     assert_eq!(fleet.pending(), 0);
 
@@ -213,7 +215,7 @@ fn five_hundred_device_mixed_fleet() {
         for &sid in &d.verified_sessions {
             let s = fleet.session(sid).unwrap();
             assert_eq!(s.state, SessionState::Verified, "{sid} of {:?}", d.role);
-            let dev = fleet.registry().device(d.id).unwrap();
+            let dev = fleet.device(d.id).unwrap();
             assert_eq!(dev.last_verified, Some(s.nonce));
         }
         for &sid in &d.rejected_sessions {
@@ -242,9 +244,8 @@ fn five_hundred_device_mixed_fleet() {
     assert_eq!(session_errors, 100, "50 duplicates + 50 replays died at the session layer");
 
     // Registry totals line up with the per-role accounting.
-    let reg = fleet.registry();
-    let verified_total: u64 = reg.devices().map(|d| d.verified).sum();
-    let rejected_total: u64 = reg.devices().map(|d| d.rejected).sum();
+    let verified_total: u64 = fleet.devices().map(|d| d.verified).sum();
+    let rejected_total: u64 = fleet.devices().map(|d| d.rejected).sum();
     assert_eq!(verified_total as usize, honest);
     assert_eq!(rejected_total as usize, hostile);
 }
