@@ -62,5 +62,7 @@ pub mod violation;
 
 pub use metadata::PoxConfig;
 pub use monitor::ApexMonitor;
-pub use pox::{PoxProof, PoxProver, PoxRejection, PoxVerifier};
+pub use pox::{
+    DigestCacheStats, ErDigestCache, MacCheckItem, PoxProof, PoxProver, PoxRejection, PoxVerifier,
+};
 pub use violation::Violation;

@@ -112,12 +112,26 @@ impl<V: Verifier> BatchVerifier<V> {
         let started = Instant::now();
         let workers = self.workers.min(jobs.len()).max(1);
 
+        // Lane-batched MAC pre-pass: backends with a multi-buffer path
+        // tag-check the whole batch in lockstep lanes up front (one memoized
+        // expected-region digest fetch per batch), and workers then skip the
+        // per-job tag recomputation. Verdicts are unchanged — the precheck
+        // computes the identical boolean under identical key resolution.
+        let mut prechecks: Vec<Option<bool>> = Vec::new();
+        let prechecked = self.verifier.precheck_macs(jobs, keys, &mut prechecks);
+
         // One request construction shared by both schedules, so the
         // single-worker and multi-worker paths cannot drift apart.
-        let verify_job = |ws: &mut EmuWorkspace, job: &BatchJob| -> Report {
+        let verify_job = |ws: &mut EmuWorkspace, idx: usize| -> Report {
+            let job = &jobs[idx];
             let mut req = VerifyRequest::new(&job.proof, &job.challenge).for_device(job.device_id);
             if let Some(keys) = keys {
                 req = req.keys(keys);
+            }
+            if prechecked {
+                if let Some(ok) = prechecks[idx] {
+                    req = req.with_mac_precheck(ok);
+                }
             }
             self.verifier.verify_in(ws, &req)
         };
@@ -133,7 +147,7 @@ impl<V: Verifier> BatchVerifier<V> {
                 .map(|(index, job)| BatchOutcome {
                     index,
                     device_id: job.device_id,
-                    report: verify_job(&mut ws, job),
+                    report: verify_job(&mut ws, index),
                 })
                 .collect();
             return finish(outcomes, jobs.len(), 1, 0, started);
@@ -157,7 +171,7 @@ impl<V: Verifier> BatchVerifier<V> {
                         let mut ws = EmuWorkspace::new();
                         let mut done: Vec<(usize, Report)> = Vec::new();
                         while let Some(idx) = next_job(queues, me, steals) {
-                            done.push((idx, verify_job(&mut ws, &jobs[idx])));
+                            done.push((idx, verify_job(&mut ws, idx)));
                         }
                         done
                     })

@@ -6,6 +6,7 @@ use apex::PoxConfig;
 use msp430_asm::{assemble_program, parse_program, parse_snippet, Image, Program};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use tinycfa::{CfaConfig, LogPolicy};
 
 /// Which instrumentation stages to apply — the three Fig. 6 variants.
@@ -99,8 +100,10 @@ pub struct InstrumentedOp {
     pub op_entry: u16,
     /// Where the op returns to (caller stub's halt label).
     pub return_addr: u16,
-    /// Dense ER contents for the verifier.
-    pub er_bytes: Vec<u8>,
+    /// Dense ER contents for the verifier, shared per op: every
+    /// `PoxVerifier`/engine registered for this op clones the `Arc`, not
+    /// the image bytes.
+    pub er_bytes: Arc<[u8]>,
 }
 
 impl InstrumentedOp {
@@ -196,9 +199,10 @@ impl InstrumentedOp {
             .ok_or_else(|| BuildError::Convention("caller stub missing".into()))?;
 
         let sites = pass::collect_log_sites(&image);
-        let er_bytes = image
+        let er_bytes: Arc<[u8]> = image
             .contiguous_bytes(op_entry)
-            .ok_or_else(|| BuildError::Convention("empty operation".into()))?;
+            .ok_or_else(|| BuildError::Convention("empty operation".into()))?
+            .into();
 
         Ok(Self {
             program: instrumented,

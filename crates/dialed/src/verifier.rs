@@ -18,11 +18,12 @@
 //! hijacks (Fig. 1), and application policies evaluated on the
 //! reconstructed trace expose data-only attacks (Fig. 2).
 
+use crate::batch::BatchJob;
 use crate::pipeline::InstrumentedOp;
 use crate::policy::Policy;
 use crate::report::{Finding, RejectReason, Report, Verdict, VerifyStats};
-use crate::request::{Verifier, VerifyRequest, MIN_EMU_BUDGET};
-use apex::{PoxConfig, PoxVerifier};
+use crate::request::{KeySource, Verifier, VerifyRequest, MIN_EMU_BUDGET};
+use apex::{ErDigestCache, PoxConfig, PoxVerifier};
 use msp430::cpu::{Cpu, CpuFault, Step};
 use msp430::isa::{Insn, Op1, Op2, Operand};
 use msp430::mem::{Bus, Ram};
@@ -411,7 +412,12 @@ impl Verifier for DialedVerifier {
             Ok(ra) => ra,
             Err(reason) => return Report::rejected(reason),
         };
-        let or = match self.pox_verifier.check(&proof.pox, challenge, ra) {
+        let or = match self.pox_verifier.check_with_mac_hint(
+            &proof.pox,
+            challenge,
+            ra,
+            req.mac_precheck(),
+        ) {
             Ok(or) => or,
             Err(reason) => return Report::rejected(reason),
         };
@@ -500,6 +506,19 @@ impl Verifier for DialedVerifier {
         } else {
             Report::attack(findings, stats)
         }
+    }
+
+    fn precheck_macs(
+        &self,
+        jobs: &[BatchJob],
+        keys: Option<&dyn KeySource>,
+        out: &mut Vec<Option<bool>>,
+    ) -> bool {
+        crate::request::precheck_pox_macs(&self.pox_verifier, jobs, keys, out)
+    }
+
+    fn er_digest_cache(&self) -> Option<&ErDigestCache> {
+        Some(self.pox_verifier.er_digest_cache())
     }
 }
 
@@ -606,7 +625,7 @@ mod tests {
         let tag = vrased::SwAtt::new(ks.clone()).attest_region_bytes(
             &chal,
             &[
-                (op.pox.er_min, op.pox.er_max, op.er_bytes.as_slice()),
+                (op.pox.er_min, op.pox.er_max, &op.er_bytes[..]),
                 (op.pox.or_min, op.pox.or_max, or_data.as_slice()),
             ],
             &extra,

@@ -23,6 +23,7 @@ const OP: &str = "\
 /// allocate concurrently and would pollute the counters.
 fn main() {
     steady_state_request_verification_is_allocation_free();
+    lane_precheck_batch_path_is_allocation_free();
     println!("zero_alloc: ok");
 }
 
@@ -71,4 +72,58 @@ fn steady_state_request_verification_is_allocation_free() {
     let boxed = std::hint::black_box(Box::new(0xABu8));
     assert!(allocations() > before, "counting allocator must observe allocations");
     drop(boxed);
+}
+
+/// The lane-batched MAC path — `precheck_macs` over multi-buffer HMAC
+/// lanes followed by hint-carrying per-job verification — is also
+/// allocation-free once warm: the ER digest is memoized, the lane scratch
+/// lives on the stack, and the hint vector keeps its capacity.
+fn lane_precheck_batch_path_is_allocation_free() {
+    let op = InstrumentedOp::build(OP, "op", &BuildOptions::default()).expect("op builds");
+    let key = KeyStore::from_seed(0x51);
+    let mut dev = DialedDevice::new(op.clone(), key.clone());
+    dev.invoke(&[0, 0, 0, 0, 0, 0, 3, 4]);
+    let verifier = DialedVerifier::new(op, key);
+
+    // Nine jobs: one full 8-wide lane chunk plus a remainder lane.
+    let jobs: Vec<BatchJob> = (0..9)
+        .map(|d| {
+            let challenge = Challenge::derive(b"zero-alloc-lanes", d);
+            let proof = dev.prove(&challenge);
+            BatchJob::new(d, proof, challenge)
+        })
+        .collect();
+
+    let mut ws = EmuWorkspace::new();
+    let mut hints: Vec<Option<bool>> = Vec::new();
+
+    // Warm-up: grows the workspace buffers and the hint vector, and primes
+    // the verifier's ER-digest cache. Every honest job must precheck true.
+    for _ in 0..4 {
+        assert!(verifier.precheck_macs(&jobs, None, &mut hints));
+        assert!(hints.iter().all(|h| *h == Some(true)), "{hints:?}");
+        for (job, hint) in jobs.iter().zip(&hints) {
+            let mut req = VerifyRequest::new(&job.proof, &job.challenge);
+            if let Some(ok) = *hint {
+                req = req.with_mac_precheck(ok);
+            }
+            assert!(verifier.verify_in(&mut ws, &req).is_clean());
+        }
+    }
+
+    // Steady state: the whole lane-batched path stays off the heap.
+    let before = allocations();
+    for _ in 0..100 {
+        assert!(verifier.precheck_macs(&jobs, None, &mut hints));
+        for (job, hint) in jobs.iter().zip(&hints) {
+            let mut req = VerifyRequest::new(&job.proof, &job.challenge);
+            if let Some(ok) = *hint {
+                req = req.with_mac_precheck(ok);
+            }
+            let report = verifier.verify_in(&mut ws, &req);
+            assert!(report.is_clean());
+            std::hint::black_box(&report);
+        }
+    }
+    assert_eq!(allocations() - before, 0, "lane-batched verify path must not allocate");
 }

@@ -83,6 +83,16 @@ impl HmacKey {
         h.update(msg);
         h.verify(tag)
     }
+
+    /// The `key ⊕ ipad` midstate, for seeding a multi-buffer lane.
+    pub(crate) fn inner(&self) -> &Sha256 {
+        &self.inner
+    }
+
+    /// The `key ⊕ opad` midstate, for seeding a multi-buffer lane.
+    pub(crate) fn outer(&self) -> &Sha256 {
+        &self.outer
+    }
 }
 
 /// Incremental HMAC-SHA-256.

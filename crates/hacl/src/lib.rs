@@ -6,6 +6,9 @@
 //! no cryptography crate, so this crate provides:
 //!
 //! * [`sha256`] — FIPS 180-4 SHA-256 (one-shot and incremental),
+//! * [`sha256_mb`] — multi-buffer SHA-256/HMAC: up to
+//!   [`sha256_mb::MAX_LANES`] independent equal-length messages compressed
+//!   in lockstep (the batch verifier's MAC fast path),
 //! * [`hmac`] — RFC 2104 HMAC-SHA-256,
 //! * [`constant_time`] — constant-time comparison used by verifiers.
 //!
@@ -28,12 +31,15 @@
 //! assert_eq!(tag.len(), 32);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the AVX2 dispatch in `sha256_mb` can scope a
+// single `allow` around its runtime-feature-guarded `target_feature` call.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constant_time;
 pub mod hmac;
 pub mod sha256;
+pub mod sha256_mb;
 
 pub use hmac::{HmacKey, HmacSha256};
 pub use sha256::Sha256;

@@ -9,7 +9,7 @@ use crate::Digest;
 
 /// Round constants: first 32 bits of the fractional parts of the cube roots
 /// of the first 64 primes (FIPS 180-4 §4.2.2).
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -22,7 +22,7 @@ const K: [u32; 64] = [
 
 /// Initial hash value: first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes (FIPS 180-4 §5.3.3).
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -134,91 +134,100 @@ impl Sha256 {
     }
 
     /// Compresses a whole span of 64-byte blocks in one call.
-    ///
-    /// The working variables live in registers across the entire span and
-    /// the message schedule array is filled straight from the input, so
-    /// hashing large regions (SW-Att attests multi-kilobyte ER images per
-    /// proof) pays the state load/store once per span instead of once per
-    /// block.
     fn compress_blocks(&mut self, data: &[u8]) {
-        debug_assert_eq!(data.len() % 64, 0);
-        let mut state = self.state;
-        for block in data.chunks_exact(64) {
-            // Rolling 16-word message schedule: w[t mod 16] is expanded in
-            // place as the rounds consume it, so the schedule lives in
-            // registers/L1 instead of a 64-word array, and the `& 15`
-            // indexing needs no bounds checks.
-            let mut w = [0u32; 16];
-            for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
-                *wi = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-            }
-
-            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
-            // Eight rounds per iteration with rotated variable roles: the
-            // compiler keeps the working variables in registers instead of
-            // shuffling h←g←f←… every round.
-            macro_rules! round {
-                ($a:ident, $b:ident, $c:ident, $d:ident,
-                 $e:ident, $f:ident, $g:ident, $h:ident, $t:expr, $wt:expr) => {
-                    let big_s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
-                    let ch = ($e & $f) ^ (!$e & $g);
-                    let t1 = $h
-                        .wrapping_add(big_s1)
-                        .wrapping_add(ch)
-                        .wrapping_add(K[$t])
-                        .wrapping_add($wt);
-                    let big_s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
-                    let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
-                    $d = $d.wrapping_add(t1);
-                    $h = t1.wrapping_add(big_s0.wrapping_add(maj));
-                };
-            }
-            /// Expands the schedule word for round `t` (t ≥ 16) in place.
-            macro_rules! expand {
-                ($w:ident, $t:expr) => {{
-                    let w15 = $w[($t + 1) & 15];
-                    let w2 = $w[($t + 14) & 15];
-                    let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
-                    let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
-                    $w[$t & 15] = $w[$t & 15]
-                        .wrapping_add(s0)
-                        .wrapping_add($w[($t + 9) & 15])
-                        .wrapping_add(s1);
-                    $w[$t & 15]
-                }};
-            }
-            for t0 in (0..16).step_by(8) {
-                round!(a, b, c, d, e, f, g, h, t0, w[t0 & 15]);
-                round!(h, a, b, c, d, e, f, g, t0 + 1, w[(t0 + 1) & 15]);
-                round!(g, h, a, b, c, d, e, f, t0 + 2, w[(t0 + 2) & 15]);
-                round!(f, g, h, a, b, c, d, e, t0 + 3, w[(t0 + 3) & 15]);
-                round!(e, f, g, h, a, b, c, d, t0 + 4, w[(t0 + 4) & 15]);
-                round!(d, e, f, g, h, a, b, c, t0 + 5, w[(t0 + 5) & 15]);
-                round!(c, d, e, f, g, h, a, b, t0 + 6, w[(t0 + 6) & 15]);
-                round!(b, c, d, e, f, g, h, a, t0 + 7, w[(t0 + 7) & 15]);
-            }
-            for t0 in (16..64).step_by(8) {
-                round!(a, b, c, d, e, f, g, h, t0, expand!(w, t0));
-                round!(h, a, b, c, d, e, f, g, t0 + 1, expand!(w, t0 + 1));
-                round!(g, h, a, b, c, d, e, f, t0 + 2, expand!(w, t0 + 2));
-                round!(f, g, h, a, b, c, d, e, t0 + 3, expand!(w, t0 + 3));
-                round!(e, f, g, h, a, b, c, d, t0 + 4, expand!(w, t0 + 4));
-                round!(d, e, f, g, h, a, b, c, t0 + 5, expand!(w, t0 + 5));
-                round!(c, d, e, f, g, h, a, b, t0 + 6, expand!(w, t0 + 6));
-                round!(b, c, d, e, f, g, h, a, t0 + 7, expand!(w, t0 + 7));
-            }
-
-            state[0] = state[0].wrapping_add(a);
-            state[1] = state[1].wrapping_add(b);
-            state[2] = state[2].wrapping_add(c);
-            state[3] = state[3].wrapping_add(d);
-            state[4] = state[4].wrapping_add(e);
-            state[5] = state[5].wrapping_add(f);
-            state[6] = state[6].wrapping_add(g);
-            state[7] = state[7].wrapping_add(h);
-        }
-        self.state = state;
+        compress_blocks(&mut self.state, data);
     }
+
+    /// Midstate snapshot `(state words, bytes absorbed)` for seeding a
+    /// multi-buffer lane from a block-aligned scalar state (the HMAC pads
+    /// absorbed by [`crate::HmacKey`] are exactly one block).
+    pub(crate) fn block_state(&self) -> ([u32; 8], u64) {
+        debug_assert_eq!(self.buf_len, 0, "midstate is only valid at a block boundary");
+        (self.state, self.len)
+    }
+}
+
+/// Compresses a whole span of 64-byte blocks into `state`.
+///
+/// The working variables live in registers across the entire span and
+/// the message schedule array is filled straight from the input, so
+/// hashing large regions (SW-Att attests multi-kilobyte ER images per
+/// proof) pays the state load/store once per span instead of once per
+/// block. Free function so [`crate::sha256_mb`] can drive the same scalar
+/// kernel on detached per-lane states.
+pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0);
+    let mut st = *state;
+    for block in data.chunks_exact(64) {
+        // Rolling 16-word message schedule: w[t mod 16] is expanded in
+        // place as the rounds consume it, so the schedule lives in
+        // registers/L1 instead of a 64-word array, and the `& 15`
+        // indexing needs no bounds checks.
+        let mut w = [0u32; 16];
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = st;
+        // Eight rounds per iteration with rotated variable roles: the
+        // compiler keeps the working variables in registers instead of
+        // shuffling h←g←f←… every round.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident,
+                 $e:ident, $f:ident, $g:ident, $h:ident, $t:expr, $wt:expr) => {
+                let big_s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let t1 =
+                    $h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[$t]).wrapping_add($wt);
+                let big_s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(big_s0.wrapping_add(maj));
+            };
+        }
+        /// Expands the schedule word for round `t` (t ≥ 16) in place.
+        macro_rules! expand {
+            ($w:ident, $t:expr) => {{
+                let w15 = $w[($t + 1) & 15];
+                let w2 = $w[($t + 14) & 15];
+                let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                $w[$t & 15] =
+                    $w[$t & 15].wrapping_add(s0).wrapping_add($w[($t + 9) & 15]).wrapping_add(s1);
+                $w[$t & 15]
+            }};
+        }
+        for t0 in (0..16).step_by(8) {
+            round!(a, b, c, d, e, f, g, h, t0, w[t0 & 15]);
+            round!(h, a, b, c, d, e, f, g, t0 + 1, w[(t0 + 1) & 15]);
+            round!(g, h, a, b, c, d, e, f, t0 + 2, w[(t0 + 2) & 15]);
+            round!(f, g, h, a, b, c, d, e, t0 + 3, w[(t0 + 3) & 15]);
+            round!(e, f, g, h, a, b, c, d, t0 + 4, w[(t0 + 4) & 15]);
+            round!(d, e, f, g, h, a, b, c, t0 + 5, w[(t0 + 5) & 15]);
+            round!(c, d, e, f, g, h, a, b, t0 + 6, w[(t0 + 6) & 15]);
+            round!(b, c, d, e, f, g, h, a, t0 + 7, w[(t0 + 7) & 15]);
+        }
+        for t0 in (16..64).step_by(8) {
+            round!(a, b, c, d, e, f, g, h, t0, expand!(w, t0));
+            round!(h, a, b, c, d, e, f, g, t0 + 1, expand!(w, t0 + 1));
+            round!(g, h, a, b, c, d, e, f, t0 + 2, expand!(w, t0 + 2));
+            round!(f, g, h, a, b, c, d, e, t0 + 3, expand!(w, t0 + 3));
+            round!(e, f, g, h, a, b, c, d, t0 + 4, expand!(w, t0 + 4));
+            round!(d, e, f, g, h, a, b, c, t0 + 5, expand!(w, t0 + 5));
+            round!(c, d, e, f, g, h, a, b, t0 + 6, expand!(w, t0 + 6));
+            round!(b, c, d, e, f, g, h, a, t0 + 7, expand!(w, t0 + 7));
+        }
+
+        st[0] = st[0].wrapping_add(a);
+        st[1] = st[1].wrapping_add(b);
+        st[2] = st[2].wrapping_add(c);
+        st[3] = st[3].wrapping_add(d);
+        st[4] = st[4].wrapping_add(e);
+        st[5] = st[5].wrapping_add(f);
+        st[6] = st[6].wrapping_add(g);
+        st[7] = st[7].wrapping_add(h);
+    }
+    *state = st;
 }
 
 #[cfg(test)]

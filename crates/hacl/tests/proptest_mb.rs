@@ -1,0 +1,214 @@
+//! Differential tests for the multi-buffer engine: `sha256_mb` must agree
+//! bit-for-bit with the scalar `Sha256`/`HmacSha256` implementation for
+//! every lane count, message length, incremental chunking, and key shape —
+//! and the RFC 4231 HMAC vectors must come out of *every* lane slot.
+//!
+//! Run with `HACL_FORCE_SCALAR=1` these same tests pin the scalar
+//! fallback; the CI matrix covers both.
+
+use hacl::sha256_mb::{digest_lanes, hmac_lanes, Sha256Lanes, MAX_LANES};
+use hacl::{Digest, HmacKey, Sha256};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// 1..=`max_lanes` lanes sharing one length (lanes must advance in
+/// lockstep), each lane's bytes independent. Equal lengths come from
+/// truncating every lane to the shortest generated one.
+fn equal_len_msgs(max_lanes: usize, max_len: usize) -> BoxedStrategy<Vec<Vec<u8>>> {
+    pvec(pvec(any::<u8>(), 0..max_len), 1..=max_lanes)
+        .prop_map(|mut msgs| {
+            let len = msgs.iter().map(Vec::len).min().unwrap_or(0);
+            for m in &mut msgs {
+                m.truncate(len);
+            }
+            msgs
+        })
+        .boxed()
+}
+
+/// Equal-length lane messages plus two arbitrary in-range split points.
+fn msgs_with_splits() -> BoxedStrategy<(Vec<Vec<u8>>, usize, usize)> {
+    (equal_len_msgs(MAX_LANES, 600), any::<u64>(), any::<u64>())
+        .prop_map(|(msgs, raw_a, raw_b)| {
+            let bound = msgs[0].len() + 1;
+            let (a, b) = ((raw_a as usize) % bound, (raw_b as usize) % bound);
+            (msgs, a, b)
+        })
+        .boxed()
+}
+
+/// Per-lane keys of every shape (empty through past-block-size) paired
+/// with equal-length messages.
+#[allow(clippy::type_complexity)]
+fn keys_and_msgs() -> BoxedStrategy<(Vec<Vec<u8>>, Vec<Vec<u8>>)> {
+    pvec((pvec(any::<u8>(), 0..200), pvec(any::<u8>(), 0..300)), 1..=MAX_LANES + 1)
+        .prop_map(|pairs| {
+            let len = pairs.iter().map(|(_, m)| m.len()).min().unwrap_or(0);
+            pairs
+                .into_iter()
+                .map(|(k, mut m)| {
+                    m.truncate(len);
+                    (k, m)
+                })
+                .unzip()
+        })
+        .boxed()
+}
+
+proptest! {
+    /// One-shot lane digests equal the scalar digest, for every lane count
+    /// and length (covering empty, sub-block, block-straddling messages).
+    #[test]
+    fn digest_lanes_match_scalar(msgs in equal_len_msgs(MAX_LANES + 1, 600)) {
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![[0u8; 32]; refs.len()];
+        digest_lanes(&refs, &mut out);
+        for (msg, got) in msgs.iter().zip(&out) {
+            prop_assert_eq!(*got, Sha256::digest(msg));
+        }
+    }
+}
+
+proptest! {
+    /// Incremental lockstep updates at arbitrary split points produce the
+    /// same digests as the one-shot scalar hash: absorbing `[..a]`,
+    /// `[a..b]`, `[b..]` per lane never changes the result.
+    #[test]
+    fn incremental_splits_match_scalar(input in msgs_with_splits()) {
+        let (msgs, cut_a, cut_b) = input;
+        let (a, b) = (cut_a.min(cut_b), cut_a.max(cut_b));
+        let mut lanes = Sha256Lanes::new(msgs.len());
+        for chunk in [(0, a), (a, b), (b, msgs[0].len())] {
+            let parts: Vec<&[u8]> = msgs.iter().map(|m| &m[chunk.0..chunk.1]).collect();
+            lanes.update(&parts);
+        }
+        let mut out = vec![[0u8; 32]; msgs.len()];
+        lanes.finalize_into(&mut out);
+        for (msg, got) in msgs.iter().zip(&out) {
+            prop_assert_eq!(*got, Sha256::digest(msg));
+        }
+    }
+}
+
+proptest! {
+    /// Lane HMAC equals scalar HMAC for independent keys of every shape
+    /// (shorter than, equal to, and longer than the 64-byte block — the
+    /// hashed-key path included) over equal-length messages.
+    #[test]
+    fn hmac_lanes_match_scalar(input in keys_and_msgs()) {
+        let (keys, msgs) = input;
+        let keys: Vec<HmacKey> = keys.iter().map(|k| HmacKey::new(k)).collect();
+        let key_refs: Vec<&HmacKey> = keys.iter().collect();
+        let msg_refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![[0u8; 32]; msgs.len()];
+        hmac_lanes(&key_refs, &msg_refs, &mut out);
+        for ((key, msg), got) in keys.iter().zip(&msgs).zip(&out) {
+            prop_assert_eq!(*got, key.mac(msg));
+        }
+    }
+}
+
+// ------------------------------------------------ RFC 4231 in every slot
+
+struct Rfc4231 {
+    key: &'static str,
+    data: &'static str,
+    tag: &'static str,
+}
+
+/// The full-length RFC 4231 cases (case 5 truncates the tag and is
+/// exercised by the scalar vector suite).
+const RFC4231_CASES: &[Rfc4231] = &[
+    // Test Case 1.
+    Rfc4231 {
+        key: "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
+        data: "4869205468657265",
+        tag: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+    },
+    // Test Case 2: key shorter than the block size ("Jefe").
+    Rfc4231 {
+        key: "4a656665",
+        data: "7768617420646f2079612077616e7420666f72206e6f7468696e673f",
+        tag: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+    },
+    // Test Case 3: 0xaa×20 key, 0xdd×50 data.
+    Rfc4231 {
+        key: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+        data: "dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd\
+               dddddddddddddddddddddddddddddddddddd",
+        tag: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+    },
+    // Test Case 4: incrementing key, 0xcd×50 data.
+    Rfc4231 {
+        key: "0102030405060708090a0b0c0d0e0f10111213141516171819",
+        data: "cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd\
+               cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",
+        tag: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+    },
+    // Test Case 6: 131-byte key (hashed), one-block data.
+    Rfc4231 {
+        key: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaa",
+        data: "54657374205573696e67204c6172676572205468616e20426c6f636b2d53697a\
+               65204b6579202d2048617368204b6579204669727374",
+        tag: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+    },
+    // Test Case 7: 131-byte key, multi-block data.
+    Rfc4231 {
+        key: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+              aaaaaa",
+        data: "5468697320697320612074657374207573696e672061206c6172676572207468\
+               616e20626c6f636b2d73697a65206b657920616e642061206c61726765722074\
+               68616e20626c6f636b2d73697a6520646174612e20546865206b6579206e6565\
+               647320746f20626520686173686564206265666f7265206265696e6720757365\
+               642062792074686520484d414320616c676f726974686d2e",
+        tag: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+    },
+];
+
+fn unhex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+        .collect()
+}
+
+/// Every RFC 4231 case produces its pinned tag out of *every* lane slot,
+/// with the other lanes absorbing same-length filler under distinct keys —
+/// so no lane position, chunk rotation, or neighbour content can perturb
+/// the vector.
+#[test]
+fn rfc4231_vectors_hold_in_every_lane_slot() {
+    for (case_no, case) in RFC4231_CASES.iter().enumerate() {
+        let key = HmacKey::new(&unhex(case.key));
+        let data = unhex(case.data);
+        let want: Digest = unhex(case.tag).try_into().unwrap();
+
+        for slot in 0..MAX_LANES {
+            let filler_keys: Vec<HmacKey> =
+                (0..MAX_LANES).map(|l| HmacKey::new(&[l as u8 + 1; 16])).collect();
+            let filler_msgs: Vec<Vec<u8>> =
+                (0..MAX_LANES).map(|l| vec![0xA5 ^ l as u8; data.len()]).collect();
+
+            let keys: Vec<&HmacKey> =
+                (0..MAX_LANES).map(|l| if l == slot { &key } else { &filler_keys[l] }).collect();
+            let msgs: Vec<&[u8]> = (0..MAX_LANES)
+                .map(|l| if l == slot { data.as_slice() } else { filler_msgs[l].as_slice() })
+                .collect();
+
+            let mut out = [[0u8; 32]; MAX_LANES];
+            hmac_lanes(&keys, &msgs, &mut out);
+            assert_eq!(out[slot], want, "RFC 4231 case {} in lane {slot}", case_no + 1);
+            for l in (0..MAX_LANES).filter(|&l| l != slot) {
+                assert_eq!(out[l], filler_keys[l].mac(&filler_msgs[l]), "filler lane {l}");
+            }
+        }
+    }
+}

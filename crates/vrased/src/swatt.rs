@@ -1,8 +1,22 @@
-//! The SW-Att attestation service: `HMAC(K, challenge ‖ regions ‖ extra)`.
+//! The SW-Att attestation service:
+//! `HMAC(K, challenge ‖ (bounds ‖ SHA-256(region))* ‖ extra)`.
+//!
+//! Each attested region enters the MAC as its inclusive `(start, end)`
+//! bounds followed by the SHA-256 digest of its contents (rather than the
+//! raw contents). By SHA-256 collision resistance this binds the region
+//! bytes exactly as strongly, and it buys the verifier two things:
+//!
+//! * the expected-region digest is a pure function of the op image, so a
+//!   fleet verifier memoizes it per `(op, image-version)` instead of
+//!   rehashing kilobytes of ER per proof;
+//! * every MAC message has a small fixed size per op, so a batch of
+//!   independent proof MACs can be checked in multi-buffer lanes
+//!   ([`hacl::sha256_mb`]) — equal lengths keep the lanes in lockstep
+//!   through padding.
 
 use crate::keystore::KeyStore;
 use crate::protocol::Challenge;
-use hacl::{Digest, HmacKey};
+use hacl::{Digest, HmacKey, Sha256};
 use msp430::platform::Platform;
 
 /// The device-side attestation routine.
@@ -57,7 +71,7 @@ impl SwAtt {
         for (start, end) in regions {
             mac.update(&start.to_le_bytes());
             mac.update(&end.to_le_bytes());
-            mac.update(platform.mem_range(*start, *end));
+            mac.update(&Sha256::digest(platform.mem_range(*start, *end)));
         }
         mac.update(extra);
         mac.finalize()
@@ -90,10 +104,39 @@ impl SwAtt {
             );
             mac.update(&start.to_le_bytes());
             mac.update(&end.to_le_bytes());
-            mac.update(bytes);
+            mac.update(&Sha256::digest(bytes));
         }
         mac.update(extra);
         mac.finalize()
+    }
+
+    /// Attests regions given as `(start, end, content digest)` — the
+    /// memoized form of [`SwAtt::attest_region_bytes`]: callers that
+    /// already hold `SHA-256(bytes)` (e.g. a fleet verifier caching the
+    /// expected-ER digest per op image) skip rehashing the region.
+    #[must_use]
+    pub fn attest_region_digests(
+        &self,
+        challenge: &Challenge,
+        regions: &[(u16, u16, &Digest)],
+        extra: &[u8],
+    ) -> Digest {
+        let mut mac = self.key.begin();
+        mac.update(challenge.as_bytes());
+        for (start, end, digest) in regions {
+            mac.update(&start.to_le_bytes());
+            mac.update(&end.to_le_bytes());
+            mac.update(&digest[..]);
+        }
+        mac.update(extra);
+        mac.finalize()
+    }
+
+    /// The precomputed HMAC key context, for multi-buffer tag checks that
+    /// MAC several devices' messages in lockstep.
+    #[must_use]
+    pub fn hmac_key(&self) -> &HmacKey {
+        &self.key
     }
 }
 
@@ -147,6 +190,18 @@ mod tests {
             att.attest(&p, &c, &[(0xE000, 0xE001)]),
             att.attest(&p, &c, &[(0xF000, 0xF001)])
         );
+    }
+
+    #[test]
+    fn digest_form_matches_bytes_and_platform_forms() {
+        // The three attestation entry points must agree on the tag: the
+        // digest form is the memoized fast path for the same MAC message.
+        let (att, p, c) = setup();
+        let bytes = p.mem_range(0xE000, 0xE003);
+        let digest = Sha256::digest(bytes);
+        let want = att.attest_with_extra(&p, &c, &[(0xE000, 0xE003)], &[7]);
+        assert_eq!(att.attest_region_bytes(&c, &[(0xE000, 0xE003, bytes)], &[7]), want);
+        assert_eq!(att.attest_region_digests(&c, &[(0xE000, 0xE003, &digest)], &[7]), want);
     }
 
     #[test]
