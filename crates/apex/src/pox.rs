@@ -111,20 +111,34 @@ impl PoxProver {
 
     /// Runs until `stop_pc`, feeding every step (and fault) to the monitor
     /// and advancing time-based peripherals.
+    ///
+    /// Execution is dispatched superblock-at-a-time; the monitor, the
+    /// peripheral clock and the trace still observe every single step via
+    /// the dispatch callback, in the same order as a `step_into` loop.
     pub fn run_to(&mut self, stop_pc: u16, max_steps: usize) -> RunOutcome {
         let mut trace = Trace::new();
         // One Step reused across the run; only the trace copy survives.
         let mut step = Step::default();
-        for _ in 0..max_steps {
+        let mut remaining = max_steps;
+        while remaining > 0 {
             if self.cpu.pc() == stop_pc {
                 return RunOutcome { trace, stop: StopReason::ReachedStop };
             }
-            match self.cpu.step_into(&mut self.platform, &mut step) {
-                Ok(()) => {
-                    self.monitor.observe_step(&step);
-                    self.platform.advance(step.cycles);
-                    trace.push(step);
-                }
+            let monitor = &mut self.monitor;
+            let trace_ref = &mut trace;
+            let r = self.cpu.step_block_into(
+                &mut self.platform,
+                stop_pc,
+                remaining,
+                &mut step,
+                |platform, _regs, s| {
+                    monitor.observe_step(s);
+                    platform.advance(s.cycles);
+                    trace_ref.push(*s);
+                },
+            );
+            match r {
+                Ok(n) => remaining -= n,
                 Err(fault) => {
                     if let CpuFault::Decode { at, .. } = fault {
                         self.monitor.observe_fault(at);

@@ -125,6 +125,16 @@ fn bench_fleet(c: &mut Criterion) {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+    // Process-wide because worker CPUs (and their block caches) are
+    // transient; the counters aggregate every emulation this run.
+    let sb = msp430::process_superblock_stats();
+    println!(
+        "fleet: superblocks {} hits / {} misses / {} restitches{}",
+        sb.hits,
+        sb.misses,
+        sb.restitches,
+        if msp430::superblocks_forced_off() { " (MSP430_FORCE_STEP)" } else { "" },
+    );
 }
 
 criterion_group!(benches, bench_fleet);

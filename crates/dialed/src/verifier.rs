@@ -29,6 +29,8 @@ use msp430::isa::{Insn, Op1, Op2, Operand};
 use msp430::mem::{Bus, Ram};
 use msp430::regs::Reg;
 use msp430::trace::Trace;
+use msp430::BlockBreaks;
+use std::sync::Arc;
 use tinycfa::OrStack;
 use vrased::KeyStore;
 
@@ -87,6 +89,11 @@ pub const LOG_HEAD_WORDS: usize = 9;
 pub(crate) struct SiteIndex {
     input: Box<[u8; 0x2000]>,
     args: Box<[u8; 0x2000]>,
+    /// Input sites as superblock break addresses: stitched blocks end
+    /// before them, so the per-step `is_input` probe collapses into a
+    /// per-block-entry probe. Shared (`Arc`) so re-installing it on a
+    /// recycled workspace core is a pointer compare, not a cache flush.
+    breaks: Arc<BlockBreaks>,
     /// The operation image as contiguous runs, so per-proof re-imaging is
     /// a handful of bulk copies instead of a walk over the sparse byte map.
     image_runs: Vec<(u16, Vec<u8>)>,
@@ -96,13 +103,15 @@ impl SiteIndex {
     pub(crate) fn new(op: &InstrumentedOp) -> Self {
         let mut input = Box::new([0u8; 0x2000]);
         let mut args = Box::new([0u8; 0x2000]);
+        let mut breaks = BlockBreaks::new();
         for &a in &op.sites.input {
             input[usize::from(a >> 3)] |= 1 << (a & 7);
+            breaks.insert(a);
         }
         for &a in &op.sites.args {
             args[usize::from(a >> 3)] |= 1 << (a & 7);
         }
-        Self { input, args, image_runs: op.image.runs() }
+        Self { input, args, breaks: Arc::new(breaks), image_runs: op.image.runs() }
     }
 
     #[inline]
@@ -151,6 +160,17 @@ impl EmuWorkspace {
     pub fn reclaim(&mut self, emu: Emulation) {
         self.trace = emu.trace;
         self.or_emulated = emu.or_emulated;
+    }
+
+    /// Selects the emulator dispatch strategy for subsequent proofs.
+    ///
+    /// `icache` toggles the predecoded instruction cache, `superblocks` the
+    /// block-at-a-time dispatch layer on top of it. Both default to on; the
+    /// equivalence tests pin all three configurations (forced decode,
+    /// per-step icache, superblocks) to byte-identical reports.
+    pub fn set_dispatch(&mut self, icache: bool, superblocks: bool) {
+        self.cpu.set_icache_enabled(icache);
+        self.cpu.set_superblocks_enabled(superblocks);
     }
 }
 
@@ -205,16 +225,12 @@ fn abstract_execute_indexed(
     }
     cpu.set_pc(op.options.caller_site);
 
-    let ram = match &mut ws.ram {
-        Some(ram) => {
-            ram.clear();
-            ram
-        }
-        none => none.insert(Ram::new()),
-    };
-    for (start, bytes) in &sites.image_runs {
-        ram.load_bytes(*start, bytes);
-    }
+    let ram = ws.ram.get_or_insert_with(Ram::new);
+    // Generation-preserving reset: pages whose content is unchanged from
+    // the previous proof (the code image, when replaying one operation)
+    // keep their write generation, so the CPU's superblock cache stays
+    // warm across proofs instead of restitching every block.
+    ram.reset_to(sites.image_runs.iter().map(|(start, bytes)| (*start, bytes.as_slice())));
 
     let mut trace = std::mem::take(&mut ws.trace);
     trace.clear();
@@ -225,8 +241,15 @@ fn abstract_execute_indexed(
     let mut outcome = EmuOutcome::Budget;
     let (mut cf_n, mut in_n, mut arg_n) = (0usize, 0usize, 0usize);
 
+    // Superblock dispatch: every input-log site is a block break, so a
+    // marked PC only ever executes as a block *entry* — the `is_input`
+    // probe (and the injection it guards) runs per block, not per step.
+    // The per-step work below (shadow stack, write classification, trace
+    // copy) observes every step through the dispatch callback, unchanged.
+    cpu.set_block_breaks(Some(sites.breaks.clone()));
     let step = &mut ws.step;
-    for _ in 0..budget {
+    let mut remaining = budget;
+    while remaining > 0 {
         let pc = cpu.pc();
         if pc == op.return_addr {
             outcome = EmuOutcome::Completed;
@@ -241,57 +264,58 @@ fn abstract_execute_indexed(
 
         // Allocation-free: the scratch Step is refilled in place; only the
         // flat copy appended to the trace below touches the trace buffer.
-        match cpu.step_into(&mut *ram, step) {
-            Ok(()) => {}
+        let r = cpu.step_block_into(&mut *ram, op.return_addr, remaining, step, |_, regs, step| {
+            min_sp = min_sp.min(regs.sp());
+
+            // Shadow call stack over *original* control flow.
+            if let Some(insn) = &step.insn {
+                match insn {
+                    Insn::One { op: Op1::Call, .. } => {
+                        if let Some(w) = step.writes().next() {
+                            shadow.push(w.value);
+                        }
+                    }
+                    Insn::Two {
+                        op: Op2::Mov,
+                        src: Operand::IndirectInc(Reg::R1),
+                        dst: Operand::Reg(Reg::R0),
+                        ..
+                    } => {
+                        let expected = shadow.pop().unwrap_or(op.return_addr);
+                        if step.next_pc != expected {
+                            findings.push(Finding::ReturnHijack {
+                                at: step.pc,
+                                expected,
+                                actual: step.next_pc,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // Classify OR log writes for the statistics.
+            for w in step.writes() {
+                if w.addr >= pox.or_min && w.addr <= pox.or_max {
+                    if sites.is_input(step.pc) {
+                        in_n += 1;
+                    } else if sites.is_arg(step.pc) {
+                        arg_n += 1;
+                    } else {
+                        cf_n += 1;
+                    }
+                }
+            }
+
+            trace.push(*step);
+        });
+        match r {
+            Ok(n) => remaining -= n,
             Err(CpuFault::Halted | CpuFault::Decode { .. }) => {
                 outcome = EmuOutcome::Fault;
                 break;
             }
         }
-
-        min_sp = min_sp.min(cpu.reg(Reg::SP));
-
-        // Shadow call stack over *original* control flow.
-        if let Some(insn) = &step.insn {
-            match insn {
-                Insn::One { op: Op1::Call, .. } => {
-                    if let Some(w) = step.writes().next() {
-                        shadow.push(w.value);
-                    }
-                }
-                Insn::Two {
-                    op: Op2::Mov,
-                    src: Operand::IndirectInc(Reg::R1),
-                    dst: Operand::Reg(Reg::R0),
-                    ..
-                } => {
-                    let expected = shadow.pop().unwrap_or(op.return_addr);
-                    if step.next_pc != expected {
-                        findings.push(Finding::ReturnHijack {
-                            at: step.pc,
-                            expected,
-                            actual: step.next_pc,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        // Classify OR log writes for the statistics.
-        for w in step.writes() {
-            if w.addr >= pox.or_min && w.addr <= pox.or_max {
-                if sites.is_input(step.pc) {
-                    in_n += 1;
-                } else if sites.is_arg(step.pc) {
-                    arg_n += 1;
-                } else {
-                    cf_n += 1;
-                }
-            }
-        }
-
-        trace.push(*step);
     }
 
     let final_r4 = cpu.reg(Reg::R4);

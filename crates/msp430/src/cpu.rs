@@ -17,15 +17,28 @@
 //! is validated against the live instruction words on every hit, so writes
 //! into code memory — from any bus master — force a re-decode without
 //! explicit invalidation hooks.
+//!
+//! One level further up, [`Cpu::step_block_into`] dispatches *superblocks*:
+//! straight-line runs of predecoded instructions ending at control flow,
+//! SR writes, log-site break addresses or page boundaries, validated for
+//! reuse by the bus's per-page write-generations. The steady-state block
+//! loop touches no per-step metadata at all; per-step observers still see
+//! every [`Step`] through a callback. `MSP430_FORCE_STEP=1` in the
+//! environment disables block dispatch process-wide
+//! ([`superblocks_forced_off`]).
 
 use crate::cycles::{insn_cycles, IRQ_CYCLES};
 use crate::flags;
-use crate::icache::{ICache, ICacheStats, Stamp, MAX_INSN_WORDS};
+use crate::icache::{
+    page_base, Block, BlockBreaks, BlockInsn, ICache, ICacheStats, Stamp, SuperCache,
+    SuperblockStats, MAX_BLOCK_INSNS, MAX_INSN_WORDS,
+};
 use crate::isa::{Cond, DecodeError, Insn, Op1, Op2, Operand, Size};
 use crate::layout::RESET_VECTOR;
 use crate::mem::{Access, AccessBuf, AccessKind, Bus};
 use crate::regs::{Reg, RegFile};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Everything one [`Cpu::step`] did, for consumption by monitors and traces.
 ///
@@ -99,6 +112,20 @@ impl fmt::Display for CpuFault {
 
 impl std::error::Error for CpuFault {}
 
+/// True when the `MSP430_FORCE_STEP` environment variable disables
+/// superblock dispatch process-wide (mirroring `HACL_FORCE_SCALAR`): the
+/// variable is set and not `"0"` at first query. With dispatch forced off,
+/// every [`Cpu::step_block_into`] call degrades to exactly one
+/// [`Cpu::step_into`], which CI uses to prove the whole verification stack
+/// on the single-step path.
+#[must_use]
+pub fn superblocks_forced_off() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var_os("MSP430_FORCE_STEP").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 /// The MSP430 CPU core.
 #[derive(Clone, Debug)]
 pub struct Cpu {
@@ -107,6 +134,8 @@ pub struct Cpu {
     pending_irq: Option<u8>,
     icache: ICache,
     icache_enabled: bool,
+    sblocks: SuperCache,
+    sblocks_enabled: bool,
 }
 
 impl Default for Cpu {
@@ -116,6 +145,8 @@ impl Default for Cpu {
             pending_irq: None,
             icache: ICache::default(),
             icache_enabled: true,
+            sblocks: SuperCache::default(),
+            sblocks_enabled: !superblocks_forced_off(),
         }
     }
 }
@@ -154,6 +185,46 @@ impl Cpu {
     #[must_use]
     pub fn icache_stats(&self) -> ICacheStats {
         self.icache.stats()
+    }
+
+    /// Enables or disables superblock (block-at-a-time) dispatch.
+    ///
+    /// Like the instruction cache, superblocks are semantically transparent
+    /// (reuse is validated against live page write-generations); disabling
+    /// them makes [`Cpu::step_block_into`] degrade to one [`Cpu::step_into`]
+    /// per call. When [`superblocks_forced_off`] reports the
+    /// `MSP430_FORCE_STEP` override, dispatch stays off regardless.
+    pub fn set_superblocks_enabled(&mut self, enabled: bool) {
+        self.sblocks_enabled = enabled && !superblocks_forced_off();
+    }
+
+    /// Is superblock dispatch in use?
+    #[must_use]
+    pub fn superblocks_enabled(&self) -> bool {
+        self.sblocks_enabled
+    }
+
+    /// Superblock cache hit/miss/re-stitch counters since construction.
+    #[must_use]
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sblocks.stats()
+    }
+
+    /// Drops every stitched superblock (the table allocation is kept for
+    /// the pages' slots; never required for correctness — blocks are
+    /// generation-validated on every dispatch).
+    pub fn flush_superblocks(&mut self) {
+        self.sblocks.flush();
+    }
+
+    /// Installs the set of addresses at which superblocks must end, so
+    /// those addresses only ever execute as block entries (where callers
+    /// can observe them — the DIALED verifier's input-injection sites).
+    ///
+    /// A change of set — `Arc` pointer identity, so re-installing the same
+    /// shared set per proof is free — flushes the stitched blocks.
+    pub fn set_block_breaks(&mut self, breaks: Option<Arc<BlockBreaks>>) {
+        self.sblocks.set_breaks(breaks);
     }
 
     /// Re-initialises the architectural state (registers and pending IRQ)
@@ -288,6 +359,190 @@ impl Cpu {
         step.insn = Some(insn);
         step.cycles = cycles;
         Ok(())
+    }
+
+    /// Executes up to one superblock of instructions (at most `limit`),
+    /// invoking `on_step` after each one — the block-at-a-time dispatch
+    /// path beside [`Cpu::step_into`].
+    ///
+    /// Each executed instruction fills `step` exactly as `step_into` would
+    /// (same PCs, decoded instruction, cycle count and inline access
+    /// buffer) before `on_step(bus, regs, step)` runs, so per-step
+    /// observers — the APEX monitor, trace recording, peripheral time —
+    /// see an identical stream. What a block *skips* is the per-step
+    /// metadata: one cache probe, one halt/IRQ test and one log-site check
+    /// per block instead of per step.
+    ///
+    /// The block ends early at `stop_pc` (tested before each instruction
+    /// after the first; the entry instruction always executes, matching a
+    /// `step_into` call at that PC), after a store into one of the block's
+    /// own code pages (possible self-modification of a later instruction),
+    /// or at `limit`. Halt, pending-interrupt entry, disabled dispatch and
+    /// unstitchable entries (odd PC, untracked page, undecodable opcode)
+    /// all fall back to a single `step_into` with identical semantics.
+    ///
+    /// `on_step` receives the bus and the post-step register file; it must
+    /// not execute instructions on this core (it cannot — the core is
+    /// borrowed) and any bus writes it performs into the block's code pages
+    /// take effect at the next block boundary.
+    ///
+    /// Returns the number of steps executed (≥ 1 unless `limit == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Cpu::step_into`] — faults can only surface on the
+    /// single-step fallback, never mid-block (blocks contain only decoded
+    /// instructions, and instruction execution itself cannot fault).
+    pub fn step_block_into<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        stop_pc: u16,
+        limit: usize,
+        step: &mut Step,
+        mut on_step: impl FnMut(&mut B, &RegFile, &Step),
+    ) -> Result<usize, CpuFault> {
+        if limit == 0 {
+            return Ok(0);
+        }
+        // Halt, interrupt entry and disabled dispatch funnel through the
+        // single-step path so fault and IRQ semantics stay byte-identical
+        // to a `step_into` loop. GIE and CPUOFF only change via explicit
+        // SR writes or RETI (see `ends_block`), so mid-block re-checks are
+        // unnecessary: a block never runs past the instruction that could
+        // flip them.
+        let single = !self.sblocks_enabled
+            || self.halted()
+            || (self.pending_irq.is_some() && self.flag(flags::GIE));
+        if !single {
+            let entry = self.regs.pc();
+            if let Some(block) = self.obtain_block(bus, entry) {
+                let n = block.insns.len().min(limit);
+                let mut executed = 0usize;
+                for bi in &block.insns[..n] {
+                    if executed > 0 && bi.pc == stop_pc {
+                        break;
+                    }
+                    step.accesses.clear();
+                    step.irq = None;
+                    step.pc = bi.pc;
+                    step.insn = Some(bi.insn);
+                    step.cycles = bi.cycles;
+                    // PC advances past the instruction before it executes,
+                    // exactly as fetch_decode does (PC-operand semantics).
+                    self.regs.set(Reg::PC, bi.next_pc);
+                    self.execute(bus, &bi.insn, &mut step.accesses);
+                    step.next_pc = self.regs.pc();
+                    executed += 1;
+                    on_step(bus, &self.regs, step);
+                    // A store into one of the block's own code pages may
+                    // have patched an instruction we are about to run:
+                    // leave the block; the next dispatch re-validates.
+                    if !step.accesses.is_empty() && step.writes().any(|w| block.covers(w.addr)) {
+                        break;
+                    }
+                }
+                self.sblocks.put(entry, block);
+                return Ok(executed);
+            }
+        }
+        self.step_into(bus, step)?;
+        on_step(bus, &self.regs, step);
+        Ok(1)
+    }
+
+    /// Returns a validated superblock entered at `entry`: a cached block
+    /// whose page generations all still match, or a freshly (re-)stitched
+    /// one. `None` means dispatch must fall back to single-step.
+    fn obtain_block(&mut self, bus: &mut impl Bus, entry: u16) -> Option<Box<Block>> {
+        match self.sblocks.take(entry) {
+            Some(block) if block.is_fresh(bus) => {
+                self.sblocks.note_hit();
+                Some(block)
+            }
+            Some(_stale) => {
+                let block = self.stitch_block(bus, entry);
+                if block.is_some() {
+                    self.sblocks.note_restitch();
+                }
+                block
+            }
+            None => {
+                let block = self.stitch_block(bus, entry);
+                if block.is_some() {
+                    self.sblocks.note_miss();
+                }
+                block
+            }
+        }
+    }
+
+    /// Stitches a new superblock starting at `entry`: decodes forward until
+    /// a terminator instruction ([`ends_block`]), a break address, the
+    /// entry page's end, an undecodable opcode, or [`MAX_BLOCK_INSNS`].
+    ///
+    /// Returns `None` when no block can form at all — odd entry PC, the
+    /// entry page is not generation-tracked, or the first instruction does
+    /// not decode (the single-step fallback then reproduces the exact
+    /// fault). Decode reads during stitching are confined to
+    /// generation-tracked pages, whose reads are side-effect-free, so a
+    /// stitch never perturbs peripherals.
+    fn stitch_block(&mut self, bus: &mut impl Bus, entry: u16) -> Option<Box<Block>> {
+        if entry & 1 != 0 {
+            return None;
+        }
+        let (bus_id, entry_gen) = bus.page_generation(entry)?;
+        let entry_page = page_base(entry);
+        let mut block = Box::new(Block::new(bus_id, entry_page, entry_gen));
+        let mut pc = entry;
+        while block.insns.len() < MAX_BLOCK_INSNS {
+            if pc != entry {
+                // Later instructions must *start* inside the entry page
+                // (their extension words may straddle into the tracked
+                // second page) and must not sit on a break address — break
+                // addresses are always block entries, so callers observe
+                // them (input injection) before dispatch.
+                if page_base(pc) != entry_page || self.sblocks.breaks_contain(pc) {
+                    break;
+                }
+            }
+            // A decode may read up to two extension words past `pc`; never
+            // read speculatively from an untracked page (peripheral reads
+            // can have side effects, and a re-read on fallback would
+            // diverge from pure single-step execution).
+            let max_last = pc.wrapping_add((MAX_INSN_WORDS as u16 - 1) * 2);
+            if page_base(max_last) != entry_page
+                && !matches!(bus.page_generation(max_last), Some((id, _)) if id == bus_id)
+            {
+                break;
+            }
+            let mut cursor =
+                FetchCursor { bus, pc0: pc, words: [0; MAX_INSN_WORDS], prefetched: 0, n: 0 };
+            let first = cursor.next_word();
+            let Ok(insn) = Insn::decode(pc, first, || cursor.next_word()) else {
+                // Undecodable: end the block before it; the single-step
+                // fallback at this PC reproduces the fault.
+                break;
+            };
+            let len = cursor.n as u16;
+            let last = pc.wrapping_add((len - 1) * 2);
+            if page_base(last) != entry_page {
+                match bus.page_generation(last) {
+                    Some((id, gen)) if block.note_page(id, page_base(last), gen) => {}
+                    _ => break,
+                }
+            }
+            let next_pc = pc.wrapping_add(len * 2);
+            block.insns.push(BlockInsn { pc, next_pc, insn, cycles: insn_cycles(&insn) });
+            if ends_block(&insn) {
+                break;
+            }
+            pc = next_pc;
+        }
+        if block.insns.is_empty() {
+            None
+        } else {
+            Some(block)
+        }
     }
 
     /// Resolves the instruction at `pc0` via a two-tier cache check:
@@ -642,6 +897,34 @@ impl Cpu {
                 }
             }
         }
+    }
+}
+
+/// True when `insn` must terminate a superblock: it may redirect control
+/// flow, or write SR.
+///
+/// SR writes matter because `step_into` samples CPUOFF (halt) and GIE
+/// (interrupt window) only at step boundaries, and a block skips those
+/// per-step samples. `flags::apply` never touches either bit, so an
+/// explicit SR destination or RETI are the *only* instructions that can
+/// flip them — ending blocks there makes the block-entry halt/IRQ check
+/// exactly as fine-grained as the per-step one.
+///
+/// `One`-format ALU ops with a PC destination (`rrc pc` et al.) are caught
+/// here too: they redirect control flow but predate
+/// [`Insn::alters_control_flow`]'s Format-I-only PC check.
+fn ends_block(insn: &Insn) -> bool {
+    if insn.alters_control_flow() {
+        return true;
+    }
+    match *insn {
+        Insn::One {
+            op: Op1::Rrc | Op1::Rra | Op1::Swpb | Op1::Sxt,
+            sd: Operand::Reg(Reg::R0 | Reg::R2),
+            ..
+        } => true,
+        Insn::Two { op, dst: Operand::Reg(Reg::R2), .. } => op.writes_dst(),
+        _ => false,
     }
 }
 
@@ -1108,6 +1391,206 @@ mod tests {
         let b = fork.step(&mut ram).unwrap();
         assert_eq!(a, b);
         assert_eq!(fork.icache_stats().hits, 0, "clone starts with a cold cache");
+    }
+
+    /// Drives `cpu` for exactly `steps` instructions through the block
+    /// dispatcher, collecting every observed step.
+    fn drive_blocks(cpu: &mut Cpu, ram: &mut Ram, steps: usize) -> Vec<Step> {
+        let mut out = Vec::new();
+        let mut step = Step::default();
+        let mut left = steps;
+        while left > 0 {
+            let n = cpu
+                .step_block_into(ram, 0xFFFF, left, &mut step, |_, _, s| out.push(*s))
+                .expect("block step ok");
+            left -= n;
+        }
+        out
+    }
+
+    #[test]
+    fn superblock_dispatch_matches_step_into() {
+        // Busy loop: add ; store ; load ; jmp — the block core and a plain
+        // step_into core must produce identical step streams and state.
+        let words = [0x5A0A, 0x4A82, 0x0200, 0x4211, 0x0200, 0x3FFA];
+        let mut ram_a = Ram::new();
+        ram_a.load_words(0xE000, &words);
+        let mut ram_b = ram_a.clone();
+        let mut a = Cpu::new();
+        let mut b = Cpu::new();
+        for cpu in [&mut a, &mut b] {
+            cpu.set_pc(0xE000);
+            cpu.set_reg(Reg::R10, 1);
+        }
+        let blocked = drive_blocks(&mut a, &mut ram_a, 100);
+        let mut step = Step::default();
+        for s in &blocked {
+            b.step_into(&mut ram_b, &mut step).unwrap();
+            assert_eq!(s, &step);
+        }
+        assert_eq!(a.regs, b.regs);
+        assert_eq!(ram_a.as_slice(), ram_b.as_slice());
+        if !superblocks_forced_off() {
+            let st = a.superblock_stats();
+            assert!(st.hits > 0, "looping program must reuse its blocks: {st:?}");
+            assert_eq!(st.restitches, 0);
+        }
+    }
+
+    #[test]
+    fn insn_straddling_page_boundary_inside_block_revalidates() {
+        if superblocks_forced_off() {
+            return;
+        }
+        // Block entered at 0xE3F8; the `mov #imm, r7` at 0xE3FE keeps its
+        // extension word at 0xE400 — the *next* generation page. Patching
+        // that word must force a re-stitch even though the entry page is
+        // untouched.
+        let mut ram = Ram::new();
+        ram.load_words(0xE3F8, &[0x4315, 0x4326, 0x4303, 0x4037, 0x1234]);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE3F8);
+        let steps = drive_blocks(&mut cpu, &mut ram, 4);
+        assert_eq!(steps.len(), 4);
+        assert_eq!(cpu.reg(Reg::R7), 0x1234);
+        assert_eq!(cpu.superblock_stats().misses, 1);
+
+        ram.load_words(0xE400, &[0x5678]); // patch the straddled word
+        cpu.set_pc(0xE3F8);
+        drive_blocks(&mut cpu, &mut ram, 4);
+        assert_eq!(cpu.reg(Reg::R7), 0x5678, "patched immediate must be used");
+        assert_eq!(cpu.superblock_stats().restitches, 1);
+    }
+
+    #[test]
+    fn store_into_own_page_mid_block_exits_early() {
+        if superblocks_forced_off() {
+            return;
+        }
+        // The first instruction patches the second one (same code page,
+        // same block). The block must stop after the store so the patched
+        // instruction — not the stitched copy — executes next.
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x40B2, 0x4326, 0xE006]); // mov #0x4326, &0xE006
+        ram.load_words(0xE006, &[0x4315]); // mov #1, r5 (about to be patched)
+        ram.load_words(0xE008, &[0x4303]); // nop
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        let n = cpu.step_block_into(&mut ram, 0xFFFF, 10, &mut step, |_, _, _| {}).unwrap();
+        assert_eq!(n, 1, "block must exit right after the self-patching store");
+        assert_eq!(cpu.pc(), 0xE006);
+        let n = cpu.step_block_into(&mut ram, 0xFFFF, 10, &mut step, |_, _, _| {}).unwrap();
+        assert!(n >= 1);
+        assert_eq!(cpu.reg(Reg::R5), 0, "stitched-but-stale insn must not run");
+        assert_eq!(cpu.reg(Reg::R6), 2, "patched insn must run");
+    }
+
+    #[test]
+    fn break_is_allowed_on_entry_pc_but_splits_mid_block() {
+        if superblocks_forced_off() {
+            return;
+        }
+        // Break addresses at 0xE000 (an entry — allowed inside its own
+        // block) and 0xE004 (must split the straight line).
+        let mut ram = Ram::new();
+        // mov #1, r5 ; mov #2, r6 ; mov r5, r7 ; jmp 0xE000
+        ram.load_words(0xE000, &[0x4315, 0x4326, 0x4507, 0x3FFC]);
+        let mut breaks = BlockBreaks::new();
+        breaks.insert(0xE000);
+        breaks.insert(0xE004);
+        let mut cpu = Cpu::new();
+        cpu.set_block_breaks(Some(Arc::new(breaks)));
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        let n1 = cpu.step_block_into(&mut ram, 0xFFFF, 100, &mut step, |_, _, _| {}).unwrap();
+        assert_eq!(n1, 2, "block must end before the 0xE004 break");
+        assert_eq!(cpu.pc(), 0xE004);
+        let n2 = cpu.step_block_into(&mut ram, 0xFFFF, 100, &mut step, |_, _, _| {}).unwrap();
+        assert_eq!(n2, 2, "a break on the entry PC itself does not shrink the block");
+        assert_eq!(cpu.pc(), 0xE000);
+        assert_eq!((cpu.reg(Reg::R5), cpu.reg(Reg::R6), cpu.reg(Reg::R7)), (1, 2, 1));
+        // Second loop iteration is served from the cache.
+        drive_blocks(&mut cpu, &mut ram, 4);
+        assert!(cpu.superblock_stats().hits >= 2);
+    }
+
+    #[test]
+    fn changing_break_set_flushes_blocks() {
+        if superblocks_forced_off() {
+            return;
+        }
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A, 0x3FFE]); // add ; jmp -2
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        drive_blocks(&mut cpu, &mut ram, 10);
+        let before = cpu.superblock_stats();
+        assert!(before.hits > 0);
+        cpu.set_block_breaks(Some(Arc::new(BlockBreaks::new())));
+        drive_blocks(&mut cpu, &mut ram, 10);
+        assert!(cpu.superblock_stats().misses > before.misses, "flush must force a re-stitch");
+    }
+
+    #[test]
+    fn disabled_superblocks_fall_back_to_single_steps() {
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x5A0A, 0x3FFE]);
+        let mut cpu = Cpu::new();
+        cpu.set_superblocks_enabled(false);
+        assert!(!cpu.superblocks_enabled());
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        for _ in 0..10 {
+            let n = cpu.step_block_into(&mut ram, 0xFFFF, 100, &mut step, |_, _, _| {}).unwrap();
+            assert_eq!(n, 1, "disabled dispatch degrades to one step per call");
+        }
+        assert_eq!(cpu.superblock_stats(), SuperblockStats::default());
+    }
+
+    #[test]
+    fn block_path_services_interrupts_like_step_into() {
+        let mut ram_a = Ram::new();
+        ram_a.load_words(0xE000, &[0xD232, 0x4303, 0x4303, 0x4303]); // bis #8,sr ; nops
+        ram_a.load_words(0xF000, &[0x1300]); // reti
+        ram_a.load_words(0xFFE0 + 2 * 9, &[0xF000]); // vector 9
+        let mut ram_b = ram_a.clone();
+        let mut a = Cpu::new();
+        let mut b = Cpu::new();
+        for cpu in [&mut a, &mut b] {
+            cpu.set_pc(0xE000);
+            cpu.set_reg(Reg::SP, 0x0A00);
+        }
+        // `bis #8, sr` writes SR, so it terminates its block; the pending
+        // IRQ is then taken at the next dispatch, exactly like step_into.
+        let blocked = {
+            a.raise_irq(9);
+            drive_blocks(&mut a, &mut ram_a, 4)
+        };
+        b.raise_irq(9);
+        let mut step = Step::default();
+        for s in &blocked {
+            b.step_into(&mut ram_b, &mut step).unwrap();
+            assert_eq!(s, &step);
+        }
+        assert_eq!(blocked[1].irq, Some(9), "IRQ entry must follow the GIE-setting insn");
+        assert_eq!(a.regs, b.regs);
+    }
+
+    #[test]
+    fn stop_pc_mid_block_halts_dispatch_before_the_instruction() {
+        if superblocks_forced_off() {
+            return;
+        }
+        let mut ram = Ram::new();
+        ram.load_words(0xE000, &[0x4315, 0x4326, 0x4337, 0x4303]); // 4 straight movs
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0xE000);
+        let mut step = Step::default();
+        let n = cpu.step_block_into(&mut ram, 0xE004, 100, &mut step, |_, _, _| {}).unwrap();
+        assert_eq!(n, 2, "dispatch must stop before the stop_pc instruction");
+        assert_eq!(cpu.pc(), 0xE004);
+        assert_eq!(cpu.reg(Reg::R7), 0, "the stop_pc instruction must not execute");
     }
 
     #[test]

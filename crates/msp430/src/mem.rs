@@ -293,6 +293,43 @@ impl Ram {
         self.bytes.fill(0);
         self.bump_all();
     }
+
+    /// Resets memory to zeros overlaid with `runs` — equivalent to
+    /// [`Self::clear`] followed by [`Self::load_bytes`] per run — but
+    /// bumps the write generation only of pages whose content actually
+    /// changes. Callers that reload the *same* image between runs (batch
+    /// verification replaying one operation) keep their code pages'
+    /// generations stable, so generation-validated caches stay warm.
+    ///
+    /// Runs must not wrap the top of memory.
+    pub fn reset_to<'a, I>(&mut self, runs: I)
+    where
+        I: IntoIterator<Item = (u16, &'a [u8])>,
+        I::IntoIter: Clone,
+    {
+        // Compose the desired content page by page on the stack and diff
+        // against the live page, so an unchanged page is never stamped.
+        let runs = runs.into_iter();
+        let mut desired = [0u8; GEN_PAGE_BYTES];
+        for page in 0..GEN_PAGES {
+            let base = page * GEN_PAGE_BYTES;
+            desired.fill(0);
+            for (start, bytes) in runs.clone() {
+                let start = usize::from(start);
+                let end = start + bytes.len();
+                if start < base + GEN_PAGE_BYTES && end > base {
+                    let lo = start.max(base);
+                    let hi = end.min(base + GEN_PAGE_BYTES);
+                    desired[lo - base..hi - base].copy_from_slice(&bytes[lo - start..hi - start]);
+                }
+            }
+            let cur = &mut self.bytes[base..base + GEN_PAGE_BYTES];
+            if cur != desired {
+                cur.copy_from_slice(&desired);
+                self.gens[page] += 1;
+            }
+        }
+    }
 }
 
 impl Bus for Ram {
@@ -366,5 +403,39 @@ mod tests {
     fn access_display() {
         let a = Access { addr: 0x200, kind: AccessKind::Write, value: 0x42, word: false };
         assert_eq!(a.to_string(), "Wb 0x0200=0x0042");
+    }
+
+    #[test]
+    fn reset_to_preserves_generations_of_unchanged_pages() {
+        let image: [(u16, &[u8]); 2] = [(0xE000, &[0x0A, 0x5A, 0xFA, 0x3F]), (0x0200, &[7, 7])];
+        let mut r = Ram::new();
+        r.reset_to(image.iter().copied());
+        let code_gen = r.page_generation(0xE000).unwrap();
+        let data_gen = r.page_generation(0x0200).unwrap();
+
+        // Dirty the data page (emulated stores), then reload the same image:
+        // the data page's content changes back, so its generation moves; the
+        // untouched code page keeps its stamp.
+        r.write_word(0x0210, 0xBEEF);
+        r.reset_to(image.iter().copied());
+        assert_eq!(r.page_generation(0xE000).unwrap(), code_gen, "unchanged page restamped");
+        assert_ne!(r.page_generation(0x0200).unwrap(), data_gen, "changed page kept its stamp");
+        assert_eq!(r.read_word(0x0210), 0, "reset must clear dirtied bytes");
+        assert_eq!(r.read_word(0xE000), 0x5A0A);
+        assert_eq!(r.read_word(0x0200), 0x0707);
+
+        // Self-modified *code* is restored and restamped.
+        r.write_word(0xE000, 0x4343);
+        r.reset_to(image.iter().copied());
+        assert_ne!(r.page_generation(0xE000).unwrap(), code_gen);
+        assert_eq!(r.read_word(0xE000), 0x5A0A);
+
+        // Equivalence with clear + load_bytes, minus the stamp churn.
+        let mut fresh = Ram::new();
+        fresh.clear();
+        for (start, bytes) in image {
+            fresh.load_bytes(start, bytes);
+        }
+        assert_eq!(r.as_slice(), fresh.as_slice());
     }
 }

@@ -1,21 +1,43 @@
-//! Differential property test for the predecoded instruction cache.
+//! Differential property test for the emulator's dispatch layers.
 //!
-//! Random programs are run in lockstep on two cores over identical
-//! memories: one with the cache enabled (the fast path), one forced onto
-//! the decode-every-step slow path. Every [`Step`] — instruction, cycle
-//! count, PCs, and the full ordered bus-access list — must be identical,
-//! as must any fault, the final register file, and the final memory image.
+//! Random programs are run in lockstep on three cores over identical
+//! memories: one forced onto the decode-every-step slow path (the oracle),
+//! one with the predecoded instruction cache (per-step fast path), and one
+//! with superblock dispatch stacked on top of the cache (block-at-a-time
+//! fast path). Every [`Step`] — instruction, cycle count, PCs, and the
+//! full ordered bus-access list — must be identical, as must any fault,
+//! the final register file, and the final memory image.
 //!
-//! Programs end in a jump back to their base so the fast core re-executes
+//! Programs end in a jump back to their base so the fast cores re-execute
 //! cached code (hits), and random absolute/indexed stores occasionally land
-//! inside the program itself (self-modifying code), exercising the
-//! validation-on-hit re-decode path.
+//! inside the program itself (self-modifying code), exercising the icache's
+//! validation-on-hit re-decode path and the superblock layer's
+//! write-generation revalidation and mid-block SMC early exit. A strategy-
+//! chosen step may additionally reload the pristine image over the (possibly
+//! self-modified) program mid-run, modelling a device image reload.
+//!
+//! The superblock core runs *ahead* by whole blocks: its steps are queued by
+//! the dispatch callback and drained one per lockstep iteration. The
+//! dispatch budget is capped at the reload boundary so all three cores
+//! observe the reload between the same two steps.
+//!
+//! Extending the oracle three-way surfaced no latent gap in the icache's
+//! validate-on-hit shortcut — the generation fast path and the word-compare
+//! fallback both held under SMC and reloads. The one reuse gap found while
+//! stacking superblocks was allocation behaviour, not soundness: bulk image
+//! reloading between proofs bumped generations of *unchanged* pages,
+//! forcing re-stitches (fixed by the generation-preserving
+//! `Ram::reset_to`, pinned by the dialed zero-alloc harness).
+
+use std::collections::VecDeque;
 
 use msp430::cpu::{Cpu, Step};
 use msp430::flags;
 use msp430::isa::{Cond, Insn, Op1, Op2, Operand, Size};
 use msp430::mem::Ram;
 use msp430::regs::Reg;
+use msp430::superblocks_forced_off;
+use msp430::CpuFault;
 use proptest::prelude::*;
 
 const BASE: u16 = 0xE000;
@@ -120,29 +142,44 @@ fn build_program(insns: &[Insn]) -> Vec<u16> {
     words
 }
 
+/// A PC-shaped value no program counter can hold (word writes to PC clear
+/// bit 0), so block dispatch never stops early on it.
+const NO_STOP: u16 = 0xFFFF;
+
+const STEPS: usize = 500;
+
 proptest! {
-    /// The cached fast path and the forced decode-every-step slow path
-    /// produce identical step streams, faults, cycle totals, registers and
-    /// memory for random (often self-modifying) programs.
+    /// The decode-every-step oracle, the per-step icache path and the
+    /// superblock block-at-a-time path produce identical step streams,
+    /// faults, cycle totals, registers and memory for random (often
+    /// self-modifying) programs, including across a mid-run image reload.
     #[test]
-    fn cached_and_uncached_step_streams_match(
+    fn forced_icache_and_superblock_streams_match(
         insns in proptest::collection::vec(any_insn(), 1..10),
         seed_regs in proptest::array::uniform8(any::<u16>()),
         sp in (0x0280u16..0x04F0).prop_map(|a| a * 2),
         sr in 0u16..0x0200,
+        reload_raw in 0usize..960,
     ) {
+        // Half the cases reload the pristine image mid-run; the other half
+        // never reload (the vendored proptest has no `option::of`).
+        let reload_at = (reload_raw < 480).then(|| reload_raw.max(1));
         let words = build_program(&insns);
         prop_assume!(!words.is_empty());
 
         let mut ram_fast = Ram::new();
         ram_fast.load_words(BASE, &words);
         let mut ram_slow = ram_fast.clone();
+        let mut ram_block = ram_fast.clone();
 
         let mut fast = Cpu::new();
         let mut slow = Cpu::new();
+        let mut block = Cpu::new();
         slow.set_icache_enabled(false);
+        slow.set_superblocks_enabled(false);
+        fast.set_superblocks_enabled(false);
         prop_assert!(fast.icache_enabled());
-        for cpu in [&mut fast, &mut slow] {
+        for cpu in [&mut fast, &mut slow, &mut block] {
             cpu.set_pc(BASE);
             cpu.set_reg(Reg::SP, sp);
             cpu.set_reg(Reg::SR, sr & (flags::C | flags::Z | flags::N | flags::V));
@@ -153,39 +190,82 @@ proptest! {
 
         let mut fast_step = Step::default();
         let mut slow_step = Step::default();
-        let (mut fast_cycles, mut slow_cycles) = (0u64, 0u64);
+        let mut block_scratch = Step::default();
+        // The superblock core runs ahead by whole blocks; the queue holds
+        // the steps it has executed that the lockstep loop has not yet
+        // consumed.
+        let mut block_queue: VecDeque<Step> = VecDeque::new();
+        let (mut fast_cycles, mut slow_cycles, mut block_cycles) = (0u64, 0u64, 0u64);
         let mut stopped_early = false;
-        for n in 0..500 {
+        for n in 0..STEPS {
+            if reload_at == Some(n) {
+                // Dispatch budgets are capped at the reload boundary, so
+                // the block core cannot have run past it.
+                prop_assert!(block_queue.is_empty(), "block core overran the reload boundary");
+                ram_fast.load_words(BASE, &words);
+                ram_slow.load_words(BASE, &words);
+                ram_block.load_words(BASE, &words);
+            }
+
             let rf = fast.step_into(&mut ram_fast, &mut fast_step);
             let rs = slow.step_into(&mut ram_slow, &mut slow_step);
-            match (rf, rs) {
-                (Ok(()), Ok(())) => {
-                    prop_assert_eq!(&fast_step, &slow_step, "step {} diverged", n);
+            let rb: Result<Step, CpuFault> = match block_queue.pop_front() {
+                Some(s) => Ok(s),
+                None => {
+                    let limit = match reload_at {
+                        Some(r) if r > n => r - n,
+                        _ => STEPS - n,
+                    };
+                    block
+                        .step_block_into(&mut ram_block, NO_STOP, limit, &mut block_scratch,
+                            |_, _, s| block_queue.push_back(*s))
+                        .map(|executed| {
+                            assert!(executed > 0, "dispatch with budget must execute");
+                            block_queue.pop_front().expect("executed steps are queued")
+                        })
+                }
+            };
+            match (rf, rs, rb) {
+                (Ok(()), Ok(()), Ok(block_step)) => {
+                    prop_assert_eq!(&fast_step, &slow_step, "icache step {} diverged", n);
+                    prop_assert_eq!(&block_step, &slow_step, "superblock step {} diverged", n);
                     fast_cycles += u64::from(fast_step.cycles);
                     slow_cycles += u64::from(slow_step.cycles);
+                    block_cycles += u64::from(block_step.cycles);
                 }
-                (Err(ef), Err(es)) => {
-                    prop_assert_eq!(ef, es, "faults diverged at step {}", n);
+                (Err(ef), Err(es), Err(eb)) => {
+                    prop_assert_eq!(ef, es, "icache fault diverged at step {}", n);
+                    prop_assert_eq!(eb, es, "superblock fault diverged at step {}", n);
                     stopped_early = true;
                     break;
                 }
-                (rf, rs) => {
+                (rf, rs, rb) => {
                     return Err(TestCaseError::fail(format!(
-                        "only one path faulted at step {n}: fast={rf:?} slow={rs:?}"
+                        "paths disagreed on faulting at step {n}: \
+                         fast={rf:?} slow={rs:?} block={rb:?}"
                     )));
                 }
             }
         }
 
         prop_assert_eq!(fast_cycles, slow_cycles);
+        prop_assert_eq!(block_cycles, slow_cycles);
         for r in Reg::ALL {
-            prop_assert_eq!(fast.reg(r), slow.reg(r), "{} diverged", r);
+            prop_assert_eq!(fast.reg(r), slow.reg(r), "icache {} diverged", r);
+            prop_assert_eq!(block.reg(r), slow.reg(r), "superblock {} diverged", r);
         }
-        prop_assert_eq!(ram_fast.as_slice(), ram_slow.as_slice(), "memory diverged");
+        prop_assert_eq!(ram_fast.as_slice(), ram_slow.as_slice(), "icache memory diverged");
+        prop_assert_eq!(ram_block.as_slice(), ram_slow.as_slice(), "superblock memory diverged");
         // A program that looped for all 500 steps re-executed its body and
-        // must have been served from the cache.
+        // must have been served from the cache. (Superblock *hits* are not
+        // guaranteed — heavy SMC can keep every block generation-stale —
+        // but the first dispatch of a run is always a miss.)
         if !stopped_early {
             prop_assert!(fast.icache_stats().hits > 0, "no cache hits in a looping program");
+            if !superblocks_forced_off() {
+                let s = block.superblock_stats();
+                prop_assert!(s.misses > 0, "superblock core never dispatched a block");
+            }
         }
     }
 }

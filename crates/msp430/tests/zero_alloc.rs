@@ -1,6 +1,8 @@
 //! Proof that the steady-state emulation fast path performs **zero heap
 //! allocations** — the ISSUE 2 acceptance criterion for the `step_into`
-//! refactor — measured with a counting global allocator.
+//! refactor, extended to superblock dispatch (block construction may
+//! allocate once; block *reuse* may not) — measured with a counting
+//! global allocator.
 //!
 //! The workspace otherwise denies `unsafe_code`; this test binary opts out
 //! locally because the shared counting-allocator harness (see
@@ -19,6 +21,7 @@ include!("support/counting_alloc.rs");
 /// allocate concurrently and would pollute the counters.
 fn main() {
     steady_state_step_loop_is_allocation_free();
+    steady_state_superblock_dispatch_is_allocation_free();
     println!("zero_alloc: ok");
 }
 
@@ -61,4 +64,43 @@ fn steady_state_step_loop_is_allocation_free() {
     let boxed = std::hint::black_box(Box::new(0xABu8));
     assert!(allocations() > before, "counting allocator must observe allocations");
     drop(boxed);
+}
+
+fn steady_state_superblock_dispatch_is_allocation_free() {
+    // The same busy loop, dispatched block-at-a-time. Stitching a block
+    // allocates (its instruction vector, once per block); *reusing* a
+    // stitched block must not — the generation check, the take/put slot
+    // swap and the per-instruction execute loop all run on existing
+    // storage.
+    let mut ram = Ram::new();
+    ram.load_words(0xE000, &[0x5A0A, 0x4A82, 0x0200, 0x4211, 0x0200, 0x3FFA]);
+
+    let mut cpu = Cpu::new();
+    if !cpu.superblocks_enabled() {
+        // MSP430_FORCE_STEP: the dispatch below degrades to `step_into`,
+        // already covered above.
+        return;
+    }
+    cpu.set_pc(0xE000);
+    cpu.set_reg(Reg::R10, 1);
+    let mut step = Step::default();
+
+    // Warm-up: stitches the loop's blocks (and the icache under them).
+    let mut warmed = 0usize;
+    while warmed < 64 {
+        warmed += cpu
+            .step_block_into(&mut ram, 0xFFFF, 64 - warmed, &mut step, |_, _, _| {})
+            .expect("warm-up dispatch");
+    }
+
+    let before = allocations();
+    let mut steps = 0usize;
+    while steps < 100_000 {
+        steps += cpu
+            .step_block_into(&mut ram, 0xFFFF, 100_000 - steps, &mut step, |_, _, _| {})
+            .expect("steady-state dispatch");
+    }
+    assert_eq!(allocations() - before, 0, "superblock block reuse must not allocate");
+    let stats = cpu.superblock_stats();
+    assert!(stats.hits > 0, "steady state must be served from stitched blocks");
 }
