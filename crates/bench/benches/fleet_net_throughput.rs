@@ -1,0 +1,55 @@
+//! End-to-end networked-fleet throughput: devices/second for one complete
+//! attestation round across the TCP frontend — wire encode on the client,
+//! loopback socket, incremental frame reassembly, core dispatch, sharded
+//! batch drain, verdict frames back. The number to read next to
+//! `fleet_throughput`'s in-process `round`: the gap is what the network
+//! layer (sockets + framing + the single-owner core) costs.
+//!
+//! Two population sizes per app×mode pin both the latency-bound small
+//! fleet and the batch-amortized large one; the final summary line
+//! reports sustained devices/sec for the large configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dialed::pipeline::InstrumentMode;
+use dialed_bench::NetFleetBench;
+use std::time::Duration;
+
+/// Client connections per bench server (devices multiplex across them).
+const CONNS: usize = 4;
+
+fn bench_net_fleet(c: &mut Criterion) {
+    for scenario in apps::scenarios() {
+        for mode in [InstrumentMode::Original, InstrumentMode::Full] {
+            for devices in [16usize, 128] {
+                let mut bench = NetFleetBench::new(&scenario, mode, devices, CONNS);
+                let name = format!("fleet-net/{}/{mode:?}/{devices}dev", scenario.name);
+                let mut group = c.benchmark_group(&name);
+                group.throughput(Throughput::Elements(devices as u64));
+                group.bench_function("round", |b| {
+                    b.iter(|| {
+                        let clean = bench.round();
+                        assert_eq!(clean, devices);
+                    });
+                });
+                group.finish();
+                let stats = bench.finish();
+                println!("{name}: server stats [{stats}]");
+            }
+        }
+    }
+
+    // The headline number for README/BENCH trajectories: sustained
+    // end-to-end devices/sec on the first paper app, fully instrumented.
+    let scenarios = apps::scenarios();
+    let mut sustained = NetFleetBench::new(&scenarios[0], InstrumentMode::Full, 128, CONNS);
+    let per_sec = sustained.sustained_devices_per_sec(Duration::from_secs(1));
+    let stats = sustained.finish();
+    println!(
+        "fleet-net/sustained: {per_sec:.0} devices/sec end-to-end \
+         ({}, Full, 128 devices, {CONNS} conns) [{stats}]",
+        scenarios[0].name,
+    );
+}
+
+criterion_group!(benches, bench_net_fleet);
+criterion_main!(benches);

@@ -125,6 +125,20 @@ fn bench_fleet(c: &mut Criterion) {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+    // The end-to-end counterpart, printed next to the in-process numbers
+    // so BENCH_* trajectories capture both sides of the network boundary
+    // (full measurement matrix in `fleet_net_throughput`).
+    let scenarios = apps::scenarios();
+    let mut net =
+        dialed_bench::NetFleetBench::new(&scenarios[0], InstrumentMode::Full, FLEET_SIZE, 2);
+    let per_sec = net.sustained_devices_per_sec(std::time::Duration::from_millis(500));
+    let stats = net.finish();
+    println!(
+        "fleet-net: {per_sec:.0} devices/sec end-to-end over TCP loopback \
+         ({}, Full, {FLEET_SIZE} devices) [{stats}]",
+        scenarios[0].name,
+    );
+
     // Process-wide because worker CPUs (and their block caches) are
     // transient; the counters aggregate every emulation this run.
     let sb = msp430::process_superblock_stats();

@@ -51,6 +51,13 @@ pub enum RejectReason {
         /// Human-readable registry failure.
         detail: String,
     },
+    /// The service shed the submission because its ingest queues backed up
+    /// past the load-shedding watermark — explicit backpressure, not a
+    /// verdict on the proof. The device should retry after a pause.
+    Overloaded {
+        /// Queue depth observed at the shedding decision.
+        pending: u64,
+    },
 }
 
 impl From<PoxRejection> for RejectReason {
@@ -87,6 +94,9 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::UnknownPrincipal { detail } => {
                 write!(f, "unknown principal: {detail}")
+            }
+            RejectReason::Overloaded { pending } => {
+                write!(f, "service overloaded: {pending} submissions queued, retry later")
             }
         }
     }

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod ingest;
+pub mod net;
 pub mod registry;
 pub mod session;
 pub mod shard;
@@ -60,11 +61,15 @@ pub mod wire;
 
 pub use apex::pox::DigestCacheStats;
 pub use ingest::{DrainStats, IngestQueue};
+pub use net::{NetClient, NetConfig, NetServer, NetServerHandle, NetStats};
 pub use registry::{DeviceId, DeviceRecord, OpId, OpRecord, OpTable, Registry, RegistryError};
 pub use session::{Session, SessionError, SessionId, SessionManager, SessionState};
 pub use shard::{HashRing, Shard};
 pub use store::{RecoverError, StateEvent};
-pub use wire::{BatchSummary, ChallengeMsg, Message, ProofMsg, ReportMsg, WireError};
+pub use wire::{
+    BatchSummary, ChallengeMsg, FrameReader, GrantMsg, IssueMsg, Message, ProofMsg, RejectMsg,
+    ReportMsg, SubmitMsg, VerdictMsg, WireError,
+};
 
 use crate::shard::ShardParams;
 use crate::store::Wal;
@@ -516,6 +521,16 @@ impl Fleet {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.shards.iter().map(Shard::pending).sum()
+    }
+
+    /// Per-shard ingest queue depths, indexed like [`shards`](Self::shards).
+    /// This is the backpressure signal: a frontend compares the depth of a
+    /// submission's target shard against its shed watermark and answers
+    /// [`Overloaded`](dialed::report::RejectReason::Overloaded) instead of
+    /// accepting work it cannot drain in time.
+    #[must_use]
+    pub fn ingest_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::ingest_depth).collect()
     }
 
     /// Evicts resolved sessions whose deadline lies before `now` so a

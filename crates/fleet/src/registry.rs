@@ -104,7 +104,9 @@ pub struct OpRecord {
     /// shard drains through this one engine with no per-mode branching
     /// (per-device keys resolve through the drain's
     /// [`KeySource`](dialed::request::KeySource)).
-    pub(crate) engine: BatchVerifier<Box<dyn Verifier>>,
+    // `+ Send` so a whole [`Fleet`](crate::Fleet) can move into the
+    // network frontend's core thread; the backends are plain data + keys.
+    pub(crate) engine: BatchVerifier<Box<dyn Verifier + Send>>,
 }
 
 impl OpRecord {
@@ -178,7 +180,7 @@ impl OpTable {
         // the I-Log the DIALED verifier re-executes; the other modes are
         // verified at the PoX level (code, regions, EXEC, OR authenticity),
         // where reconstruction policies cannot apply.
-        let backend: Box<dyn Verifier> = if mode == InstrumentMode::Full {
+        let backend: Box<dyn Verifier + Send> = if mode == InstrumentMode::Full {
             let mut verifier = DialedVerifier::new(op, placeholder);
             for p in policies {
                 verifier = verifier.with_policy(p);

@@ -215,6 +215,13 @@ impl Shard {
         self.ingest.pending()
     }
 
+    /// This shard's ingest queue depth (see [`IngestQueue::depth`]) — the
+    /// signal a network frontend's load-shedding watermark reads.
+    #[must_use]
+    pub fn ingest_depth(&self) -> usize {
+        self.ingest.depth()
+    }
+
     /// Makes `ev` durable, then applies it. Fail-stop on a WAL append
     /// error: a mutation that cannot be persisted must not happen, or
     /// anti-replay state would silently regress at the next recovery.

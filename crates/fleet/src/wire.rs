@@ -27,8 +27,11 @@ use vrased::Challenge;
 
 /// Current codec version, bumped on any incompatible layout change.
 /// Version 2 replaced the free-form rejection string with the structured
-/// [`RejectReason`] encoding.
-pub const WIRE_VERSION: u8 = 2;
+/// [`RejectReason`] encoding; version 3 added the request-correlated
+/// networking envelope ([`IssueMsg`], [`GrantMsg`], [`SubmitMsg`],
+/// [`VerdictMsg`], [`RejectMsg`]) and the
+/// [`Overloaded`](RejectReason::Overloaded) backpressure reason.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame magic: "Dialed Wire".
 pub const MAGIC: [u8; 2] = *b"DW";
@@ -82,6 +85,15 @@ pub enum WireError {
         /// The message kind the endpoint required.
         expected: &'static str,
     },
+    /// A frame header announced a payload beyond the receiver's
+    /// per-connection cap — the oversized-frame defense of
+    /// [`FrameReader`]; the stream is not worth resynchronising.
+    FrameTooLarge {
+        /// Payload length the header announced.
+        announced: usize,
+        /// The receiver's configured cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -103,6 +115,9 @@ impl fmt::Display for WireError {
             WireError::Overflow(what) => write!(f, "{what} does not fit usize"),
             WireError::UnexpectedMessage { expected } => {
                 write!(f, "frame decoded but is not a {expected} message")
+            }
+            WireError::FrameTooLarge { announced, max } => {
+                write!(f, "frame announces {announced} payload bytes, cap is {max}")
             }
         }
     }
@@ -221,6 +236,63 @@ impl BatchSummary {
     }
 }
 
+/// Client → server: request a fresh attestation challenge for a device.
+/// The `request` id is client-chosen and echoed in the reply
+/// ([`GrantMsg`] or [`RejectMsg`]), so many devices multiplex over one
+/// connection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IssueMsg {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub request: u64,
+    /// Device the challenge is requested for.
+    pub device: u64,
+}
+
+/// Server → client: the challenge granted for an [`IssueMsg`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GrantMsg {
+    /// Correlation id of the issue request being answered.
+    pub request: u64,
+    /// The issued challenge.
+    pub body: ChallengeMsg,
+}
+
+/// Client → server: a proof submission. Answered *eventually* by a
+/// [`VerdictMsg`] (after the session's batch drains — replies arrive out
+/// of submission order) or immediately by a [`RejectMsg`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubmitMsg {
+    /// Client-chosen correlation id, echoed in the eventual reply.
+    pub request: u64,
+    /// The submission itself.
+    pub body: ProofMsg,
+}
+
+/// Server → client: the final verdict for a [`SubmitMsg`]. Correlate by
+/// `request`, not arrival order: batch drains resolve whole shards at
+/// once.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerdictMsg {
+    /// Correlation id of the submit request being answered.
+    pub request: u64,
+    /// The session's full report.
+    pub body: ReportMsg,
+}
+
+/// Server → client: a structured rejection of one request — session
+/// violations, undecodable submissions, unknown principals, or explicit
+/// [`Overloaded`](RejectReason::Overloaded) backpressure. A `request` of
+/// 0 with a protocol-level reason means the rejection is connection-fatal
+/// (the server closes after sending it).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RejectMsg {
+    /// Correlation id of the rejected request (0 for connection-level
+    /// violations that cannot be attributed to one request).
+    pub request: u64,
+    /// Why the request was refused.
+    pub reason: RejectReason,
+}
+
 /// Every message the fleet protocol exchanges.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Message {
@@ -232,12 +304,28 @@ pub enum Message {
     Report(ReportMsg),
     /// Verifier → operator: a batch summary.
     BatchSummary(BatchSummary),
+    /// Client → server: challenge request (networked envelope).
+    Issue(IssueMsg),
+    /// Server → client: challenge reply (networked envelope).
+    Grant(GrantMsg),
+    /// Client → server: correlated proof submission (networked envelope).
+    Submit(SubmitMsg),
+    /// Server → client: correlated final verdict (networked envelope).
+    Verdict(VerdictMsg),
+    /// Server → client: correlated structured rejection (networked
+    /// envelope).
+    Reject(RejectMsg),
 }
 
 const TAG_CHALLENGE: u8 = 1;
 const TAG_PROOF: u8 = 2;
 const TAG_REPORT: u8 = 3;
 const TAG_BATCH_SUMMARY: u8 = 4;
+const TAG_ISSUE: u8 = 5;
+const TAG_GRANT: u8 = 6;
+const TAG_SUBMIT: u8 = 7;
+const TAG_VERDICT: u8 = 8;
+const TAG_REJECT: u8 = 9;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -327,6 +415,10 @@ fn encode_reject_reason(w: &mut Writer, reason: &RejectReason) {
         RejectReason::UnknownPrincipal { detail } => {
             w.u8(9);
             w.string(detail);
+        }
+        RejectReason::Overloaded { pending } => {
+            w.u8(10);
+            w.u64(*pending);
         }
     }
 }
@@ -435,6 +527,31 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         Message::BatchSummary(m) => {
             encode_batch_summary(&mut payload, m);
             TAG_BATCH_SUMMARY
+        }
+        Message::Issue(m) => {
+            payload.u64(m.request);
+            payload.u64(m.device);
+            TAG_ISSUE
+        }
+        Message::Grant(m) => {
+            payload.u64(m.request);
+            encode_challenge(&mut payload, &m.body);
+            TAG_GRANT
+        }
+        Message::Submit(m) => {
+            payload.u64(m.request);
+            encode_proof(&mut payload, &m.body);
+            TAG_SUBMIT
+        }
+        Message::Verdict(m) => {
+            payload.u64(m.request);
+            encode_report(&mut payload, &m.body);
+            TAG_VERDICT
+        }
+        Message::Reject(m) => {
+            payload.u64(m.request);
+            encode_reject_reason(&mut payload, &m.reason);
+            TAG_REJECT
         }
     };
     let payload = payload.0;
@@ -579,6 +696,7 @@ fn decode_reject_reason(r: &mut Reader<'_>) -> Result<RejectReason, WireError> {
         7 => Ok(RejectReason::MalformedSubmission { detail: r.string()? }),
         8 => Ok(RejectReason::SessionViolation { detail: r.string()? }),
         9 => Ok(RejectReason::UnknownPrincipal { detail: r.string()? }),
+        10 => Ok(RejectReason::Overloaded { pending: r.u64()? }),
         tag => Err(WireError::UnknownTag { what: "reject reason", tag }),
     }
 }
@@ -693,12 +811,114 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
         TAG_PROOF => Message::Proof(decode_proof(&mut r)?),
         TAG_REPORT => Message::Report(decode_report(&mut r)?),
         TAG_BATCH_SUMMARY => Message::BatchSummary(decode_batch_summary(&mut r)?),
+        TAG_ISSUE => Message::Issue(IssueMsg { request: r.u64()?, device: r.u64()? }),
+        TAG_GRANT => {
+            Message::Grant(GrantMsg { request: r.u64()?, body: decode_challenge(&mut r)? })
+        }
+        TAG_SUBMIT => Message::Submit(SubmitMsg { request: r.u64()?, body: decode_proof(&mut r)? }),
+        TAG_VERDICT => {
+            Message::Verdict(VerdictMsg { request: r.u64()?, body: decode_report(&mut r)? })
+        }
+        TAG_REJECT => {
+            Message::Reject(RejectMsg { request: r.u64()?, reason: decode_reject_reason(&mut r)? })
+        }
         tag => return Err(WireError::UnknownTag { what: "message", tag }),
     };
     if r.remaining() != 0 {
         return Err(WireError::TrailingBytes(r.remaining()));
     }
     Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental framing
+
+/// An incremental frame assembler for byte streams: socket reads arrive in
+/// arbitrary chunks — a length prefix split across two reads, three frames
+/// in one read — and [`FrameReader`] reassembles them into [`Message`]s.
+///
+/// Hostile-input posture:
+///
+/// * The magic and version bytes are checked as soon as they arrive, so a
+///   peer speaking garbage is refused within its first two bytes, before
+///   any buffering commitment.
+/// * The announced payload length is checked against `max_frame` the
+///   moment the header completes ([`WireError::FrameTooLarge`]); no length
+///   field can make the reader buffer more than `HEADER_LEN + max_frame`
+///   bytes per connection.
+/// * Every error is **stream-fatal**: framing is byte-exact, so after any
+///   violation there is no trustworthy resynchronisation point and the
+///   caller should answer with a structured rejection and close.
+///
+/// The reader never blocks and never reads a socket itself — feed it
+/// whatever bytes arrived, then [`poll`](FrameReader::poll) until it
+/// reports `Ok(None)` (needs more bytes).
+#[derive(Debug)]
+pub struct FrameReader {
+    max_frame: usize,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` as the per-frame payload cap.
+    #[must_use]
+    pub fn new(max_frame: usize) -> Self {
+        Self { max_frame, buf: Vec::new() }
+    }
+
+    /// Bytes buffered towards the next frame (diagnostics; also the
+    /// caller's partial-frame signal for slow-loris deadlines).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends bytes received from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete message, if the buffer holds one.
+    ///
+    /// `Ok(Some(msg))` consumed one frame; call again — the buffer may
+    /// hold more. `Ok(None)` means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] is stream-fatal (see the type-level docs): bad
+    /// magic or version, an over-cap length announcement, or a complete
+    /// frame whose payload fails to decode.
+    pub fn poll(&mut self) -> Result<Option<Message>, WireError> {
+        // Fail fast on the fixed prefix, byte by byte, before waiting for
+        // a full header.
+        for (i, &expect) in MAGIC.iter().enumerate() {
+            match self.buf.get(i) {
+                Some(&b) if b == expect => {}
+                Some(_) => return Err(WireError::BadMagic),
+                None => return Ok(None),
+            }
+        }
+        match self.buf.get(2) {
+            Some(&v) if v != WIRE_VERSION => return Err(WireError::UnsupportedVersion(v)),
+            Some(_) => {}
+            None => return Ok(None),
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let announced =
+            u32::from_le_bytes(self.buf[4..8].try_into().expect("4 header bytes")) as usize;
+        if announced > self.max_frame {
+            return Err(WireError::FrameTooLarge { announced, max: self.max_frame });
+        }
+        let total = HEADER_LEN + announced;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let msg = decode(&self.buf[..total])?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
 }
 
 #[cfg(test)]
@@ -765,6 +985,27 @@ mod tests {
             }),
             Message::Proof(sample_proof()),
             Message::Report(sample_report()),
+            Message::Issue(IssueMsg { request: 11, device: 42 }),
+            Message::Grant(GrantMsg {
+                request: 12,
+                body: ChallengeMsg {
+                    session: 5,
+                    device: 42,
+                    nonce: 6,
+                    deadline: 7,
+                    challenge: Challenge::derive(b"net", 1),
+                },
+            }),
+            Message::Submit(SubmitMsg { request: 13, body: sample_proof() }),
+            Message::Verdict(VerdictMsg { request: 14, body: sample_report() }),
+            Message::Reject(RejectMsg {
+                request: 15,
+                reason: RejectReason::Overloaded { pending: 1 << 33 },
+            }),
+            Message::Reject(RejectMsg {
+                request: 16,
+                reason: RejectReason::MalformedSubmission { detail: "torn frame".into() },
+            }),
             Message::BatchSummary(BatchSummary {
                 total: 3,
                 clean: 1,
@@ -885,5 +1126,81 @@ mod tests {
         assert_eq!(summary.wall_nanos, 5_000);
         assert_eq!(summary.outcomes[0].device, 77);
         assert_eq!(summary.outcomes[0].verdict, Verdict::Rejected);
+    }
+
+    #[test]
+    fn frame_reader_one_byte_at_a_time() {
+        // Socket reads arrive in arbitrary chunks; the worst case is one
+        // byte per read, with the length prefix split across feeds.
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            let mut reader = FrameReader::new(1 << 20);
+            for (i, &b) in bytes.iter().enumerate() {
+                reader.feed(&[b]);
+                let got = reader.poll().unwrap_or_else(|e| panic!("byte {i} of {msg:?}: {e}"));
+                if i + 1 < bytes.len() {
+                    assert!(got.is_none(), "byte {i} of {msg:?} completed early");
+                } else {
+                    assert_eq!(got.as_ref(), Some(&msg));
+                }
+            }
+            assert_eq!(reader.buffered(), 0);
+            assert_eq!(reader.poll(), Ok(None));
+        }
+    }
+
+    #[test]
+    fn frame_reader_many_frames_one_feed() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            stream.extend_from_slice(&encode(msg));
+        }
+        let mut reader = FrameReader::new(1 << 20);
+        reader.feed(&stream);
+        for msg in &msgs {
+            assert_eq!(reader.poll().unwrap().as_ref(), Some(msg));
+        }
+        assert_eq!(reader.poll(), Ok(None));
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_rejects_garbage_immediately() {
+        // A peer speaking the wrong protocol is refused on its first byte,
+        // not after a full header's worth of buffering.
+        let mut reader = FrameReader::new(1 << 20);
+        reader.feed(&[0xFF]);
+        assert_eq!(reader.poll(), Err(WireError::BadMagic));
+
+        let mut reader = FrameReader::new(1 << 20);
+        reader.feed(&[MAGIC[0], MAGIC[1], 0x7F]);
+        assert_eq!(reader.poll(), Err(WireError::UnsupportedVersion(0x7F)));
+    }
+
+    #[test]
+    fn frame_reader_caps_announced_length() {
+        // A 4 GiB length announcement must be refused at the header, long
+        // before any payload byte is buffered.
+        let mut header = encode(&sample_messages()[0])[..HEADER_LEN].to_vec();
+        header[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new(1 << 20);
+        reader.feed(&header);
+        assert_eq!(
+            reader.poll(),
+            Err(WireError::FrameTooLarge { announced: u32::MAX as usize, max: 1 << 20 })
+        );
+    }
+
+    #[test]
+    fn frame_reader_payload_errors_surface() {
+        // A complete frame with a corrupt payload fails decode through the
+        // reader just as it does through `decode` directly.
+        let mut bytes = encode(&Message::Proof(sample_proof()));
+        let exec_off = HEADER_LEN + 8 + 8 + 10;
+        bytes[exec_off] = 2;
+        let mut reader = FrameReader::new(1 << 20);
+        reader.feed(&bytes);
+        assert_eq!(reader.poll(), Err(WireError::BadBool(2)));
     }
 }

@@ -1,0 +1,262 @@
+//! The TCP frontend, end to end over loopback: honest round trips with
+//! request multiplexing, load shedding at the ingest watermark, graceful
+//! drain flushing every in-flight verdict, and wall-clock session expiry.
+
+use dialed::attest::DialedDevice;
+use dialed::pipeline::{BuildOptions, InstrumentedOp};
+use dialed::report::{RejectReason, Verdict};
+use fleet::wire::Message;
+use fleet::{DeviceId, Fleet, FleetConfig, NetClient, NetConfig, NetServer};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const OP_SRC: &str = "\
+    .org 0xE000\nop:\n mov r15, r10\n add r14, r10\n mov r10, &0x0060\n ret\n";
+
+/// A fleet with `n` registered devices and their device-side simulators.
+fn fleet_with_devices(n: u64, cfg: FleetConfig) -> (Fleet, Vec<(DeviceId, DialedDevice)>) {
+    let op = InstrumentedOp::build(OP_SRC, "op", &BuildOptions::default()).unwrap();
+    let mut fleet = Fleet::new(cfg);
+    let op_id = fleet.register_op("adder", op.clone(), vec![]);
+    let devices = (0..n)
+        .map(|seed| {
+            let id = fleet.register_device(op_id, seed).unwrap();
+            (id, DialedDevice::new(op.clone(), fleet.device_keystore(id).unwrap()))
+        })
+        .collect();
+    (fleet, devices)
+}
+
+fn proof_for(device: &mut DialedDevice, chal: &fleet::ChallengeMsg) -> fleet::ProofMsg {
+    device.invoke(&[0, 0, 0, 0, 0, 0, 2, 3]);
+    fleet::ProofMsg {
+        session: chal.session,
+        device: chal.device,
+        proof: device.prove(&chal.challenge),
+    }
+}
+
+#[test]
+fn honest_devices_round_trip_multiplexed() {
+    let (fleet, mut devices) = fleet_with_devices(
+        8,
+        FleetConfig { workers: Some(2), shards: 4, ..FleetConfig::default() },
+    );
+    let handle = NetServer::spawn(
+        fleet,
+        NetConfig { drain_interval: Duration::from_millis(10), ..NetConfig::default() },
+    )
+    .unwrap();
+
+    // All eight devices share one connection; pipeline every issue, then
+    // every submit, correlating replies by request id.
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let mut issue_reqs = HashMap::new();
+    for (i, (id, _)) in devices.iter().enumerate() {
+        issue_reqs.insert(client.issue(id.0).unwrap(), i);
+    }
+    let mut chals = HashMap::new();
+    for _ in 0..devices.len() {
+        match client.recv().unwrap() {
+            Message::Grant(g) => {
+                let i = issue_reqs[&g.request];
+                chals.insert(i, g.body);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    let mut submit_reqs = HashMap::new();
+    for (i, chal) in &chals {
+        let msg = proof_for(&mut devices[*i].1, chal);
+        submit_reqs.insert(client.submit(msg).unwrap(), *i);
+    }
+    let mut verdicts = 0;
+    for _ in 0..devices.len() {
+        match client.recv().unwrap() {
+            Message::Verdict(v) => {
+                let i = submit_reqs[&v.request];
+                assert_eq!(v.body.device, devices[i].0 .0, "verdict routed to wrong device");
+                assert_eq!(v.body.report.verdict, Verdict::Clean, "{:?}", v.body.report);
+                verdicts += 1;
+            }
+            other => panic!("expected verdict, got {other:?}"),
+        }
+    }
+    assert_eq!(verdicts, devices.len());
+
+    let (fleet, stats) = handle.shutdown().expect("no server thread may panic");
+    assert_eq!(stats.granted, 8);
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.verdicts, 8);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(fleet.pending(), 0, "graceful shutdown drains ingest");
+}
+
+#[test]
+fn submissions_past_the_watermark_are_shed() {
+    let (fleet, mut devices) = fleet_with_devices(
+        6,
+        FleetConfig { workers: Some(1), shards: 1, ..FleetConfig::default() },
+    );
+    // Tiny watermark, drains effectively disabled: the queue backs up and
+    // the shed path must answer with explicit backpressure.
+    let handle = NetServer::spawn(
+        fleet,
+        NetConfig {
+            shed_watermark: 2,
+            drain_interval: Duration::from_secs(3600),
+            drain_pending: usize::MAX,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for (id, device) in &mut devices {
+        let chal = client.request_challenge(id.0).unwrap().expect("grant");
+        let req = client.submit(proof_for(device, &chal)).unwrap();
+        // With drains off, replies to accepted submissions never arrive
+        // mid-run — only shed rejects do. Distinguish by queue position:
+        // the first `watermark` submissions are accepted silently.
+        if accepted.len() < 2 {
+            accepted.push(req);
+        } else {
+            match client.recv().unwrap() {
+                Message::Reject(r) => {
+                    assert_eq!(r.request, req);
+                    match r.reason {
+                        RejectReason::Overloaded { pending } => {
+                            assert_eq!(pending, 2, "shed reports the observed depth");
+                        }
+                        other => panic!("expected Overloaded, got {other:?}"),
+                    }
+                    shed += 1;
+                }
+                other => panic!("expected shed reject, got {other:?}"),
+            }
+        }
+    }
+    assert_eq!(shed, 4, "every submission past the watermark is shed");
+
+    // Graceful shutdown still owes the accepted two their verdicts.
+    let (_, stats) = handle.shutdown().expect("no server thread may panic");
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.submitted, 2);
+    let mut flushed = Vec::new();
+    loop {
+        match client.recv() {
+            Ok(Message::Verdict(v)) => flushed.push(v.request),
+            Ok(other) => panic!("expected verdict, got {other:?}"),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+    flushed.sort_unstable();
+    accepted.sort_unstable();
+    assert_eq!(flushed, accepted, "shutdown flushes exactly the accepted submissions");
+}
+
+#[test]
+fn graceful_drain_loses_no_inflight_verdict() {
+    let n = 24u64;
+    let (fleet, mut devices) = fleet_with_devices(
+        n,
+        FleetConfig { workers: Some(2), shards: 4, ..FleetConfig::default() },
+    );
+    // Drains disabled: every verdict owed at shutdown is still queued.
+    let handle = NetServer::spawn(
+        fleet,
+        NetConfig {
+            drain_interval: Duration::from_secs(3600),
+            drain_pending: usize::MAX,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let mut submit_reqs = Vec::new();
+    for (id, device) in &mut devices {
+        let chal = client.request_challenge(id.0).unwrap().expect("grant");
+        submit_reqs.push(client.submit(proof_for(device, &chal)).unwrap());
+    }
+    // Barrier: one more issue. Its grant proves the core has consumed
+    // every pipelined submit ahead of it on this connection.
+    let _ = client.request_challenge(devices[0].0 .0).unwrap().expect("grant");
+
+    let (fleet, stats) = handle.shutdown().expect("no server thread may panic");
+    assert_eq!(stats.submitted, n, "all submissions were accepted before shutdown");
+    assert_eq!(stats.verdicts, n, "the final drain emitted every in-flight verdict");
+
+    let mut flushed: Vec<u64> = Vec::new();
+    loop {
+        match client.recv() {
+            Ok(Message::Verdict(v)) => {
+                assert_eq!(v.body.report.verdict, Verdict::Clean);
+                flushed.push(v.request);
+            }
+            Ok(other) => panic!("expected verdict, got {other:?}"),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+    flushed.sort_unstable();
+    submit_reqs.sort_unstable();
+    assert_eq!(flushed, submit_reqs, "every accepted submission got its verdict frame");
+    assert_eq!(fleet.pending(), 0);
+}
+
+#[test]
+fn sessions_expire_on_the_wall_clock() {
+    // 5 ms ticks and the default 64-tick TTL: challenges die ~320 ms
+    // after issue, driven purely by the server's drain timer.
+    let (fleet, mut devices) = fleet_with_devices(
+        1,
+        FleetConfig { workers: Some(1), shards: 1, ..FleetConfig::default() },
+    );
+    let handle = NetServer::spawn(
+        fleet,
+        NetConfig {
+            tick: Duration::from_millis(5),
+            drain_interval: Duration::from_millis(10),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let (id, device) = &mut devices[0];
+    let chal = client.request_challenge(id.0).unwrap().expect("grant");
+    std::thread::sleep(Duration::from_millis(600));
+    let req = client.submit(proof_for(device, &chal)).unwrap();
+    match client.recv().unwrap() {
+        Message::Reject(r) => {
+            assert_eq!(r.request, req);
+            assert!(
+                matches!(r.reason, RejectReason::SessionViolation { .. }),
+                "expired challenge must reject at the session layer: {:?}",
+                r.reason
+            );
+        }
+        other => panic!("expected expiry reject, got {other:?}"),
+    }
+
+    // A fresh challenge still works: expiry killed the session, not the
+    // device or the connection.
+    let chal = client.request_challenge(id.0).unwrap().expect("grant");
+    let req = client.submit(proof_for(device, &chal)).unwrap();
+    match client.recv().unwrap() {
+        Message::Verdict(v) => {
+            assert_eq!(v.request, req);
+            assert_eq!(v.body.report.verdict, Verdict::Clean);
+        }
+        other => panic!("expected verdict, got {other:?}"),
+    }
+
+    let (_, stats) = handle.shutdown().expect("no server thread may panic");
+    assert!(stats.session_rejects >= 1);
+    assert!(stats.drains >= 2, "the wall clock must have driven idle drains");
+}

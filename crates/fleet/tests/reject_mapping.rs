@@ -81,6 +81,20 @@ fn every_crypto_failure_class_maps_losslessly() {
 }
 
 #[test]
+fn overload_shedding_is_a_distinct_reject_class() {
+    // Backpressure is not a verdict on the proof: it must stay its own
+    // matchable variant (devices retry on it; they must NOT retry on,
+    // say, MacMismatch) and carry the observed queue depth.
+    let reason = RejectReason::Overloaded { pending: 4096 };
+    assert_eq!(reason.to_string(), "service overloaded: 4096 submissions queued, retry later");
+    let report = Report::rejected(reason.clone());
+    assert_eq!(report.verdict, Verdict::Rejected);
+    let msg = ReportMsg { session: 0, device: 0, report };
+    let decoded = wire::decode(&wire::encode(&Message::Report(msg.clone())));
+    assert_eq!(decoded, Ok(Message::Report(msg)));
+}
+
+#[test]
 fn failed_submissions_become_wire_ready_rejection_reports() {
     let mut fleet = Fleet::new(FleetConfig::default());
 
