@@ -65,6 +65,36 @@ pub struct PoxProof {
     pub tag: Digest,
 }
 
+impl PoxProof {
+    /// Recomputes the tag over this proof's *current* contents under the
+    /// device key — the adversarial reseal hook for the mutation engine.
+    ///
+    /// This models the strongest software adversary of the paper's model:
+    /// compromised application code that holds no key material itself but
+    /// can invoke SW-Att over tampered OR contents, region metadata or the
+    /// EXEC byte it controls. A resealed proof always passes the MAC check,
+    /// so mutations applied before resealing probe the *semantic* layers of
+    /// verification (structure checks, abstract execution, OR comparison,
+    /// policies) instead of dying at the tag compare.
+    ///
+    /// `er_bytes` must span exactly `cfg.er_min..=cfg.er_max` — the code
+    /// image the MAC covers (tamper with a copy of it to model stale-image
+    /// attestation).
+    pub fn reseal(&mut self, keystore: KeyStore, challenge: &Challenge, er_bytes: &[u8]) {
+        let mut extra = [0u8; 11];
+        extra[..10].copy_from_slice(&self.cfg.to_metadata_bytes());
+        extra[10] = u8::from(self.exec);
+        self.tag = SwAtt::new(keystore).attest_region_bytes(
+            challenge,
+            &[
+                (self.cfg.er_min, self.cfg.er_max, er_bytes),
+                (self.cfg.or_min, self.cfg.or_max, &self.or_data),
+            ],
+            &extra,
+        );
+    }
+}
+
 /// Outcome of running one attested operation on the device.
 #[derive(Debug)]
 pub struct RunOutcome {

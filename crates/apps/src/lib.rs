@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod fire_sensor;
+pub mod lifecycle;
 pub mod syringe_pump;
 pub mod ultrasonic_ranger;
 

@@ -1,0 +1,194 @@
+//! Firmware-lifecycle descriptors for the device simulator.
+//!
+//! A real deployed device does not run one invocation against one fixed
+//! stimulus: it cycles through duty periods (sensor poll → compute → log →
+//! attest), receives configuration updates over its management channel,
+//! and occasionally reboots into a freshly flashed firmware image. Each
+//! [`LifecycleSpec`] captures those three axes for one evaluation app, so
+//! the `simdev` crate can drive realistic multi-round sessions through the
+//! real emulated stack:
+//!
+//! * **stimuli** — a rotation of nominal peripheral feeds (different
+//!   sensor readings, different management packets), all of which an
+//!   honest device must attest cleanly;
+//! * **config updates** — writes to a *data* global outside the executable
+//!   region. The new value reaches the verifier through the I-Log, so
+//!   honest config churn never perturbs verification — and the simulator
+//!   leans on exactly that to assert config updates are not false
+//!   positives;
+//! * **OTA patch** — a one-site source edit *inside* the operation's code.
+//!   Building the patched source yields the "V2" firmware image: flashing
+//!   it honestly re-binds the verifier's expected-ER digest, while a
+//!   device still attesting with V1 after the fleet rolled to V2 is the
+//!   stale-image attack and must die as a MAC mismatch.
+
+use crate::{fire_sensor, syringe_pump, ultrasonic_ranger, Scenario};
+use dialed::pipeline::{InstrumentMode, InstrumentedOp};
+use msp430::platform::Platform;
+
+/// A configuration update a device receives mid-lifecycle: one word
+/// written to a data global (outside ER), cycled through `values`.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigUpdate {
+    /// The global's address.
+    pub addr: u16,
+    /// Values the management plane cycles through. Every value must keep
+    /// the app's behaviour safe (honest lifecycles always verify).
+    pub values: &'static [u16],
+}
+
+/// One app's lifecycle description: duty-cycle stimuli, config churn, and
+/// the V2 firmware patch.
+pub struct LifecycleSpec {
+    /// The underlying evaluation scenario (source, entry label, args,
+    /// policies).
+    pub scenario: Scenario,
+    /// Rotation of honest peripheral feeds, applied round-robin across
+    /// duty cycles. Never empty.
+    pub stimuli: &'static [fn(&mut Platform)],
+    /// Management-plane config update, when the app has a config global.
+    pub config: Option<ConfigUpdate>,
+    /// `(needle, replacement)` applied once to the source to produce the
+    /// V2 firmware image. The needle is a code site inside ER, so V1 and
+    /// V2 differ in their expected-ER digests.
+    pub ota_patch: (&'static str, &'static str),
+}
+
+impl LifecycleSpec {
+    /// The V2 (post-OTA) firmware source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch needle is missing from the scenario source or
+    /// the patch is a no-op (a stale spec — caught in tests).
+    #[must_use]
+    pub fn v2_source(&self) -> String {
+        let (needle, replacement) = self.ota_patch;
+        assert!(
+            self.scenario.source.contains(needle),
+            "{}: OTA patch needle {needle:?} not in source",
+            self.scenario.name
+        );
+        assert_ne!(needle, replacement, "{}: OTA patch is a no-op", self.scenario.name);
+        self.scenario.source.replacen(needle, replacement, 1)
+    }
+
+    /// Builds the V2 firmware in the requested instrumentation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patched source fails to build (a bug in this crate).
+    #[must_use]
+    pub fn build_v2(&self, mode: InstrumentMode) -> InstrumentedOp {
+        InstrumentedOp::build(
+            &self.v2_source(),
+            self.scenario.op_label,
+            &crate::app_build_options(mode),
+        )
+        .unwrap_or_else(|e| panic!("{} v2 failed to build: {e}", self.scenario.name))
+    }
+
+    /// The stimulus for duty-cycle `round` (round-robin rotation).
+    #[must_use]
+    pub fn stimulus(&self, round: usize) -> fn(&mut Platform) {
+        self.stimuli[round % self.stimuli.len()]
+    }
+
+    /// The config value for `round`, if the app has a config global.
+    #[must_use]
+    pub fn config_for(&self, round: usize) -> Option<(u16, u16)> {
+        self.config.map(|c| (c.addr, c.values[round % c.values.len()]))
+    }
+}
+
+/// Warm stimulus: ~45 °C, just under the default 50 °C threshold.
+fn fire_feed_warm(platform: &mut Platform) {
+    platform.adc.feed(&[fire_sensor::raw_for_temp(45), 0x0680]);
+}
+
+/// A different safe management packet: `settings[3] = 5` (dose stays 5).
+fn syringe_feed_alt(platform: &mut Platform) {
+    platform.uart.feed(&[3, 5]);
+}
+
+/// A dose-lowering packet: `settings[1] = 2` (dose drops to 4, still
+/// administered).
+fn syringe_feed_low(platform: &mut Platform) {
+    platform.uart.feed(&[1, 2]);
+}
+
+/// The lifecycle descriptors for all three evaluation apps.
+#[must_use]
+pub fn lifecycles() -> Vec<LifecycleSpec> {
+    vec![
+        LifecycleSpec {
+            scenario: syringe_pump::scenario(),
+            stimuli: &[syringe_pump::feed_nominal, syringe_feed_alt, syringe_feed_low],
+            config: Some(ConfigUpdate {
+                // settings[0]: every value keeps the dose under the safety
+                // bound (sum >> 3 < 10).
+                addr: syringe_pump::SETTINGS_ADDR,
+                values: &[5, 4, 6, 3],
+            }),
+            // V2 tightens the overdose bound from 10 to 9 — a code change
+            // inside ER; nominal doses (≤ 5) behave identically.
+            ota_patch: ("cmp #10, r12", "cmp #9, r12"),
+        },
+        LifecycleSpec {
+            scenario: fire_sensor::scenario(),
+            stimuli: &[fire_sensor::feed_nominal, fire_feed_warm, fire_sensor::feed_hot],
+            config: Some(ConfigUpdate {
+                // Alarm threshold in °C; stimuli on either side of each
+                // value keep both branch outcomes exercised.
+                addr: fire_sensor::THRESH_ADDR,
+                values: &[50, 60, 42, 75],
+            }),
+            // V2 recalibrates the sensor offset from 40 to 41 — inside ER.
+            ota_patch: ("sub #40, r12", "sub #41, r12"),
+        },
+        LifecycleSpec {
+            scenario: ultrasonic_ranger::scenario(),
+            stimuli: &[ultrasonic_ranger::feed_nominal, ultrasonic_ranger::feed_close],
+            config: None,
+            // V2 extends the echo timeout from 200 to 220 polls — inside
+            // ER; nominal echoes (≤ 120 polls) behave identically.
+            ota_patch: ("cmp #200, r9", "cmp #220, r9"),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_images_build_and_differ_from_v1_inside_er() {
+        for lc in lifecycles() {
+            let v1 = lc.scenario.build(InstrumentMode::Full);
+            let v2 = lc.build_v2(InstrumentMode::Full);
+            assert_eq!(v1.pox, v2.pox, "{}: regions must not move", lc.scenario.name);
+            assert_ne!(
+                v1.er_bytes, v2.er_bytes,
+                "{}: the OTA patch must change the attested code",
+                lc.scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn config_values_land_outside_er() {
+        for lc in lifecycles() {
+            let op = lc.scenario.build(InstrumentMode::Full);
+            if let Some(c) = lc.config {
+                assert!(
+                    c.addr < op.pox.er_min || c.addr > op.pox.er_max,
+                    "{}: config global {:#06x} must be data, not code",
+                    lc.scenario.name,
+                    c.addr,
+                );
+                assert!(!c.values.is_empty());
+            }
+            assert!(!lc.stimuli.is_empty());
+        }
+    }
+}

@@ -83,9 +83,11 @@ pub use attest::{DialedDevice, DialedProof, RunInfo};
 pub use batch::{BatchJob, BatchVerifier};
 pub use pass::{DfaConfig, ReadCheckPolicy};
 pub use pipeline::{BuildOptions, InstrumentedOp};
-pub use report::{BatchOutcome, BatchReport, BatchStats, Finding, RejectReason, Report, Verdict};
+pub use report::{
+    BatchOutcome, BatchReport, BatchStats, Finding, RejectClass, RejectReason, Report, Verdict,
+};
 pub use request::{KeySource, PerDevice, StaticKeys, Verifier, VerifyRequest};
-pub use verifier::{DialedVerifier, EmuWorkspace};
+pub use verifier::{DialedVerifier, EmuWorkspace, SlotClass};
 
 /// Convenient re-exports for end-to-end users.
 pub mod prelude {
@@ -94,7 +96,7 @@ pub mod prelude {
     pub use crate::pipeline::{BuildOptions, InstrumentedOp};
     pub use crate::policy::{ActuationPulse, GlobalWriteBounds, Policy};
     pub use crate::report::{
-        BatchOutcome, BatchReport, BatchStats, Finding, RejectReason, Report, Verdict,
+        BatchOutcome, BatchReport, BatchStats, Finding, RejectClass, RejectReason, Report, Verdict,
     };
     pub use crate::request::{KeySource, PerDevice, StaticKeys, Verifier, VerifyRequest};
     pub use crate::verifier::{DialedVerifier, EmuWorkspace};

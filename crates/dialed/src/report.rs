@@ -60,6 +60,112 @@ pub enum RejectReason {
     },
 }
 
+/// The payload-free classification of a [`RejectReason`] — one class per
+/// variant, with the detail fields (device ids, human-readable strings,
+/// queue depths) stripped.
+///
+/// The mutation-oracle and accounting layers need to say "this mutant must
+/// die as a MAC mismatch" or "count session-layer rejects" without caring
+/// which device or which detail string was involved; comparing full
+/// [`RejectReason`] values would make every expectation depend on
+/// free-text. `RejectClass` is `Copy`, `Eq` and densely indexable
+/// ([`RejectClass::index`]), so per-class counters are a flat array.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RejectClass {
+    /// [`RejectReason::RegionMismatch`].
+    Region,
+    /// [`RejectReason::ExecClear`].
+    Exec,
+    /// [`RejectReason::ErLengthMismatch`].
+    ErLength,
+    /// [`RejectReason::OrLengthMismatch`].
+    OrLength,
+    /// [`RejectReason::MacMismatch`].
+    Mac,
+    /// [`RejectReason::NotFullyInstrumented`].
+    NotInstrumented,
+    /// [`RejectReason::UnknownKey`].
+    UnknownKey,
+    /// [`RejectReason::MalformedSubmission`].
+    Malformed,
+    /// [`RejectReason::SessionViolation`].
+    Session,
+    /// [`RejectReason::UnknownPrincipal`].
+    Principal,
+    /// [`RejectReason::Overloaded`].
+    Overloaded,
+}
+
+impl RejectClass {
+    /// Every class, in wire-tag order (the order of
+    /// [`RejectReason`]'s variants).
+    pub const ALL: [RejectClass; 11] = [
+        RejectClass::Region,
+        RejectClass::Exec,
+        RejectClass::ErLength,
+        RejectClass::OrLength,
+        RejectClass::Mac,
+        RejectClass::NotInstrumented,
+        RejectClass::UnknownKey,
+        RejectClass::Malformed,
+        RejectClass::Session,
+        RejectClass::Principal,
+        RejectClass::Overloaded,
+    ];
+
+    /// Dense index of this class within [`RejectClass::ALL`] — stable, and
+    /// equal to the variant's wire tag.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable label ("mac", "session", …) for corpus case files and
+    /// counter displays.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectClass::Region => "region",
+            RejectClass::Exec => "exec",
+            RejectClass::ErLength => "er-length",
+            RejectClass::OrLength => "or-length",
+            RejectClass::Mac => "mac",
+            RejectClass::NotInstrumented => "not-instrumented",
+            RejectClass::UnknownKey => "unknown-key",
+            RejectClass::Malformed => "malformed",
+            RejectClass::Session => "session",
+            RejectClass::Principal => "principal",
+            RejectClass::Overloaded => "overloaded",
+        }
+    }
+}
+
+impl fmt::Display for RejectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl RejectReason {
+    /// This reason's payload-free [`RejectClass`].
+    #[must_use]
+    pub fn class(&self) -> RejectClass {
+        match self {
+            RejectReason::RegionMismatch => RejectClass::Region,
+            RejectReason::ExecClear => RejectClass::Exec,
+            RejectReason::ErLengthMismatch => RejectClass::ErLength,
+            RejectReason::OrLengthMismatch => RejectClass::OrLength,
+            RejectReason::MacMismatch => RejectClass::Mac,
+            RejectReason::NotFullyInstrumented => RejectClass::NotInstrumented,
+            RejectReason::UnknownKey { .. } => RejectClass::UnknownKey,
+            RejectReason::MalformedSubmission { .. } => RejectClass::Malformed,
+            RejectReason::SessionViolation { .. } => RejectClass::Session,
+            RejectReason::UnknownPrincipal { .. } => RejectClass::Principal,
+            RejectReason::Overloaded { .. } => RejectClass::Overloaded,
+        }
+    }
+}
+
 impl From<PoxRejection> for RejectReason {
     fn from(r: PoxRejection) -> Self {
         match r {
@@ -373,6 +479,33 @@ impl fmt::Display for BatchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_reason_maps_onto_its_class_and_indexes_densely() {
+        let reasons = [
+            RejectReason::RegionMismatch,
+            RejectReason::ExecClear,
+            RejectReason::ErLengthMismatch,
+            RejectReason::OrLengthMismatch,
+            RejectReason::MacMismatch,
+            RejectReason::NotFullyInstrumented,
+            RejectReason::UnknownKey { device: 3 },
+            RejectReason::MalformedSubmission { detail: "x".into() },
+            RejectReason::SessionViolation { detail: "y".into() },
+            RejectReason::UnknownPrincipal { detail: "z".into() },
+            RejectReason::Overloaded { pending: 9 },
+        ];
+        assert_eq!(reasons.len(), RejectClass::ALL.len());
+        for (i, reason) in reasons.iter().enumerate() {
+            assert_eq!(reason.class(), RejectClass::ALL[i]);
+            assert_eq!(reason.class().index(), i);
+        }
+        // Labels are distinct (corpus case files key on them).
+        let mut labels: Vec<_> = RejectClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), RejectClass::ALL.len());
+    }
 
     #[test]
     fn display_forms() {

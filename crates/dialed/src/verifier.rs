@@ -367,6 +367,25 @@ fn inject(cpu: &mut Cpu, ram: &mut Ram, or_stack: &OrStack<'_>, or_min: u16) {
     }
 }
 
+/// What one word slot of the output region holds, according to the
+/// verifier's own reconstruction — see [`DialedVerifier::or_slot_classes`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotClass {
+    /// Log-head entry (saved SP base or one of the eight argument
+    /// registers), written by the entry block's instrumentation.
+    Head,
+    /// CF-Log entry (call/return/branch record) — *recomputed* by abstract
+    /// execution, so an authenticated splice of such a slot is guaranteed
+    /// to surface as a [`Finding::LogDivergence`].
+    ControlFlow,
+    /// I-Log entry (a logged data input) — *injected* into the emulated
+    /// memory, so forging it only shows up if the forged value changes
+    /// behaviour that reaches the OR (e.g. flips a logged branch).
+    Input,
+    /// Never written during reconstruction (below the log watermark).
+    Unused,
+}
+
 /// The DIALED verifier: PoX check + abstract execution + policies.
 #[derive(Debug)]
 pub struct DialedVerifier {
@@ -420,6 +439,42 @@ impl DialedVerifier {
             device_or,
             self.emu_budget,
         )
+    }
+
+    /// Classifies every word slot of `device_or` by what the verifier's own
+    /// reconstruction writes there: log-head, CF-Log, I-Log, or unused.
+    ///
+    /// This is the mutation engine's targeting map. The security argument
+    /// differs per class — CF slots are recomputed (any authenticated
+    /// splice must diverge), input slots are injected (forging one is only
+    /// caught through its behavioural consequences), head slots seed the
+    /// emulated initial state (forging one is indistinguishable from an
+    /// honest run with different arguments) — so an oracle asserting "this
+    /// mutant must be rejected" has to know which kind of slot it hit.
+    ///
+    /// Index `i` of the returned vector covers OR bytes `2*i..2*i + 2`
+    /// (from `or_min`). The map is derived from a full reconstruction of
+    /// `device_or`, so call it with the honest snapshot being mutated.
+    #[must_use]
+    pub fn or_slot_classes(&self, device_or: &[u8]) -> Vec<SlotClass> {
+        let emu = self.reconstruct(device_or);
+        let pox = self.op.pox;
+        let mut classes = vec![SlotClass::Unused; pox.or_len() / 2];
+        for step in emu.trace.steps() {
+            for w in step.writes() {
+                if w.addr >= pox.or_min && w.addr <= pox.or_max {
+                    let idx = usize::from(w.addr - pox.or_min) / 2;
+                    classes[idx] = if self.sites.is_input(step.pc) {
+                        SlotClass::Input
+                    } else if self.sites.is_arg(step.pc) {
+                        SlotClass::Head
+                    } else {
+                        SlotClass::ControlFlow
+                    };
+                }
+            }
+        }
+        classes
     }
 }
 
@@ -659,6 +714,61 @@ mod tests {
         assert_eq!(report.verdict, Verdict::Rejected);
         assert!(
             matches!(report.findings[0], Finding::OrHeadTruncated { capacity: 8, required: 9 }),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn slot_classes_cover_head_cf_and_input_entries() {
+        // Reads P1IN (input log), loops (cf log), and has the 9-word head.
+        let src = "\
+            .org 0xE000\nop:\n mov.b &0x0020, r14\n mov #3, r10\nloop:\n dec r10\n jnz loop\n mov.b r14, &0x0019\n ret\n";
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(21);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        dev.platform_mut().gpio.p1.input = 0x5A;
+        dev.invoke(&[0; 8]);
+        let proof = dev.prove(&Challenge::derive(b"slots", 0));
+        let verifier = DialedVerifier::new(op.clone(), ks);
+        let classes = verifier.or_slot_classes(&proof.pox.or_data);
+        assert_eq!(classes.len(), op.pox.or_len() / 2);
+        let count = |c: SlotClass| classes.iter().filter(|&&x| x == c).count();
+        assert_eq!(count(SlotClass::Head), LOG_HEAD_WORDS);
+        assert_eq!(count(SlotClass::Input), 1, "one P1IN read");
+        assert!(count(SlotClass::ControlFlow) >= 4, "3 loop branches + ret");
+        assert!(count(SlotClass::Unused) > 0, "OR is larger than the log");
+        // The head occupies the topmost slots (r_top downwards).
+        let top = usize::from(op.r_top() - op.pox.or_min) / 2;
+        for i in 0..LOG_HEAD_WORDS {
+            assert_eq!(classes[top - i], SlotClass::Head, "head slot {i}");
+        }
+    }
+
+    #[test]
+    fn resealed_cf_splice_passes_mac_but_diverges() {
+        // The reseal hook models compromised software invoking SW-Att over
+        // a tampered OR: the MAC verifies, and the tamper must instead die
+        // in abstract execution as a log divergence.
+        let src = "\
+            .org 0xE000\nop:\n mov #4, r10\nloop:\n dec r10\n jnz loop\n mov r10, &0x0060\n ret\n";
+        let op = InstrumentedOp::build(src, "op", &BuildOptions::default()).unwrap();
+        let ks = KeyStore::from_seed(22);
+        let mut dev = DialedDevice::new(op.clone(), ks.clone());
+        dev.invoke(&[0; 8]);
+        let chal = Challenge::derive(b"reseal", 0);
+        let mut proof = dev.prove(&chal);
+        let verifier = DialedVerifier::new(op.clone(), ks.clone());
+        let classes = verifier.or_slot_classes(&proof.pox.or_data);
+        let slot = classes
+            .iter()
+            .position(|&c| c == SlotClass::ControlFlow)
+            .expect("loop op must log cf entries");
+        proof.pox.or_data[slot * 2] ^= 0x3C;
+        proof.pox.reseal(ks.clone(), &chal, &op.er_bytes);
+        let report = verifier.verify(&VerifyRequest::new(&proof, &chal));
+        assert_eq!(report.verdict, Verdict::Attack, "{report}");
+        assert!(
+            report.findings.iter().any(|f| matches!(f, Finding::LogDivergence { .. })),
             "{report}"
         );
     }

@@ -188,10 +188,9 @@ fn dispatch(
 /// the error belongs to the connection, not to any request).
 fn protocol_reject(reply_tx: &Sender<Vec<u8>>, shared: &Arc<Shared>, detail: &str) {
     bump(&shared.stats.protocol_errors);
-    let frame = wire::encode(&Message::Reject(RejectMsg {
-        request: 0,
-        reason: RejectReason::MalformedSubmission { detail: detail.to_string() },
-    }));
+    let reason = RejectReason::MalformedSubmission { detail: detail.to_string() };
+    shared.stats.note_reject(&reason);
+    let frame = wire::encode(&Message::Reject(RejectMsg { request: 0, reason }));
     let _ = reply_tx.send(frame);
 }
 

@@ -111,6 +111,29 @@ impl NetServerHandle {
         self.shared.active_conns.load(Ordering::Acquire)
     }
 
+    /// Runs a management-plane operation against the live fleet on the
+    /// core thread — serialized with client traffic, never concurrent
+    /// with it — and blocks until it has been applied, returning its
+    /// result. `None` if the server is already shutting down.
+    ///
+    /// This is how an operator deregisters a device (or rotates the
+    /// provisioning epoch) while networked sessions are open: any
+    /// in-flight submission racing the change is answered with a
+    /// structured session reject, exactly as the in-process API would.
+    pub fn admin<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Fleet) -> R + Send + 'static,
+    {
+        let core_tx = self.core_tx.as_ref()?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let wrapped = Box::new(move |fleet: &mut Fleet| {
+            let _ = tx.send(f(fleet));
+        });
+        core_tx.send(CoreMsg::Admin(wrapped)).ok()?;
+        rx.recv().ok()
+    }
+
     /// Graceful drain:
     ///
     /// 1. raise the stop flag — the acceptor refuses new connections;

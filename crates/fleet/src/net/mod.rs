@@ -38,8 +38,8 @@
 //! * **Load shedding.** Before accepting a submission the core compares
 //!   the target shard's [`ingest_depth`](crate::Shard::ingest_depth)
 //!   against [`NetConfig::shed_watermark`] and answers
-//!   [`RejectReason::Overloaded`](dialed::report::RejectReason::Overloaded)
-//!   — explicit backpressure instead of unbounded queueing.
+//!   [`RejectReason::Overloaded`] — explicit backpressure instead of
+//!   unbounded queueing.
 //! * **Wall clock → logical clock.** The fleet's deadlines are logical
 //!   ticks; the core derives `now` from elapsed wall time
 //!   ([`NetConfig::tick`]) and runs a drain at least every
@@ -67,6 +67,7 @@ pub use drain::NetServerHandle;
 pub use server::NetServer;
 
 use crate::wire::ProofMsg;
+use dialed::report::{RejectClass, RejectReason};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::time::Duration;
@@ -155,6 +156,27 @@ pub struct NetStats {
     pub expired: u64,
     /// Drain passes run by the core.
     pub drains: u64,
+    /// Every rejection this server produced, bucketed by
+    /// [`RejectClass`] (indexed by [`RejectClass::index`]). Counts both
+    /// pre-verification rejects (session violations, shed submissions,
+    /// protocol errors, expiry) and post-drain verifier rejections, so a
+    /// corpus replay over the network can account for every expected
+    /// reject class exactly.
+    pub rejects_by_class: [u64; RejectClass::ALL.len()],
+}
+
+impl NetStats {
+    /// Rejections recorded for one [`RejectClass`].
+    #[must_use]
+    pub fn rejects_for(&self, class: RejectClass) -> u64 {
+        self.rejects_by_class[class.index()]
+    }
+
+    /// Total rejections across every class.
+    #[must_use]
+    pub fn total_rejects(&self) -> u64 {
+        self.rejects_by_class.iter().sum()
+    }
 }
 
 impl std::fmt::Display for NetStats {
@@ -176,7 +198,16 @@ impl std::fmt::Display for NetStats {
             self.verdicts,
             self.protocol_errors,
             self.drains,
-        )
+        )?;
+        let mut sep = ", rejects by class: ";
+        for class in RejectClass::ALL {
+            let n = self.rejects_for(class);
+            if n > 0 {
+                write!(f, "{sep}{class} {n}")?;
+                sep = ", ";
+            }
+        }
+        Ok(())
     }
 }
 
@@ -195,9 +226,18 @@ pub(crate) struct StatsInner {
     pub(crate) verdicts: AtomicU64,
     pub(crate) expired: AtomicU64,
     pub(crate) drains: AtomicU64,
+    pub(crate) rejects_by_class: [AtomicU64; RejectClass::ALL.len()],
 }
 
 impl StatsInner {
+    /// Buckets one rejection under its [`RejectClass`]. Every code path
+    /// that emits a reject frame (or counts a shed connection) calls this
+    /// exactly once, so the per-class counters sum to the rejects the
+    /// server actually produced.
+    pub(crate) fn note_reject(&self, reason: &RejectReason) {
+        bump(&self.rejects_by_class[reason.class().index()]);
+    }
+
     pub(crate) fn snapshot(&self) -> NetStats {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         NetStats {
@@ -213,6 +253,7 @@ impl StatsInner {
             verdicts: get(&self.verdicts),
             expired: get(&self.expired),
             drains: get(&self.drains),
+            rejects_by_class: std::array::from_fn(|i| get(&self.rejects_by_class[i])),
         }
     }
 }
@@ -247,7 +288,6 @@ impl Shared {
 
 /// Commands from connection readers (and the acceptor) to the core
 /// thread, which is the sole owner of the [`Fleet`](crate::Fleet).
-#[derive(Debug)]
 pub(crate) enum CoreMsg {
     /// A connection came up; `reply` feeds its writer thread.
     Register { conn: u64, reply: Sender<Vec<u8>> },
@@ -260,4 +300,35 @@ pub(crate) enum CoreMsg {
     /// verdicts. *Not* sent when a reader quiesces for shutdown: those
     /// connections stay registered so the final drain can still deliver.
     ConnClosed { conn: u64 },
+    /// A management-plane operation against the live fleet (device
+    /// deregistration, epoch rotation, …), run on the core thread between
+    /// client requests — serialized with them, never concurrent. See
+    /// [`NetServerHandle::admin`].
+    Admin(Box<dyn FnOnce(&mut crate::Fleet) + Send>),
+}
+
+impl std::fmt::Debug for CoreMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreMsg::Register { conn, .. } => {
+                f.debug_struct("Register").field("conn", conn).finish_non_exhaustive()
+            }
+            CoreMsg::Issue { conn, request, device } => f
+                .debug_struct("Issue")
+                .field("conn", conn)
+                .field("request", request)
+                .field("device", device)
+                .finish(),
+            CoreMsg::Submit { conn, request, body } => f
+                .debug_struct("Submit")
+                .field("conn", conn)
+                .field("request", request)
+                .field("session", &body.session)
+                .finish_non_exhaustive(),
+            CoreMsg::ConnClosed { conn } => {
+                f.debug_struct("ConnClosed").field("conn", conn).finish()
+            }
+            CoreMsg::Admin(_) => f.debug_struct("Admin").finish_non_exhaustive(),
+        }
+    }
 }

@@ -103,10 +103,9 @@ fn accept_loop(
 /// Tells a connection past the cap why it is being turned away: one
 /// `Overloaded` reject frame, best-effort, then close.
 fn shed_connection(mut sock: TcpStream, active: u64, shared: &Arc<Shared>) {
-    let frame = wire::encode(&Message::Reject(RejectMsg {
-        request: 0,
-        reason: RejectReason::Overloaded { pending: active },
-    }));
+    let reason = RejectReason::Overloaded { pending: active };
+    shared.stats.note_reject(&reason);
+    let frame = wire::encode(&Message::Reject(RejectMsg { request: 0, reason }));
     let _ = sock.set_write_timeout(Some(shared.cfg.poll_interval));
     if sock.write_all(&frame).is_ok() {
         bump(&shared.stats.frames_out);
@@ -182,6 +181,7 @@ impl Core {
                 // Undeliverable verdicts die with the connection.
                 self.inflight.retain(|_, &mut (c, _)| c != conn);
             }
+            CoreMsg::Admin(f) => f(&mut self.fleet),
             CoreMsg::Issue { conn, request, device } => {
                 match self.fleet.issue(DeviceId(device), now) {
                     Ok(body) => {
@@ -244,6 +244,20 @@ impl Core {
                 SessionState::Verified | SessionState::Rejected => {
                     if let Some(body) = fleet.report_msg(SessionId(session)) {
                         bump(&stats.verdicts);
+                        // A rejected verdict is a reject the server
+                        // produced: bucket it under the verifier's own
+                        // reason class so network replays can account
+                        // for every expected rejection exactly.
+                        if s.state == SessionState::Rejected {
+                            if let Some(reason) =
+                                body.report.findings.iter().find_map(|f| match f {
+                                    dialed::report::Finding::PoxRejected { reason } => Some(reason),
+                                    _ => None,
+                                })
+                            {
+                                stats.note_reject(reason);
+                            }
+                        }
                         send_to(
                             replies,
                             stats,
@@ -257,6 +271,7 @@ impl Core {
                     bump(&stats.expired);
                     let reason =
                         RejectReason::from(crate::SessionError::Expired { deadline: s.deadline });
+                    stats.note_reject(&reason);
                     send_to(replies, stats, conn, &Message::Reject(RejectMsg { request, reason }));
                     false
                 }
@@ -270,6 +285,7 @@ impl Core {
     }
 
     fn reject(&self, conn: u64, request: u64, reason: RejectReason) {
+        self.shared.stats.note_reject(&reason);
         self.send(conn, &Message::Reject(RejectMsg { request, reason }));
     }
 }

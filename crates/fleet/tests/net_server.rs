@@ -4,7 +4,7 @@
 
 use dialed::attest::DialedDevice;
 use dialed::pipeline::{BuildOptions, InstrumentedOp};
-use dialed::report::{RejectReason, Verdict};
+use dialed::report::{RejectClass, RejectReason, Verdict};
 use fleet::wire::Message;
 use fleet::{DeviceId, Fleet, FleetConfig, NetClient, NetConfig, NetServer};
 use std::collections::HashMap;
@@ -259,4 +259,74 @@ fn sessions_expire_on_the_wall_clock() {
     let (_, stats) = handle.shutdown().expect("no server thread may panic");
     assert!(stats.session_rejects >= 1);
     assert!(stats.drains >= 2, "the wall clock must have driven idle drains");
+}
+
+#[test]
+fn deregistration_races_an_open_networked_session() {
+    // A device is deregistered (decommissioned, key revoked) while one of
+    // its sessions is open over a live connection. The late submit must
+    // get a structured session reject — not a panic, not a dropped
+    // connection — and the connection must stay usable for other devices.
+    let (fleet, mut devices) = fleet_with_devices(
+        2,
+        FleetConfig { workers: Some(1), shards: 1, ..FleetConfig::default() },
+    );
+    let handle = NetServer::spawn(
+        fleet,
+        NetConfig { drain_interval: Duration::from_millis(10), ..NetConfig::default() },
+    )
+    .unwrap();
+
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let (doomed, doomed_dev) = &mut devices[0];
+    let chal = client.request_challenge(doomed.0).unwrap().expect("grant");
+    let proof = proof_for(doomed_dev, &chal);
+
+    // The race, made deterministic: the admin closure runs on the core
+    // thread, serialized with connection traffic, and `admin` blocks
+    // until it has been applied — so the deregistration lands before the
+    // submit below is processed.
+    let doomed_id = *doomed;
+    let expired = handle
+        .admin(move |f| f.deregister_device(doomed_id))
+        .expect("server alive")
+        .expect("device was registered");
+    assert_eq!(expired, 1, "the open session is expired by deregistration");
+
+    let req = client.submit(proof).unwrap();
+    match client.recv().unwrap() {
+        Message::Reject(r) => {
+            assert_eq!(r.request, req);
+            assert_eq!(
+                r.reason.class(),
+                RejectClass::Session,
+                "late submit must die at the session layer: {:?}",
+                r.reason
+            );
+        }
+        other => panic!("expected session reject, got {other:?}"),
+    }
+
+    // A fresh challenge for the deregistered device is refused too.
+    let refused = client.request_challenge(doomed_id.0).unwrap();
+    assert!(refused.is_err(), "deregistered device must not be granted a challenge");
+
+    // The other device — same connection — is untouched.
+    let (alive, alive_dev) = &mut devices[1];
+    let chal = client.request_challenge(alive.0).unwrap().expect("grant");
+    let req = client.submit(proof_for(alive_dev, &chal)).unwrap();
+    match client.recv().unwrap() {
+        Message::Verdict(v) => {
+            assert_eq!(v.request, req);
+            assert_eq!(v.body.report.verdict, Verdict::Clean, "{:?}", v.body.report);
+        }
+        other => panic!("expected verdict, got {other:?}"),
+    }
+
+    let (_, stats) = handle.shutdown().expect("no server thread may panic");
+    assert_eq!(stats.protocol_errors, 0, "the race is not a protocol violation");
+    assert!(
+        stats.rejects_for(RejectClass::Session) >= 1,
+        "the session-layer reject is accounted by class: {stats}"
+    );
 }

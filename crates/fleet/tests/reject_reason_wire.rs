@@ -1,0 +1,111 @@
+//! Exhaustive wire coverage of [`RejectReason`]: every variant (through
+//! wire v3) round-trips the codec, carries a distinct payload tag that
+//! matches its [`RejectClass`] index, and renders stable Debug/Display
+//! text. Adding a variant without extending the codec, the class table,
+//! or this list fails here — not in production decode.
+
+use dialed::report::{RejectClass, RejectReason};
+use fleet::wire::{decode, encode, Message, RejectMsg, HEADER_LEN};
+
+/// One representative of every `RejectReason` variant, in wire-tag order.
+/// `..ALL.len()` below keeps this list honest: a new variant grows
+/// `RejectClass::ALL` and breaks the length assertion until it is added
+/// here too.
+fn all_reasons() -> Vec<RejectReason> {
+    vec![
+        RejectReason::RegionMismatch,
+        RejectReason::ExecClear,
+        RejectReason::ErLengthMismatch,
+        RejectReason::OrLengthMismatch,
+        RejectReason::MacMismatch,
+        RejectReason::NotFullyInstrumented,
+        RejectReason::UnknownKey { device: 0xDEAD_BEEF },
+        RejectReason::MalformedSubmission { detail: "truncated frame".into() },
+        RejectReason::SessionViolation { detail: "replayed proof".into() },
+        RejectReason::UnknownPrincipal { detail: "device 7 not registered".into() },
+        RejectReason::Overloaded { pending: 4096 },
+    ]
+}
+
+#[test]
+fn every_variant_round_trips_with_a_distinct_wire_tag() {
+    let reasons = all_reasons();
+    assert_eq!(reasons.len(), RejectClass::ALL.len(), "variant list out of date");
+
+    let mut seen_tags = Vec::new();
+    for (i, reason) in reasons.iter().enumerate() {
+        let msg = Message::Reject(RejectMsg { request: 42 + i as u64, reason: reason.clone() });
+        let bytes = encode(&msg);
+        // Payload layout: request id (u64 LE), then the reason tag byte.
+        let tag = bytes[HEADER_LEN + 8];
+        assert_eq!(
+            usize::from(tag),
+            reason.class().index(),
+            "{reason:?}: wire tag must equal the class index"
+        );
+        seen_tags.push(tag);
+
+        match decode(&bytes).unwrap_or_else(|e| panic!("{reason:?}: decode failed: {e}")) {
+            Message::Reject(r) => {
+                assert_eq!(r.request, 42 + i as u64);
+                assert_eq!(&r.reason, reason, "payload lost in round trip");
+            }
+            other => panic!("{reason:?}: decoded as {other:?}"),
+        }
+    }
+    seen_tags.sort_unstable();
+    seen_tags.dedup();
+    assert_eq!(seen_tags.len(), reasons.len(), "wire tags must be distinct");
+}
+
+#[test]
+fn classes_are_dense_and_cover_every_variant() {
+    for (i, class) in RejectClass::ALL.iter().enumerate() {
+        assert_eq!(class.index(), i, "{class:?}: ALL must be in index order");
+    }
+    for (i, reason) in all_reasons().iter().enumerate() {
+        assert_eq!(reason.class(), RejectClass::ALL[i], "{reason:?}");
+    }
+}
+
+#[test]
+fn debug_and_display_are_stable() {
+    // Class labels are persisted (corpus files, counter displays): pin
+    // them exactly.
+    let labels: Vec<&str> = RejectClass::ALL.iter().map(|c| c.label()).collect();
+    assert_eq!(
+        labels,
+        [
+            "region",
+            "exec",
+            "er-length",
+            "or-length",
+            "mac",
+            "not-instrumented",
+            "unknown-key",
+            "malformed",
+            "session",
+            "principal",
+            "overloaded",
+        ]
+    );
+    for class in RejectClass::ALL {
+        assert_eq!(format!("{class}"), class.label(), "Display must be the label");
+    }
+
+    // Reason Debug/Display: non-empty, distinct per variant, and the
+    // payload detail must actually surface in the rendered text.
+    let mut displays = Vec::new();
+    for reason in all_reasons() {
+        let debug = format!("{reason:?}");
+        let display = format!("{reason}");
+        assert!(!debug.is_empty() && !display.is_empty());
+        displays.push(display);
+    }
+    let mut unique = displays.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), displays.len(), "Display text must distinguish variants");
+    assert!(displays[6].contains("3735928559"), "device id must surface: {}", displays[6]);
+    assert!(displays[10].contains("4096"), "queue depth must surface: {}", displays[10]);
+}

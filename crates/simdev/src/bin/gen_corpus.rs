@@ -1,0 +1,59 @@
+//! Regenerates the committed attack corpus.
+//!
+//! ```text
+//! cargo run --release -p simdev --bin gen_corpus [-- <output-dir>]
+//! ```
+//!
+//! Generates every case against a fresh canonical fleet (validating each
+//! expectation in the process), writes them under the output directory
+//! (default `corpus/`), then immediately replays the written files through
+//! a second fresh fleet — so a corpus that does not round-trip is never
+//! committed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(|| PathBuf::from("corpus"), PathBuf::from);
+    let cases = match simdev::replay::generate() {
+        Ok(cases) => cases,
+        Err(e) => {
+            eprintln!("corpus generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for case in &cases {
+        if let Err(e) = case.save(&root) {
+            eprintln!("writing {}: {e}", case.id());
+            return ExitCode::FAILURE;
+        }
+    }
+    let loaded = match simdev::corpus::load_dir(&root) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("re-loading corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if loaded != cases {
+        eprintln!("corpus did not round-trip through {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    match simdev::replay::replay_in_process(&loaded) {
+        Ok(stats) => {
+            println!(
+                "wrote {} cases to {} (clean {}, attacks {}, rejects {})",
+                stats.cases,
+                root.display(),
+                stats.clean,
+                stats.attacks,
+                stats.rejects_by_class.iter().sum::<u64>(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay of freshly written corpus failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The persisted attack corpus: minimized adversarial cases serialized
+//! with the fleet's total-decode wire framing.
+//!
+//! One `.case` file is a concatenation of ordinary wire frames — the same
+//! bytes a hostile device would put on a socket — decoded back through
+//! [`FrameReader`], so the corpus exercises the codec every time it is
+//! loaded:
+//!
+//! ```text
+//! ┌────────────────┐  the exact challenge the canonical fleet issued
+//! │ Challenge frame│  (full ChallengeMsg: session, device, nonce,
+//! ├────────────────┤   deadline, challenge bytes — the determinism anchor)
+//! │ Submit frame   │  the adversarial submission, verbatim
+//! ├────────────────┤
+//! │ Reject frame   │  expectation: an allowed RejectClass, encoded as a
+//! │ …              │  representative reason (one frame per allowed class)
+//! │ Report frame   │  expectation: an allowed Verdict (empty findings)
+//! └────────────────┘
+//! ```
+//!
+//! Replay ([`crate::replay`]) rebuilds the canonical fleet, re-issues
+//! every challenge in session order, asserts byte-exact equality with the
+//! recorded `Challenge` frame, then submits the recorded `Submit` frame
+//! and checks the outcome against the expectation frames. Cases live at
+//! `corpus/<scenario>/<nn>-<mutation>.case` and are committed, so every
+//! future change to the verifier, the session layer or the codec re-runs
+//! the whole attack catalogue.
+
+use dialed::report::{RejectClass, RejectReason, Report, Verdict, VerifyStats};
+use fleet::wire::{self, ChallengeMsg, FrameReader, Message, RejectMsg, ReportMsg, SubmitMsg};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Per-frame payload cap when decoding case files — far above any real
+/// case, low enough that a corrupted length field fails fast.
+const MAX_CASE_FRAME: usize = 1 << 20;
+
+/// One acceptable outcome for a corpus case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expect {
+    /// The submission must be rejected — at the session layer or by the
+    /// verifier — with a reason of this class.
+    Class(RejectClass),
+    /// The session must resolve with this verdict (`Clean` for the honest
+    /// baseline cases, `Attack` for reconstructed control-flow attacks).
+    Verdict(Verdict),
+}
+
+impl fmt::Display for Expect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expect::Class(c) => write!(f, "reject:{c}"),
+            Expect::Verdict(v) => write!(f, "verdict:{v:?}"),
+        }
+    }
+}
+
+/// A persisted adversarial case: the challenge it was minted against, the
+/// submission, and the set of acceptable outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusCase {
+    /// Scenario name (= directory under the corpus root).
+    pub scenario: String,
+    /// Case name (= file stem, `<nn>-<mutation>`).
+    pub name: String,
+    /// The challenge the canonical fleet issued for this case, recorded in
+    /// full. Replay must reproduce it byte-exactly.
+    pub challenge: ChallengeMsg,
+    /// The adversarial submission.
+    pub submit: SubmitMsg,
+    /// Acceptable outcomes; the case fails replay on anything else.
+    pub expect: Vec<Expect>,
+}
+
+/// The representative [`RejectReason`] used to encode an expected class
+/// as a wire frame. Payload fields are zeroed/emptied: expectations match
+/// on class, never on detail text.
+#[must_use]
+pub fn representative_reason(class: RejectClass) -> RejectReason {
+    match class {
+        RejectClass::Region => RejectReason::RegionMismatch,
+        RejectClass::Exec => RejectReason::ExecClear,
+        RejectClass::ErLength => RejectReason::ErLengthMismatch,
+        RejectClass::OrLength => RejectReason::OrLengthMismatch,
+        RejectClass::Mac => RejectReason::MacMismatch,
+        RejectClass::NotInstrumented => RejectReason::NotFullyInstrumented,
+        RejectClass::UnknownKey => RejectReason::UnknownKey { device: 0 },
+        RejectClass::Malformed => RejectReason::MalformedSubmission { detail: String::new() },
+        RejectClass::Session => RejectReason::SessionViolation { detail: String::new() },
+        RejectClass::Principal => RejectReason::UnknownPrincipal { detail: String::new() },
+        RejectClass::Overloaded => RejectReason::Overloaded { pending: 0 },
+    }
+}
+
+impl CorpusCase {
+    /// Whether `class` is an acceptable reject class for this case.
+    #[must_use]
+    pub fn allows_class(&self, class: RejectClass) -> bool {
+        self.expect.iter().any(|e| matches!(e, Expect::Class(c) if *c == class))
+    }
+
+    /// Whether `verdict` is an acceptable resolved verdict for this case.
+    #[must_use]
+    pub fn allows_verdict(&self, verdict: Verdict) -> bool {
+        self.expect.iter().any(|e| matches!(e, Expect::Verdict(v) if *v == verdict))
+    }
+
+    /// Checks a resolved session report against the expectations: a
+    /// `Rejected` verdict must carry a first `PoxRejected` reason of an
+    /// allowed class; `Clean`/`Attack` must be explicitly allowed.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable violation description.
+    pub fn check_report(&self, report: &Report) -> Result<(), String> {
+        match report.verdict {
+            Verdict::Rejected => {
+                let reason = report.findings.iter().find_map(|f| match f {
+                    dialed::report::Finding::PoxRejected { reason } => Some(reason),
+                    _ => None,
+                });
+                match reason {
+                    Some(r) if self.allows_class(r.class()) => Ok(()),
+                    Some(r) => Err(format!(
+                        "{}: rejected as {} but case allows [{}]",
+                        self.id(),
+                        r.class(),
+                        self.expect_list(),
+                    )),
+                    None => Err(format!("{}: rejected without a PoxRejected finding", self.id())),
+                }
+            }
+            v if self.allows_verdict(v) => Ok(()),
+            v => Err(format!(
+                "{}: verdict {v:?} but case allows [{}]",
+                self.id(),
+                self.expect_list()
+            )),
+        }
+    }
+
+    /// Checks a submit-layer rejection class against the expectations.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable violation description.
+    pub fn check_submit_reject(&self, class: RejectClass) -> Result<(), String> {
+        if self.allows_class(class) {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: rejected at submit as {class} but case allows [{}]",
+                self.id(),
+                self.expect_list(),
+            ))
+        }
+    }
+
+    /// `scenario/name`, the stable case identifier.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.scenario, self.name)
+    }
+
+    fn expect_list(&self) -> String {
+        self.expect.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    }
+
+    /// Serializes the case as a stream of wire frames (see the module
+    /// docs for the layout).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&wire::encode(&Message::Challenge(self.challenge)));
+        out.extend_from_slice(&wire::encode(&Message::Submit(self.submit.clone())));
+        for e in &self.expect {
+            let frame = match e {
+                Expect::Class(class) => Message::Reject(RejectMsg {
+                    request: self.submit.request,
+                    reason: representative_reason(*class),
+                }),
+                Expect::Verdict(v) => Message::Report(ReportMsg {
+                    session: self.submit.body.session,
+                    device: self.submit.body.device,
+                    report: Report {
+                        verdict: *v,
+                        findings: Vec::new(),
+                        stats: VerifyStats::default(),
+                    },
+                }),
+            };
+            out.extend_from_slice(&wire::encode(&frame));
+        }
+        out
+    }
+
+    /// Decodes a case from its frame stream. `scenario` and `name` come
+    /// from the file's location, not the bytes.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed or out-of-order frame.
+    pub fn decode(scenario: &str, name: &str, bytes: &[u8]) -> Result<Self, String> {
+        let mut frames = FrameReader::new(MAX_CASE_FRAME);
+        frames.feed(bytes);
+        let mut msgs = Vec::new();
+        loop {
+            match frames.poll() {
+                Ok(Some(msg)) => msgs.push(msg),
+                Ok(None) => break,
+                Err(e) => return Err(format!("{scenario}/{name}: frame error: {e}")),
+            }
+        }
+        if frames.buffered() > 0 {
+            return Err(format!(
+                "{scenario}/{name}: {} trailing bytes after the last frame",
+                frames.buffered()
+            ));
+        }
+        let mut it = msgs.into_iter();
+        let challenge = match it.next() {
+            Some(Message::Challenge(c)) => c,
+            other => {
+                return Err(format!("{scenario}/{name}: expected Challenge first, got {other:?}"))
+            }
+        };
+        let submit = match it.next() {
+            Some(Message::Submit(s)) => s,
+            other => {
+                return Err(format!("{scenario}/{name}: expected Submit second, got {other:?}"))
+            }
+        };
+        let mut expect = Vec::new();
+        for msg in it {
+            match msg {
+                Message::Reject(r) => expect.push(Expect::Class(r.reason.class())),
+                Message::Report(r) => expect.push(Expect::Verdict(r.report.verdict)),
+                other => {
+                    return Err(format!(
+                        "{scenario}/{name}: unexpected expectation frame {other:?}"
+                    ))
+                }
+            }
+        }
+        if expect.is_empty() {
+            return Err(format!("{scenario}/{name}: no expectation frames"));
+        }
+        Ok(Self {
+            scenario: scenario.to_string(),
+            name: name.to_string(),
+            challenge,
+            submit,
+            expect,
+        })
+    }
+
+    /// Writes the case to `root/<scenario>/<name>.case`, creating
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        let dir = root.join(&self.scenario);
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(format!("{}.case", self.name)), self.encode())
+    }
+}
+
+/// Loads every `*.case` file under `root` (one directory level per
+/// scenario), in lexicographic order, then sorts by recorded session id —
+/// the canonical replay order.
+///
+/// # Errors
+///
+/// File-system errors, or the first malformed case file.
+pub fn load_dir(root: &Path) -> Result<Vec<CorpusCase>, String> {
+    let mut cases = Vec::new();
+    let mut dirs: Vec<_> = fs::read_dir(root)
+        .map_err(|e| format!("corpus root {}: {e}", root.display()))?
+        .filter_map(Result::ok)
+        .map(|d| d.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let scenario = dir.file_name().and_then(|s| s.to_str()).unwrap_or_default().to_string();
+        let mut files: Vec<_> = fs::read_dir(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(Result::ok)
+            .map(|d| d.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "case"))
+            .collect();
+        files.sort();
+        for file in files {
+            let name = file.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_string();
+            let bytes = fs::read(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            cases.push(CorpusCase::decode(&scenario, &name, &bytes)?);
+        }
+    }
+    cases.sort_by_key(|c| c.challenge.session);
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex::{PoxConfig, PoxProof};
+    use dialed::attest::DialedProof;
+    use fleet::wire::ProofMsg;
+    use vrased::Challenge;
+
+    fn sample_case() -> CorpusCase {
+        let cfg = PoxConfig::new(0xE000, 0xE0FF, 0xE0FE, 0x0400, 0x0BFF).unwrap();
+        CorpusCase {
+            scenario: "FireSensor".into(),
+            name: "03-tag-bit-flip".into(),
+            challenge: ChallengeMsg {
+                session: 7,
+                device: 2,
+                nonce: 0,
+                deadline: 64,
+                challenge: Challenge::derive(b"corpus-test", 7),
+            },
+            submit: SubmitMsg {
+                request: 1,
+                body: ProofMsg {
+                    session: 7,
+                    device: 2,
+                    proof: DialedProof {
+                        pox: PoxProof { cfg, exec: true, or_data: vec![0; 16], tag: [9; 32] },
+                    },
+                },
+            },
+            expect: vec![Expect::Class(RejectClass::Mac), Expect::Verdict(Verdict::Attack)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let case = sample_case();
+        let bytes = case.encode();
+        let back = CorpusCase::decode("FireSensor", "03-tag-bit-flip", &bytes).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn truncated_case_file_is_rejected_not_panicked() {
+        let case = sample_case();
+        let bytes = case.encode();
+        for cut in [1, 9, bytes.len() - 1] {
+            assert!(CorpusCase::decode("s", "n", &bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn expectation_checks() {
+        let case = sample_case();
+        assert!(case.allows_class(RejectClass::Mac));
+        assert!(!case.allows_class(RejectClass::Session));
+        assert!(case.allows_verdict(Verdict::Attack));
+        assert!(!case.allows_verdict(Verdict::Clean));
+        let rejected = Report::rejected(RejectReason::MacMismatch);
+        assert!(case.check_report(&rejected).is_ok());
+        let wrong = Report::rejected(RejectReason::RegionMismatch);
+        assert!(case.check_report(&wrong).is_err());
+        assert!(case.check_submit_reject(RejectClass::Mac).is_ok());
+        assert!(case.check_submit_reject(RejectClass::Overloaded).is_err());
+    }
+}

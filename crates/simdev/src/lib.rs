@@ -1,0 +1,38 @@
+//! `simdev`: the generative adversarial-device simulator.
+//!
+//! Three layers, each building on the one below:
+//!
+//! 1. **Lifecycle simulator** ([`lifecycle`]) — drives the evaluation
+//!    apps through realistic firmware duty cycles (sensor poll → compute
+//!    → attest, management-plane config updates, OTA image reloads) on
+//!    the real emulated device stack. Honest lifecycles must verify
+//!    Clean, always, under every verifier dispatch configuration.
+//! 2. **Mutation engine** ([`mutate`]) — applies typed attack mutations
+//!    to honest rounds (CF-Log splices resealed under the real key,
+//!    interrupt-window and DMA-timed interference, stale images after
+//!    OTA, log truncation/extension/reorder, challenge replay, bit
+//!    flips in MAC and region bounds), each tagged with the
+//!    [`RejectClass`](dialed::RejectClass)es or attack verdict the
+//!    verifier is required to produce. Property tests generate mutants
+//!    and assert the oracle: never accepted, never a panic.
+//! 3. **Persisted corpus** ([`corpus`], [`replay`]) — minimized mutants
+//!    serialized with the fleet's total-decode wire framing into the
+//!    repository's `corpus/` directory, deterministically replayable
+//!    both through an in-process [`fleet::Fleet`] and over the
+//!    `fleet::net` TCP server. Every future change to the verifier or
+//!    the wire codec re-runs the whole attack catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod lifecycle;
+pub mod mutate;
+pub mod replay;
+pub mod rng;
+
+pub use corpus::{CorpusCase, Expect};
+pub use lifecycle::{DeviceSim, RoundArtifacts};
+pub use mutate::{Expectation, MutantCase, MutantForge, Mutation};
+pub use replay::{canonical_fleet, replay_in_process, replay_over_net, ReplayStats};
+pub use rng::SplitMix64;

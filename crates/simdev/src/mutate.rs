@@ -1,0 +1,514 @@
+//! The typed mutation engine: turns honest attestation rounds into
+//! adversarial mutants, each tagged with the verdict class the verifier
+//! is *required* to produce.
+//!
+//! Every [`Mutation`] models a concrete attacker capability from the
+//! paper's adversary model:
+//!
+//! | mutation | capability modelled | required outcome |
+//! |---|---|---|
+//! | [`TagBitFlip`](Mutation::TagBitFlip) / [`OrBitFlip`](Mutation::OrBitFlip) | tamper with the response in transit | reject: `mac` |
+//! | [`OrTruncate`](Mutation::OrTruncate) / [`OrExtend`](Mutation::OrExtend) | truncate / pad the attested logs | reject: `or-length` |
+//! | [`BoundsForge`](Mutation::BoundsForge) | attest different regions than provisioned | reject: `region` |
+//! | [`ExecClearForge`](Mutation::ExecClearForge) | claim execution that APEX did not witness | reject: `exec` |
+//! | [`CfSplice`](Mutation::CfSplice) / [`CfReorder`](Mutation::CfReorder) | compromised software reseals a spliced CF-Log with the real key | attack: log divergence |
+//! | [`InputBranchFlip`](Mutation::InputBranchFlip) | forge a logged sensor input that drives a branch | attack: log divergence |
+//! | [`HeadForge`](Mutation::HeadForge) | forge the logged operation arguments | robustness only (see below) |
+//! | [`StaleChallenge`](Mutation::StaleChallenge) | replay work done for an old challenge | reject: `mac` |
+//! | [`ImageMismatch`](Mutation::ImageMismatch) | run a modified / stale firmware image | reject: `mac` |
+//! | [`IrqWindow`](Mutation::IrqWindow) | interrupt-window TOCTOU inside the operation | reject: `exec` |
+//! | [`DmaWrite`](Mutation::DmaWrite) | DMA-timed memory write mid-operation | reject: `exec` |
+//!
+//! The crucial asymmetry: mutations above the line are *unauthenticated*
+//! (the attacker cannot produce a valid MAC, so the structural and MAC
+//! checks kill them), while the splice/forge family is *authenticated* —
+//! the mutant is resealed under the device's real key, modelling fully
+//! compromised software invoking SW-Att over tampered logs. Those pass
+//! every cryptographic check and must die in abstract re-execution
+//! instead. [`HeadForge`](Mutation::HeadForge) is the one deliberate
+//! exception: a forged
+//! argument head is semantically indistinguishable from an honest run
+//! with different arguments, so the engine only requires that the
+//! verifier never crashes on it ([`Expectation::Robust`]).
+
+use crate::lifecycle::DeviceSim;
+use apps::lifecycle::LifecycleSpec;
+use apps::{fire_sensor, lifecycle::lifecycles};
+use dialed::attest::{DialedDevice, DialedProof};
+use dialed::pipeline::InstrumentedOp;
+use dialed::report::{Finding, RejectClass, Report, Verdict};
+use dialed::{DialedVerifier, SlotClass};
+use hacl::DIGEST_LEN;
+use msp430::periph::Dma;
+use msp430::regs::Reg;
+use vrased::{Challenge, KeyStore};
+
+/// MSP430 status-register GIE (general interrupt enable) bit.
+const GIE: u16 = 0x0008;
+
+/// One typed attack mutation. Parameters are free-ranging (ranks and bit
+/// indices are reduced modulo the honest proof's geometry), so any
+/// randomly generated instance is applicable to any scenario.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Flip one bit of the response MAC.
+    TagBitFlip {
+        /// Bit index into the tag (mod `8 * DIGEST_LEN`).
+        bit: usize,
+    },
+    /// Flip one bit of the attested OR without resealing.
+    OrBitFlip {
+        /// Bit index into `or_data` (mod its length in bits).
+        bit: usize,
+    },
+    /// Drop trailing OR bytes (log truncation).
+    OrTruncate {
+        /// Extra bytes to drop beyond the first (mod 8).
+        bytes: usize,
+    },
+    /// Append zero bytes to the OR (log extension).
+    OrExtend {
+        /// Extra bytes to append beyond the first (mod 8).
+        bytes: usize,
+    },
+    /// Attest a *valid but different* region geometry, resealed.
+    BoundsForge {
+        /// How many words to shave off the OR top (mod 4, plus one).
+        shrink: u16,
+    },
+    /// Claim `EXEC` although APEX cleared it.
+    ExecClearForge {
+        /// Whether to reseal after the flip (an authentic MAC over a
+        /// cleared EXEC must still be rejected, and before the MAC is
+        /// even checked).
+        reseal: bool,
+    },
+    /// Splice one CF-Log entry and reseal under the real key.
+    CfSplice {
+        /// Which control-flow slot (rank into the CF slots, mod count).
+        rank: usize,
+        /// XOR mask applied to the entry (`0` is promoted to a non-zero
+        /// mask so the mutant always differs).
+        xor: u16,
+    },
+    /// Swap two differing CF-Log entries and reseal (log reorder).
+    CfReorder {
+        /// Starting rank for the pair search (mod CF slot count).
+        rank: usize,
+    },
+    /// Forge the logged sensor input that drives the app's branch, then
+    /// reseal — the data-only attack the paper's DFA exists to catch.
+    InputBranchFlip,
+    /// Forge one argument-head entry and reseal (robustness class).
+    HeadForge {
+        /// Which head slot (mod head count).
+        arg: usize,
+        /// XOR mask (`0` promoted to `1`).
+        xor: u16,
+    },
+    /// Answer the current session with a proof honestly computed for an
+    /// earlier session's challenge.
+    StaleChallenge,
+    /// Run a different firmware image than the verifier expects (stale
+    /// pre-OTA image or locally modified code).
+    ImageMismatch,
+    /// Take an interrupt inside the attested operation (TOCTOU window).
+    IrqWindow,
+    /// DMA a value into RAM while the operation runs.
+    DmaWrite,
+}
+
+impl Mutation {
+    /// Stable kebab-case label (corpus file names, diagnostics).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mutation::TagBitFlip { .. } => "tag-bit-flip",
+            Mutation::OrBitFlip { .. } => "or-bit-flip",
+            Mutation::OrTruncate { .. } => "or-truncate",
+            Mutation::OrExtend { .. } => "or-extend",
+            Mutation::BoundsForge { .. } => "bounds-forge",
+            Mutation::ExecClearForge { .. } => "exec-clear",
+            Mutation::CfSplice { .. } => "cf-splice",
+            Mutation::CfReorder { .. } => "cf-reorder",
+            Mutation::InputBranchFlip => "input-branch-flip",
+            Mutation::HeadForge { .. } => "head-forge",
+            Mutation::StaleChallenge => "stale-challenge",
+            Mutation::ImageMismatch => "image-mismatch",
+            Mutation::IrqWindow => "irq-window",
+            Mutation::DmaWrite => "dma-write",
+        }
+    }
+
+    /// One canonical, minimized instance of every mutation kind — the
+    /// corpus generator's seed set.
+    #[must_use]
+    pub fn catalog() -> Vec<Mutation> {
+        vec![
+            Mutation::TagBitFlip { bit: 0 },
+            Mutation::OrBitFlip { bit: 0 },
+            Mutation::OrTruncate { bytes: 0 },
+            Mutation::OrExtend { bytes: 0 },
+            Mutation::BoundsForge { shrink: 0 },
+            Mutation::ExecClearForge { reseal: true },
+            Mutation::CfSplice { rank: 0, xor: 0x0004 },
+            Mutation::CfReorder { rank: 0 },
+            Mutation::InputBranchFlip,
+            Mutation::HeadForge { arg: 0, xor: 1 },
+            Mutation::StaleChallenge,
+            Mutation::ImageMismatch,
+            Mutation::IrqWindow,
+            Mutation::DmaWrite,
+        ]
+    }
+}
+
+/// What the verifier is required to do with a mutant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// `Verdict::Rejected`, with a reason in one of these classes.
+    Reject(Vec<RejectClass>),
+    /// `Verdict::Attack` (divergence found in abstract re-execution).
+    Attack,
+    /// Any verdict is acceptable; the assertion is that verification
+    /// completes without panicking. Used for mutants that are
+    /// semantically indistinguishable from a different honest run.
+    Robust,
+}
+
+impl Expectation {
+    /// Checks a verifier report against this expectation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violation.
+    pub fn check(&self, report: &Report) -> Result<(), String> {
+        let reason_class = report.findings.iter().find_map(|f| match f {
+            Finding::PoxRejected { reason } => Some(reason.class()),
+            _ => None,
+        });
+        match self {
+            Expectation::Reject(classes) => {
+                if report.verdict != Verdict::Rejected {
+                    return Err(format!("expected Rejected({classes:?}), got {report}"));
+                }
+                match reason_class {
+                    Some(c) if classes.contains(&c) => Ok(()),
+                    got => Err(format!("expected reject class in {classes:?}, got {got:?}")),
+                }
+            }
+            Expectation::Attack => {
+                if report.verdict == Verdict::Attack {
+                    Ok(())
+                } else {
+                    Err(format!("expected Attack, got {report}"))
+                }
+            }
+            Expectation::Robust => Ok(()),
+        }
+    }
+}
+
+/// A forged attestation exchange: the mutant proof, the challenge the
+/// verifier checks it against, and the required outcome.
+#[derive(Clone, Debug)]
+pub struct MutantCase {
+    /// The mutation that produced this case.
+    pub mutation: Mutation,
+    /// The (tampered) proof.
+    pub proof: DialedProof,
+    /// The challenge of the session under attack.
+    pub challenge: Challenge,
+    /// The required verifier outcome.
+    pub expected: Expectation,
+}
+
+/// Builds mutants against one scenario's honest round.
+///
+/// Holds the honest proof, the session challenges, both firmware images,
+/// the device key (the "fully compromised software" capability), and the
+/// OR slot map that lets mutations target control-flow, input, or head
+/// entries specifically.
+pub struct MutantForge {
+    spec: LifecycleSpec,
+    op: InstrumentedOp,
+    v2: InstrumentedOp,
+    keystore: KeyStore,
+    challenge: Challenge,
+    stale_challenge: Challenge,
+    honest: DialedProof,
+    slots: Vec<SlotClass>,
+}
+
+impl MutantForge {
+    /// Runs one honest round of `spec` (round-0 config and stimulus) and
+    /// prepares to forge against it. `challenge` is the session under
+    /// attack; `stale_challenge` models an earlier session of the same
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the honest round fails to complete — mutants are only
+    /// meaningful relative to a working baseline.
+    #[must_use]
+    pub fn new(
+        spec: LifecycleSpec,
+        keystore: KeyStore,
+        challenge: Challenge,
+        stale_challenge: Challenge,
+    ) -> Self {
+        let sim_spec = respec(&spec);
+        let mut sim = DeviceSim::new(sim_spec, keystore.clone());
+        let honest = sim.duty_cycle(&challenge).proof;
+        let op = sim.v1().clone();
+        let v2 = sim.v2().clone();
+        let slots =
+            DialedVerifier::new(op.clone(), keystore.clone()).or_slot_classes(&honest.pox.or_data);
+        Self { spec, op, v2, keystore, challenge, stale_challenge, honest, slots }
+    }
+
+    /// The forge for scenario `name` (see [`lifecycles`]), with challenges
+    /// derived from `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown scenario name.
+    #[must_use]
+    pub fn for_scenario(name: &str, keystore: KeyStore, label: &[u8]) -> Self {
+        let spec = lifecycles()
+            .into_iter()
+            .find(|lc| lc.scenario.name == name)
+            .unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+        let stale = Challenge::derive(label, 0);
+        let current = Challenge::derive(label, 1);
+        Self::new(spec, keystore, current, stale)
+    }
+
+    /// The verifier-side image mutants are checked against.
+    #[must_use]
+    pub fn op(&self) -> &InstrumentedOp {
+        &self.op
+    }
+
+    /// The honest proof mutants start from.
+    #[must_use]
+    pub fn honest(&self) -> &DialedProof {
+        &self.honest
+    }
+
+    /// The challenge of the session under attack.
+    #[must_use]
+    pub fn challenge(&self) -> &Challenge {
+        &self.challenge
+    }
+
+    /// The device keystore (verification runs under the same key).
+    #[must_use]
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    /// The scenario driving this forge.
+    #[must_use]
+    pub fn scenario_name(&self) -> &'static str {
+        self.spec.scenario.name
+    }
+
+    fn slot_indices(&self, class: SlotClass) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&i| self.slots[i] == class).collect()
+    }
+
+    fn read_slot(or: &[u8], idx: usize) -> u16 {
+        u16::from_le_bytes([or[2 * idx], or[2 * idx + 1]])
+    }
+
+    fn write_slot(or: &mut [u8], idx: usize, value: u16) {
+        or[2 * idx..2 * idx + 2].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn reseal(&self, proof: &mut DialedProof) {
+        proof.pox.reseal(self.keystore.clone(), &self.challenge, &self.op.er_bytes);
+    }
+
+    /// A fresh honest device on `op`, staged with round-`round` config and
+    /// stimulus, ready to invoke.
+    fn staged_device(&self, op: &InstrumentedOp, round: usize) -> DialedDevice {
+        let mut dev = DialedDevice::new(op.clone(), self.keystore.clone());
+        if let Some((addr, value)) = self.spec.config_for(round) {
+            dev.platform_mut().load_words(addr, &[value]);
+        }
+        (self.spec.stimulus(round))(dev.platform_mut());
+        dev
+    }
+
+    /// Applies `m` to the honest round, producing the mutant case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the honest proof's geometry cannot host the mutation
+    /// (e.g. a CF reorder on a log with fewer than two distinct entries)
+    /// — that would be a bug in the scenario set, not an attack outcome.
+    #[must_use]
+    pub fn forge(&self, m: &Mutation) -> MutantCase {
+        let mut proof = self.honest.clone();
+        let mut challenge = self.challenge;
+        let expected = match m {
+            Mutation::TagBitFlip { bit } => {
+                let byte = (bit / 8) % DIGEST_LEN;
+                proof.pox.tag[byte] ^= 1 << (bit % 8);
+                Expectation::Reject(vec![RejectClass::Mac])
+            }
+            Mutation::OrBitFlip { bit } => {
+                let byte = (bit / 8) % proof.pox.or_data.len();
+                proof.pox.or_data[byte] ^= 1 << (bit % 8);
+                Expectation::Reject(vec![RejectClass::Mac])
+            }
+            Mutation::OrTruncate { bytes } => {
+                let cut = 1 + bytes % 8;
+                let keep = proof.pox.or_data.len() - cut;
+                proof.pox.or_data.truncate(keep);
+                Expectation::Reject(vec![RejectClass::OrLength])
+            }
+            Mutation::OrExtend { bytes } => {
+                let add = 1 + bytes % 8;
+                let len = proof.pox.or_data.len();
+                proof.pox.or_data.resize(len + add, 0);
+                Expectation::Reject(vec![RejectClass::OrLength])
+            }
+            Mutation::BoundsForge { shrink } => {
+                let words = 1 + shrink % 4;
+                proof.pox.cfg.or_max -= 2 * words;
+                let keep = proof.pox.or_data.len() - usize::from(2 * words);
+                proof.pox.or_data.truncate(keep);
+                self.reseal(&mut proof);
+                Expectation::Reject(vec![RejectClass::Region])
+            }
+            Mutation::ExecClearForge { reseal } => {
+                proof.pox.exec = false;
+                if *reseal {
+                    self.reseal(&mut proof);
+                }
+                Expectation::Reject(vec![RejectClass::Exec])
+            }
+            Mutation::CfSplice { rank, xor } => {
+                let cf = self.slot_indices(SlotClass::ControlFlow);
+                assert!(!cf.is_empty(), "{}: no CF slots", self.scenario_name());
+                let idx = cf[rank % cf.len()];
+                let mask = if *xor == 0 { 0x0004 } else { *xor };
+                let old = Self::read_slot(&proof.pox.or_data, idx);
+                Self::write_slot(&mut proof.pox.or_data, idx, old ^ mask);
+                self.reseal(&mut proof);
+                Expectation::Attack
+            }
+            Mutation::CfReorder { rank } => {
+                let cf = self.slot_indices(SlotClass::ControlFlow);
+                let n = cf.len();
+                let pair = (0..n)
+                    .map(|k| (cf[(rank + k) % n], cf[(rank + k + 1) % n]))
+                    .find(|&(i, j)| {
+                        Self::read_slot(&proof.pox.or_data, i)
+                            != Self::read_slot(&proof.pox.or_data, j)
+                    })
+                    .unwrap_or_else(|| {
+                        panic!("{}: CF-Log has no two distinct entries", self.scenario_name())
+                    });
+                let (a, b) = (
+                    Self::read_slot(&proof.pox.or_data, pair.0),
+                    Self::read_slot(&proof.pox.or_data, pair.1),
+                );
+                Self::write_slot(&mut proof.pox.or_data, pair.0, b);
+                Self::write_slot(&mut proof.pox.or_data, pair.1, a);
+                self.reseal(&mut proof);
+                Expectation::Attack
+            }
+            Mutation::InputBranchFlip => {
+                // Input slots in execution order: the log grows downward,
+                // so the first input read sits at the highest address.
+                let mut inputs = self.slot_indices(SlotClass::Input);
+                inputs.reverse();
+                assert!(!inputs.is_empty(), "{}: no input slots", self.scenario_name());
+                let (exec_rank, value) = branch_flip_forge(self.scenario_name());
+                let idx = inputs[exec_rank.min(inputs.len() - 1)];
+                Self::write_slot(&mut proof.pox.or_data, idx, value);
+                self.reseal(&mut proof);
+                Expectation::Attack
+            }
+            Mutation::HeadForge { arg, xor } => {
+                let heads = self.slot_indices(SlotClass::Head);
+                assert!(!heads.is_empty(), "{}: no head slots", self.scenario_name());
+                let idx = heads[arg % heads.len()];
+                let mask = if *xor == 0 { 1 } else { *xor };
+                let old = Self::read_slot(&proof.pox.or_data, idx);
+                Self::write_slot(&mut proof.pox.or_data, idx, old ^ mask);
+                self.reseal(&mut proof);
+                Expectation::Robust
+            }
+            Mutation::StaleChallenge => {
+                // Honest work for an earlier challenge, replayed at the
+                // current session. Round 1 stimulus/config so the proof
+                // differs from any previously accepted round-0 proof.
+                let mut dev = self.staged_device(&self.op, 1);
+                dev.invoke(&self.spec.scenario.args);
+                proof = dev.prove(&self.stale_challenge);
+                challenge = self.challenge;
+                Expectation::Reject(vec![RejectClass::Mac])
+            }
+            Mutation::ImageMismatch => {
+                let mut dev = self.staged_device(&self.v2, 0);
+                dev.invoke(&self.spec.scenario.args);
+                proof = dev.prove(&self.challenge);
+                Expectation::Reject(vec![RejectClass::Mac])
+            }
+            Mutation::IrqWindow => {
+                let mut dev = self.staged_device(&self.op, 0);
+                // Interrupt vector 9 → a bare RETI handler outside ER.
+                dev.platform_mut().load_words(0xFFE0 + 2 * 9, &[0xF700]);
+                dev.platform_mut().load_words(0xF700, &[0x1300]);
+                dev.invoke_with_budget(&self.spec.scenario.args, 60);
+                let sr = dev.cpu_mut().reg(Reg::SR);
+                dev.cpu_mut().set_reg(Reg::SR, sr | GIE);
+                dev.cpu_mut().raise_irq(9);
+                dev.run_raw(2_000_000);
+                proof = dev.prove(&self.challenge);
+                Expectation::Reject(vec![RejectClass::Exec])
+            }
+            Mutation::DmaWrite => {
+                let mut dev = self.staged_device(&self.op, 0);
+                dev.invoke_with_budget(&self.spec.scenario.args, 60);
+                dev.dma(&Dma { dst: apps::GLOBALS, data: vec![0xFF, 0x00] });
+                dev.run_raw(2_000_000);
+                proof = dev.prove(&self.challenge);
+                Expectation::Reject(vec![RejectClass::Exec])
+            }
+        };
+        MutantCase { mutation: m.clone(), proof, challenge, expected }
+    }
+}
+
+/// Rebuilds a [`LifecycleSpec`] (the struct is not `Clone`; its fields
+/// are all `'static` data).
+fn respec(spec: &LifecycleSpec) -> LifecycleSpec {
+    lifecycles()
+        .into_iter()
+        .find(|lc| lc.scenario.name == spec.scenario.name)
+        .expect("spec came from lifecycles()")
+}
+
+/// Per-scenario input forgery that provably flips a branch in abstract
+/// re-execution: `(input index in execution order, forged value)`.
+///
+/// * `FireSensor`: the first input is the raw temperature sample; forging
+///   24 °C to 80 °C crosses every configured alarm threshold.
+/// * `SyringePump`: inputs 0–1 are the UART packet, 2–9 the settings
+///   readback; forging a settings word to `0x7FFF` trips the overdose
+///   guard.
+/// * `UltrasonicRanger`: the first input is the first echo poll; a
+///   non-zero sample ends the 120-iteration poll loop on iteration one.
+fn branch_flip_forge(name: &str) -> (usize, u16) {
+    match name {
+        "FireSensor" => (0, fire_sensor::raw_for_temp(80)),
+        "SyringePump" => (3, 0x7FFF),
+        "UltrasonicRanger" => (0, 1),
+        other => panic!("no branch-flip forge for scenario {other:?}"),
+    }
+}
